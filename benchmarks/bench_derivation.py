@@ -1,0 +1,99 @@
+"""E4 — the derivation engine itself (Appendix E statement chain).
+
+Benchmarks the pure-logic cost of admitting certificates and deriving
+``G says``, independent of RSA arithmetic, plus the DESIGN.md ablation:
+how jurisdiction lookup scales with the size of the belief store.
+"""
+
+import pytest
+
+from repro.core.derivation import DerivationEngine
+from repro.core.formulas import Controls, KeySpeaksFor, Says, SpeaksForGroup
+from repro.core.messages import Data, Signed
+from repro.core.patterns import AnyTime
+from repro.core.temporal import FOREVER, at, during
+from repro.core.terms import (
+    CompoundPrincipal,
+    Group,
+    KeyRef,
+    Principal,
+    Var,
+)
+
+P = Principal("ServerP")
+AA = Principal("AA")
+CA = Principal("CA1")
+KAA, KCA = KeyRef("kaa"), KeyRef("kca")
+
+
+def _engine(extra_beliefs: int = 0) -> DerivationEngine:
+    engine = DerivationEngine(P)
+    domains = CompoundPrincipal.of([Principal(f"D{i}") for i in (1, 2, 3)])
+    engine.believe(KeySpeaksFor(KAA, during(0, FOREVER, P), domains.threshold(3)))
+    engine.register_alias(domains, AA)
+    membership = SpeaksForGroup(Var("cp"), AnyTime("iv"), Var("g"))
+    engine.believe(Controls(AA, during(0, FOREVER), membership))
+    engine.believe(
+        Controls(AA, during(0, FOREVER, P), Says(AA, AnyTime("t"), membership))
+    )
+    id_schema = KeySpeaksFor(Var("k"), AnyTime("iv"), Var("q"))
+    engine.believe(Controls(CA, during(0, FOREVER), id_schema))
+    engine.believe(
+        Controls(CA, during(0, FOREVER, P), Says(CA, AnyTime("t"), id_schema))
+    )
+    engine.believe(KeySpeaksFor(KCA, during(0, FOREVER, P), CA))
+    # Ablation knob: pad the store with irrelevant beliefs.
+    for i in range(extra_beliefs):
+        engine.believe(
+            SpeaksForGroup(Principal(f"pad{i}"), during(0, 10), Group(f"Gpad{i}"))
+        )
+    return engine
+
+
+def _certificates():
+    users = [Principal(f"U{i}") for i in (1, 2, 3)]
+    keys = [KeyRef(f"k{i}") for i in (1, 2, 3)]
+    id_certs = [
+        Signed(Says(CA, at(1), KeySpeaksFor(k, during(0, 100), u)), KCA)
+        for u, k in zip(users, keys)
+    ]
+    cp = CompoundPrincipal.of([u.bound_to(k) for u, k in zip(users, keys)])
+    tac = Signed(
+        Says(AA, at(2), SpeaksForGroup(cp.threshold(2), during(0, 100), Group("G"))),
+        KAA,
+    )
+    requests = [
+        Signed(Says(u, at(3), Data('"write" O')), k)
+        for u, k in zip(users, keys)
+    ]
+    return id_certs, tac, requests
+
+
+def _derive(engine: DerivationEngine) -> None:
+    id_certs, tac, requests = _certificates()
+    for cert in id_certs[:2]:
+        engine.admit_certificate(cert, received_at=5)
+    membership = engine.admit_certificate(tac, received_at=5)
+    says = [
+        engine.admit_signed_utterance(req, received_at=6)[1]
+        for req in requests[:2]
+    ]
+    proof = engine.derive_group_says(membership, says)
+    assert proof.rule == "A38"
+
+
+def test_e4_full_derivation_chain(benchmark):
+    """Statements 4-13 of Appendix E, pure logic."""
+    benchmark.pedantic(
+        lambda: _derive(_engine()), rounds=30, iterations=1
+    )
+
+
+@pytest.mark.parametrize("store_size", [0, 100, 500])
+def test_e4_derivation_vs_store_size(benchmark, store_size):
+    """Ablation: jurisdiction lookup cost as the belief store grows."""
+    benchmark.pedantic(
+        lambda: _derive(_engine(extra_beliefs=store_size)),
+        rounds=10,
+        iterations=1,
+    )

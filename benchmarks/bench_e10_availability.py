@@ -1,0 +1,85 @@
+"""E10 — m-of-n availability for joint signing (Section 3.3).
+
+Threshold sharing keeps signing available while up to n-m domains are
+down; n-of-n sharing pays full consensus with availability q^n.  The
+bench runs real Shoup threshold signatures under random domain outages
+and prints the availability series.
+"""
+
+import pytest
+
+from repro.analysis.availability import (
+    m_of_n_availability,
+    n_of_n_availability,
+    simulate_signing_availability,
+)
+from repro.crypto.threshold import generate_threshold_key
+
+
+def test_e10_threshold_signing_latency(benchmark):
+    """Cost of one 3-of-5 Shoup threshold signature."""
+    from repro.crypto.threshold import (
+        combine_threshold_shares,
+        threshold_sign_share,
+    )
+
+    key = generate_threshold_key(5, 3, bits=96)
+
+    def sign():
+        shares = [
+            threshold_sign_share(b"bench", s, key.public)
+            for s in key.shares[:3]
+        ]
+        return combine_threshold_shares(b"bench", shares, key.public)
+
+    signature = benchmark(sign)
+    assert key.public.verify(b"bench", signature)
+
+
+def test_e10_availability_series(benchmark):
+    """The availability table: 5-of-5 vs 3-of-5 vs 1-of-5, analytic + MC."""
+    key = generate_threshold_key(5, 3, bits=96)
+
+    def series():
+        return [
+            simulate_signing_availability(5, 3, q, trials=60, key=key, seed=int(q * 100))
+            for q in (0.99, 0.95, 0.9, 0.8, 0.6)
+        ]
+
+    points = benchmark.pedantic(series, rounds=1, iterations=1)
+    print("\nE10: joint-signing availability (n=5)")
+    print(f"{'q':>6} {'5-of-5':>9} {'3-of-5 analytic':>16} {'3-of-5 MC':>10}")
+    for point in points:
+        print(
+            f"{point.q:>6} {n_of_n_availability(5, point.q):>9.4f} "
+            f"{point.analytic:>16.4f} {point.simulated:>10.4f}"
+        )
+    # Shape: m-of-n strictly dominates n-of-n below q=1.
+    for point in points:
+        assert point.analytic >= n_of_n_availability(5, point.q)
+
+
+def test_e10_robust_combine_with_byzantine_share(benchmark):
+    """Intrusion-tolerant combination: one garbled share among five."""
+    from repro.crypto.threshold import (
+        ThresholdSignatureShare,
+        robust_combine,
+        threshold_sign_share,
+    )
+
+    key = generate_threshold_key(5, 3, bits=96)
+    shares = [
+        threshold_sign_share(b"robust", s, key.public) for s in key.shares
+    ]
+    shares[2] = ThresholdSignatureShare(
+        index=shares[2].index,
+        value=(shares[2].value * 13) % key.public.modulus,
+    )
+
+    def combine():
+        signature, bad = robust_combine(b"robust", shares, key.public)
+        assert bad == [shares[2].index]
+        return signature
+
+    signature = benchmark(combine)
+    assert key.public.verify(b"robust", signature)

@@ -1,0 +1,82 @@
+"""E11 — coalition-dynamics cost (Section 6).
+
+Measures real join events (re-key + mass revocation + re-issue) as the
+live certificate population grows, and contrasts with proactive share
+refresh (constant cost).  Expected shape: join cost grows linearly in
+the certificate population; refresh does not.
+"""
+
+import itertools
+
+import pytest
+
+from repro.coalition import Coalition, Domain
+from repro.pki import ValidityPeriod
+
+_ids = itertools.count()
+
+
+def _loaded_coalition(n_certs: int):
+    run_id = next(_ids)
+    domains = [Domain(f"Dyn{run_id}-{i}", key_bits=256) for i in (1, 2, 3)]
+    users = [
+        d.register_user(f"u{i}", now=0) for i, d in enumerate(domains, start=1)
+    ]
+    coalition = Coalition(f"dyn-{run_id}", key_bits=256)
+    coalition.form(domains)
+    for k in range(n_certs):
+        coalition.authority.issue_threshold_certificate(
+            users, 2, f"G{k}", 0, ValidityPeriod(0, 10**6)
+        )
+    return coalition
+
+
+@pytest.mark.parametrize("n_certs", [1, 5, 15])
+def test_e11_join_cost(benchmark, n_certs):
+    def setup():
+        coalition = _loaded_coalition(n_certs)
+        newcomer = Domain(f"DJ-{next(_ids)}", key_bits=256)
+        return (coalition, newcomer), {}
+
+    def join(coalition, newcomer):
+        report = coalition.join(newcomer, now=1)
+        assert report.certificates_revoked == n_certs
+        return report
+
+    benchmark.pedantic(join, setup=setup, rounds=3, iterations=1)
+
+
+def test_e11_refresh_cost(benchmark):
+    """Refresh at a 15-certificate population: no certificate churn."""
+    coalition = _loaded_coalition(15)
+
+    def refresh():
+        report = coalition.refresh(now=1)
+        assert report.certificates_revoked == 0
+        return report
+
+    benchmark(refresh)
+
+
+def test_e11_report_table(benchmark):
+    """Printed series: measured operation counts per event type."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\nE11: operations per membership event (3->4 domains)")
+    print(f"{'live certs':>11} {'revoked':>8} {'reissued':>9} "
+          f"{'keygen msgs':>12} {'total ops':>10}")
+    for n_certs in (1, 5, 15, 30):
+        coalition = _loaded_coalition(n_certs)
+        report = coalition.join(Domain(f"DT-{next(_ids)}", key_bits=256), now=1)
+        print(
+            f"{n_certs:>11} {report.certificates_revoked:>8} "
+            f"{report.certificates_reissued:>9} {report.keygen_messages:>12} "
+            f"{report.total_operations():>10}"
+        )
+    refresh_coalition = _loaded_coalition(30)
+    refresh_report = refresh_coalition.refresh(now=1)
+    print(
+        f"{'refresh@30':>11} {refresh_report.certificates_revoked:>8} "
+        f"{refresh_report.certificates_reissued:>9} "
+        f"{refresh_report.keygen_messages:>12} "
+        f"{refresh_report.total_operations():>10}"
+    )

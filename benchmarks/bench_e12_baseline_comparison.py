@@ -1,0 +1,114 @@
+"""E12 — Case II vs the baselines (Section 2.2 + related work).
+
+Three comparisons:
+
+* **Verification cost**: a Case II decision verifies ONE joint
+  signature on the threshold AC, an SPKI-style conjunction verifies n
+  per-domain certificates — linear in coalition size.
+* **Issuance cost**: joint signature (2(n-1) messages, n share
+  applications) vs n independent signatures vs one unilateral one.
+* **Requirement III**: which designs admit unilateral issuance at all
+  (printed as the summary table; the attack itself is exercised in the
+  integration tests).
+"""
+
+import itertools
+
+import pytest
+
+from repro.baselines.lockbox import CaseIAuthority
+from repro.baselines.spki import SPKIDomainAuthority, SPKIVerifier
+from repro.baselines.unilateral import UnilateralAuthority
+from repro.coalition import Coalition, Domain
+from repro.pki import ValidityPeriod
+
+_ids = itertools.count()
+N_DOMAINS = 3
+
+
+@pytest.fixture(scope="module")
+def spki_setup():
+    authorities = [
+        SPKIDomainAuthority(f"D{i}", key_bits=256) for i in range(N_DOMAINS)
+    ]
+    verifier = SPKIVerifier({a.name: a.public_key for a in authorities})
+    certs = [
+        a.issue([("u1", "k1")], 1, "G", 0, ValidityPeriod(0, 10**6))
+        for a in authorities
+    ]
+    return verifier, certs
+
+
+def test_e12_case2_tac_verification(benchmark, bench_coalition):
+    """Verify ONE joint signature (Case II verifier-side cost)."""
+    cert = bench_coalition["write_cert"]
+    public = bench_coalition["coalition"].authority.public_key
+
+    def verify():
+        assert public.verify(cert.payload_bytes(), cert.signature)
+
+    benchmark(verify)
+
+
+def test_e12_spki_conjunction_verification(benchmark, spki_setup):
+    """Verify the n-certificate conjunction (SPKI-style cost)."""
+    verifier, certs = spki_setup
+
+    def verify():
+        assert verifier.accepts(certs, "G", now=1)
+
+    benchmark(verify)
+
+
+def test_e12_case2_joint_issuance(benchmark, bench_coalition):
+    coalition = bench_coalition["coalition"]
+    users = bench_coalition["users"]
+
+    def issue():
+        return coalition.authority.issue_threshold_certificate(
+            users, 2, f"Gbench{next(_ids)}", 0, ValidityPeriod(0, 100)
+        )
+
+    benchmark(issue)
+
+
+def test_e12_case1_lockbox_issuance(benchmark):
+    authority = CaseIAuthority(
+        "AA_c1", [f"D{i}" for i in range(N_DOMAINS)], key_bits=256, seed=1
+    )
+    passwords = {d: authority.password_of(d) for d in authority.domain_names}
+
+    def issue():
+        return authority.issue_with_consensus(
+            [("u1", "k1")], 1, "G", 0, ValidityPeriod(0, 100), passwords
+        )
+
+    benchmark(issue)
+
+
+def test_e12_unilateral_issuance(benchmark):
+    authority = UnilateralAuthority("D1", key_bits=256)
+
+    def issue():
+        return authority.issue_attribute(
+            "u1", "k1", "G", 0, ValidityPeriod(0, 100)
+        )
+
+    benchmark(issue)
+
+
+def test_e12_summary_table(benchmark, bench_coalition):
+    """The qualitative comparison table the paper's argument implies."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    n = N_DOMAINS
+    print("\nE12: design comparison (n = number of member domains)")
+    print(f"{'design':<22} {'certs/decision':>15} {'sigs to issue':>14} "
+          f"{'unilateral issuance possible?':>30}")
+    rows = [
+        ("Case II shared key", 1, f"{n} shares", "no (needs all n shares)"),
+        ("Case I lockbox", 1, "1 (boxed)", "yes, after key extraction"),
+        ("SPKI conjunction", n, f"{n}", "no, IF verifier policy intact"),
+        ("Unilateral AA", 1, "1", "yes, by design"),
+    ]
+    for name, certs, sigs, unilateral in rows:
+        print(f"{name:<22} {certs:>15} {sigs:>14} {unilateral:>30}")

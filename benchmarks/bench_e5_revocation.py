@@ -1,0 +1,65 @@
+"""E5 — revocation processing cost (Section 4.3, Message 2).
+
+Measures admitting a revocation certificate (signature check + the
+jurisdiction derivation for the negated membership) and the marginal
+cost a planted revocation adds to subsequent authorization decisions.
+"""
+
+import itertools
+
+import pytest
+
+from repro.coalition import build_joint_request
+from repro.pki import ValidityPeriod
+
+_ids = itertools.count()
+
+
+def test_e5_admit_revocation(benchmark, bench_coalition):
+    coalition = bench_coalition["coalition"]
+    server = bench_coalition["server"]
+    users = bench_coalition["users"]
+
+    def setup():
+        cert = coalition.authority.issue_threshold_certificate(
+            users, 2, f"Grev{next(_ids)}", 0, ValidityPeriod(0, 10**6)
+        )
+        revocation = coalition.authority.revoke_certificate(cert, now=1)
+        return (revocation,), {}
+
+    def admit(revocation):
+        proof = server.protocol.apply_revocation(revocation, now=2)
+        return proof
+
+    benchmark.pedantic(admit, setup=setup, rounds=10, iterations=1)
+
+
+def test_e5_authorization_with_revocation_load(benchmark, bench_coalition):
+    """Decision cost with many planted revocations in the belief store."""
+    coalition = bench_coalition["coalition"]
+    server = bench_coalition["server"]
+    users = bench_coalition["users"]
+    # Plant 25 revocations for unrelated groups.
+    for _ in range(25):
+        cert = coalition.authority.issue_threshold_certificate(
+            users, 2, f"Gload{next(_ids)}", 0, ValidityPeriod(0, 10**6)
+        )
+        revocation = coalition.authority.revoke_certificate(cert, now=1)
+        server.protocol.apply_revocation(revocation, now=1)
+
+    live_cert = bench_coalition["write_cert"]
+    acl = server.object_acl("ObjectO")
+
+    def setup():
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", live_cert,
+            now=2, nonce=f"revload-{next(_ids)}",
+        )
+        return (request,), {}
+
+    def authorize(request):
+        decision = server.protocol.authorize(request, acl, now=3)
+        assert decision.granted
+        return decision
+
+    benchmark.pedantic(authorize, setup=setup, rounds=10, iterations=1)

@@ -1,0 +1,81 @@
+"""E7 — shared key generation vs joint signature latency (Section 3.1).
+
+The paper cites Malkin et al.: generating a shared key among three
+servers takes 1.5-5 minutes on average while applying a joint signature
+takes only 1.2-2 seconds — keygen is ~2 orders of magnitude costlier,
+which is why the paper deems keygen cost acceptable for the infrequent
+policy-change events it serves.
+
+We reproduce the *shape* on our pure-Python substrate: dealerless
+Boneh-Franklin keygen vs the §3.2 joint-signature protocol, at matched
+modulus sizes.  Absolute times differ from the 1999 testbed (different
+hardware, interpreted bignums, smaller moduli); the ratio is the result
+(see EXPERIMENTS.md).  The final test prints the paper-style summary row.
+"""
+
+import time
+
+import pytest
+
+from repro.crypto.boneh_franklin import dealer_shared_rsa, generate_shared_rsa
+from repro.crypto.joint_signature import CoSigner, JointSignatureSession
+
+RATIO_SAMPLES = {}
+
+
+def test_e7_dealerless_keygen_128(benchmark):
+    """Boneh-Franklin 3-party keygen at 128-bit modulus."""
+    result = benchmark.pedantic(
+        lambda: generate_shared_rsa(3, bits=128), rounds=2, iterations=1
+    )
+    RATIO_SAMPLES["keygen_128"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("n_parties", [3, 5])
+def test_e7_dealer_keygen(benchmark, n_parties):
+    """Trusted-dealer sharing (the fast path) across party counts."""
+    benchmark.pedantic(
+        lambda: dealer_shared_rsa(n_parties, bits=256), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("n_parties", [2, 3, 5, 8])
+def test_e7_joint_signature_scaling(benchmark, n_parties):
+    """Joint signature latency is ~linear in the number of co-signers."""
+    shared = dealer_shared_rsa(n_parties, bits=256)
+    co_signers = [
+        CoSigner(s, shared.public_key) for s in shared.shares[1:]
+    ]
+
+    def sign():
+        session = JointSignatureSession(
+            shared.shares[0], co_signers, shared.public_key
+        )
+        return session.sign(b"joint signature benchmark")
+
+    benchmark(sign)
+    if n_parties == 3:
+        RATIO_SAMPLES["sign_3"] = benchmark.stats.stats.mean
+
+
+def test_e7_report_ratio(benchmark):
+    """The paper's summary row: keygen / joint-signature latency ratio.
+
+    Paper (Malkin et al., 3 servers, 1024-bit): keygen 90-300 s,
+    signature 1.2-2 s  ->  ratio ~75-150x.  Shape check: our dealerless
+    keygen must be >= 10x slower than a joint signature.
+    """
+    # Make this a (trivial) benchmark so --benchmark-only keeps it.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    keygen = RATIO_SAMPLES.get("keygen_128")
+    sign = RATIO_SAMPLES.get("sign_3")
+    if keygen is None or sign is None:
+        pytest.skip("component benches did not run")
+    ratio = keygen / sign
+    print("\nE7 paper-vs-measured")
+    print("  paper    : keygen 90-300 s, joint sig 1.2-2 s, ratio ~75-150x")
+    print(
+        f"  measured : keygen {keygen:.3f} s (128-bit, dealerless), "
+        f"joint sig {sign*1000:.2f} ms (256-bit, n=3), ratio {ratio:.0f}x"
+    )
+    assert ratio > 10, "keygen must dominate joint signing"

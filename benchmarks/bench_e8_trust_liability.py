@@ -1,0 +1,47 @@
+"""E8 — trust liability: Case I vs Case II key-compromise probability.
+
+Section 2.2's qualitative argument, quantified by Monte-Carlo
+simulation over coalition size.  Expected shape: Case II (shared key)
+liability decays exponentially in n while Case I grows slowly with n
+(more insiders), so the liability ratio explodes as coalitions grow.
+"""
+
+import pytest
+
+from repro.analysis.compromise import (
+    CompromiseModel,
+    simulate_compromise,
+    sweep_coalition_size,
+)
+
+TRIALS = 20_000
+
+
+def test_e8_monte_carlo_three_domains(benchmark):
+    model = CompromiseModel(n_domains=3)
+    result = benchmark(
+        lambda: simulate_compromise(model, trials=TRIALS, seed=1)
+    )
+    assert result.case2_analytic < result.case1_analytic
+
+
+def test_e8_liability_sweep_table(benchmark):
+    """The E8 series: liability vs coalition size (printed as a table)."""
+
+    def sweep():
+        return sweep_coalition_size([2, 3, 5, 8], trials=5_000, seed=0)
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nE8: P[AA key compromised] per campaign")
+    print(f"{'n':>3} {'CaseI(analytic)':>16} {'CaseI(MC)':>10} "
+          f"{'CaseII(analytic)':>17} {'CaseII(MC)':>11} {'ratio':>10}")
+    for r in results:
+        print(
+            f"{r.model.n_domains:>3} {r.case1_analytic:>16.4f} "
+            f"{r.case1_estimate:>10.4f} {r.case2_analytic:>17.2e} "
+            f"{r.case2_estimate:>11.2e} {min(r.liability_ratio, 1e12):>10.0f}"
+        )
+    # Shape assertions: Case II always dominates; the gap widens with n.
+    ratios = [r.case1_analytic / r.case2_analytic for r in results]
+    assert all(r > 1 for r in ratios)
+    assert ratios == sorted(ratios)

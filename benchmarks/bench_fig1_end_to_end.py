@@ -1,0 +1,49 @@
+"""E1 — Figure 1 end to end: coalition formation and full access cycle.
+
+Reproduces the architecture figure as a measurable pipeline: domain
+setup + shared keygen + trust configuration + certificate issuance +
+one joint write.  The companion per-stage benches (E2/E3/E7) break the
+cycle down.
+"""
+
+import itertools
+
+import pytest
+
+from repro.coalition import (
+    ACLEntry,
+    Coalition,
+    CoalitionServer,
+    Domain,
+    build_joint_request,
+)
+from repro.pki import ValidityPeriod
+
+_counter = itertools.count()
+
+
+def _full_cycle(key_bits: int = 256) -> bool:
+    run_id = next(_counter)
+    domains = [Domain(f"D{i}-{run_id}", key_bits=key_bits) for i in (1, 2, 3)]
+    users = [
+        d.register_user(f"u{i}", now=0) for i, d in enumerate(domains, start=1)
+    ]
+    coalition = Coalition(f"e2e-{run_id}", key_bits=key_bits)
+    coalition.form(domains)
+    server = CoalitionServer("P")
+    coalition.attach_server(server)
+    server.create_object(
+        "O", b"data", [ACLEntry.of("G_write", ["write"])], "G_admin"
+    )
+    tac = coalition.authority.issue_threshold_certificate(
+        users, 2, "G_write", 0, ValidityPeriod(0, 100)
+    )
+    request = build_joint_request(users[0], [users[1]], "write", "O", tac, now=1)
+    result = server.handle_request(request, now=2, write_content=b"w")
+    assert result.granted
+    return result.granted
+
+
+def test_e1_full_coalition_cycle(benchmark):
+    """Form a coalition, issue a certificate, grant one joint write."""
+    benchmark.pedantic(_full_cycle, rounds=3, iterations=1)

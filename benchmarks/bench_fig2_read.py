@@ -1,0 +1,52 @@
+"""E3 — Figure 2(d): the solo read flow with encrypted response."""
+
+import itertools
+
+from repro.coalition import build_joint_request
+
+_nonce = itertools.count()
+
+
+def test_e3_authorize_read(benchmark, bench_coalition):
+    """Server-side cost of one 1-of-3 read (no encryption)."""
+    users = bench_coalition["users"]
+    server = bench_coalition["server"]
+    cert = bench_coalition["read_cert"]
+    acl = server.object_acl("ObjectO")
+
+    def setup():
+        request = build_joint_request(
+            users[2], [], "read", "ObjectO", cert,
+            now=1, nonce=f"bench-read-{next(_nonce)}",
+        )
+        return (request,), {}
+
+    def authorize(request):
+        decision = server.protocol.authorize(request, acl, now=2)
+        assert decision.granted
+        return decision
+
+    benchmark.pedantic(authorize, setup=setup, rounds=20, iterations=1)
+
+
+def test_e3_read_with_encrypted_response(benchmark, bench_coalition):
+    """Full read handling incl. hybrid encryption under K_u3."""
+    users = bench_coalition["users"]
+    server = bench_coalition["server"]
+    cert = bench_coalition["read_cert"]
+
+    def setup():
+        request = build_joint_request(
+            users[2], [], "read", "ObjectO", cert,
+            now=1, nonce=f"bench-encread-{next(_nonce)}",
+        )
+        return (request,), {}
+
+    def handle(request):
+        result = server.handle_request(
+            request, now=2, responder_key=users[2].keypair.public
+        )
+        assert result.granted and result.encrypted_response is not None
+        return result
+
+    benchmark.pedantic(handle, setup=setup, rounds=20, iterations=1)

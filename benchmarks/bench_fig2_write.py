@@ -1,0 +1,71 @@
+"""E2 — Figure 2(b): the joint write flow.
+
+Measures (a) assembling the joint request (requestor + co-signer
+signatures) and (b) Server P's full authorization (Step 0 crypto checks
+plus the Steps 1-4 derivation).
+"""
+
+import itertools
+
+from repro.coalition import build_joint_request
+
+_nonce = itertools.count()
+
+
+def test_e2_build_write_request(benchmark, bench_coalition):
+    """Requestor-side cost: sign + collect co-signer part."""
+    users = bench_coalition["users"]
+    cert = bench_coalition["write_cert"]
+
+    def build():
+        return build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", cert,
+            now=1, nonce=f"bench-{next(_nonce)}",
+        )
+
+    request = benchmark(build)
+    assert len(request.parts) == 2
+
+
+def test_e2_authorize_write(benchmark, bench_coalition):
+    """Server-side cost of one 2-of-3 write authorization."""
+    users = bench_coalition["users"]
+    server = bench_coalition["server"]
+    cert = bench_coalition["write_cert"]
+    acl = server.object_acl("ObjectO")
+
+    def setup():
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", cert,
+            now=1, nonce=f"bench-auth-{next(_nonce)}",
+        )
+        return (request,), {}
+
+    def authorize(request):
+        decision = server.protocol.authorize(request, acl, now=2)
+        assert decision.granted
+        return decision
+
+    benchmark.pedantic(authorize, setup=setup, rounds=20, iterations=1)
+
+
+def test_e2_denied_write_below_threshold(benchmark, bench_coalition):
+    """Denial path cost (single signer against a 2-of-3 certificate)."""
+    users = bench_coalition["users"]
+    server = bench_coalition["server"]
+    cert = bench_coalition["write_cert"]
+    acl = server.object_acl("ObjectO")
+
+    def setup():
+        request = build_joint_request(
+            users[0], [], "write", "ObjectO", cert,
+            now=1, nonce=f"bench-deny-{next(_nonce)}",
+        )
+        return (request,), {}
+
+    def authorize(request):
+        decision = server.protocol.authorize(request, acl, now=2)
+        assert not decision.granted
+        return decision
+
+    benchmark.pedantic(authorize, setup=setup, rounds=20, iterations=1)

@@ -1,0 +1,35 @@
+"""E6 — the executable soundness theorem (Appendix D).
+
+Benchmarks model checking all axiom schemas over randomly generated
+legal runs, sweeping system size.
+"""
+
+import pytest
+
+from repro.semantics.generators import GeneratorConfig, generate_system
+from repro.semantics.soundness import SoundnessChecker
+
+
+@pytest.mark.parametrize("n_ticks", [4, 8, 12])
+def test_e6_soundness_sweep(benchmark, n_ticks):
+    system = generate_system(
+        GeneratorConfig(n_runs=2, n_ticks=n_ticks), seed=42
+    )
+
+    def check():
+        report = SoundnessChecker(system).check_all()
+        assert report.sound
+        return report.instances_checked
+
+    instances = benchmark(check)
+    assert instances > 0
+
+
+def test_e6_legality_checking(benchmark):
+    system = generate_system(GeneratorConfig(n_runs=3, n_ticks=10), seed=7)
+
+    def check_all_legal():
+        for run in system.runs:
+            run.check_legality()
+
+    benchmark(check_all_legal)

@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures: coalition setups built once per session."""
+
+import pytest
+
+from repro.coalition import ACLEntry, Coalition, CoalitionServer, Domain
+from repro.crypto.boneh_franklin import dealer_shared_rsa
+from repro.pki import ValidityPeriod
+
+BENCH_KEY_BITS = 256
+
+
+@pytest.fixture(scope="session")
+def bench_coalition():
+    """A formed 3-domain coalition with server, object and certificates."""
+    domains = [Domain(f"D{i}", key_bits=BENCH_KEY_BITS) for i in (1, 2, 3)]
+    users = [
+        d.register_user(f"User_D{i}", now=0)
+        for i, d in enumerate(domains, start=1)
+    ]
+    coalition = Coalition("bench", key_bits=BENCH_KEY_BITS)
+    coalition.form(domains)
+    server = CoalitionServer("ServerP", freshness_window=10**9)
+    coalition.attach_server(server)
+    server.create_object(
+        "ObjectO",
+        b"benchmark object",
+        [ACLEntry.of("G_write", ["write"]), ACLEntry.of("G_read", ["read"])],
+        admin_group="G_admin",
+    )
+    write_cert = coalition.authority.issue_threshold_certificate(
+        users, 2, "G_write", 0, ValidityPeriod(0, 10**9)
+    )
+    read_cert = coalition.authority.issue_threshold_certificate(
+        users, 1, "G_read", 0, ValidityPeriod(0, 10**9)
+    )
+    return {
+        "coalition": coalition,
+        "server": server,
+        "domains": domains,
+        "users": users,
+        "write_cert": write_cert,
+        "read_cert": read_cert,
+    }
+
+
+@pytest.fixture(scope="session")
+def bench_shared_key():
+    return dealer_shared_rsa(3, bits=BENCH_KEY_BITS)

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""The paper's motivating alliance: genetics firm + hospital + pharma.
+
+Section 1's scenario, end to end:
+
+* GeneCo discovered a gene sequence; it allies with MercyHospital and
+  PharmaCorp to find a cure.  All research data is jointly owned.
+* No single member may administer access policies unilaterally; every
+  policy act needs consensus, enforced by the shared AA key.
+* Research writes need two organizations' sign-off; reads need one.
+* Policy-object updates (ACL changes) go through the same machinery,
+  using a 3-of-3 admin certificate.
+* When PharmaCorp's certificate is abused, the alliance revokes it and
+  the revocation defeats in-flight trust ("believe until revoked").
+
+Run:  python examples/genetics_alliance.py
+"""
+
+from repro.coalition import (
+    ACLEntry,
+    Coalition,
+    CoalitionServer,
+    ConsensusError,
+    Domain,
+    build_joint_request,
+)
+from repro.crypto.rsa import hybrid_decrypt
+from repro.pki import ValidityPeriod
+
+
+def main() -> None:
+    # --- alliance formation -------------------------------------------
+    geneco = Domain("GeneCo", key_bits=256)
+    hospital = Domain("MercyHospital", key_bits=256)
+    pharma = Domain("PharmaCorp", key_bits=256)
+
+    alice = geneco.register_user("alice", now=0)       # genetics lead
+    bob = hospital.register_user("bob", now=0)         # trial physician
+    carol = pharma.register_user("carol", now=0)       # drug designer
+
+    alliance = Coalition("cure-alliance", key_bits=256)
+    alliance.form([geneco, hospital, pharma])
+    print("alliance formed; AA private key shared across all three members")
+
+    web_server = CoalitionServer("ResearchWebServer")
+    alliance.attach_server(web_server)
+    web_server.create_object(
+        "gene-sequence",
+        b"ATCGATCG... (proprietary sequence)",
+        [
+            ACLEntry.of("G_researchers_rw", ["write"]),
+            ACLEntry.of("G_researchers_ro", ["read"]),
+        ],
+        admin_group="G_policy_admins",
+    )
+    web_server.create_object(
+        "trial-results",
+        b"(no results yet)",
+        [
+            ACLEntry.of("G_researchers_rw", ["write"]),
+            ACLEntry.of("G_researchers_ro", ["read"]),
+        ],
+        admin_group="G_policy_admins",
+    )
+
+    aa = alliance.authority
+    researchers = [alice, bob, carol]
+
+    # Writing research data: two organizations must agree (2-of-3).
+    rw_cert = aa.issue_threshold_certificate(
+        researchers, 2, "G_researchers_rw", 1, ValidityPeriod(1, 10_000)
+    )
+    # Reading: any one researcher (1-of-3).
+    ro_cert = aa.issue_threshold_certificate(
+        researchers, 1, "G_researchers_ro", 1, ValidityPeriod(1, 10_000)
+    )
+    # Policy administration: unanimous (3-of-3).
+    admin_cert = aa.issue_threshold_certificate(
+        researchers, 3, "G_policy_admins", 1, ValidityPeriod(1, 10_000)
+    )
+    print("certificates issued: rw(2-of-3), ro(1-of-3), admin(3-of-3)")
+
+    # --- day-to-day research access ------------------------------------
+    write = build_joint_request(
+        alice, [bob], "write", "trial-results", rw_cert, now=10
+    )
+    result = web_server.handle_request(
+        write, now=11, write_content=b"cohort A: promising response"
+    )
+    print(f"\nalice+bob write trial-results: granted={result.granted}")
+
+    read = build_joint_request(carol, [], "read", "trial-results", ro_cert, now=12)
+    response = web_server.handle_request(
+        read, now=13, responder_key=carol.keypair.public
+    )
+    wrapped, ciphertext = response.encrypted_response
+    plaintext = hybrid_decrypt(carol.keypair.private, wrapped, ciphertext)
+    print(f"carol reads (encrypted under her key): {plaintext.decode()!r}")
+
+    # A lone write is refused — Requirement III in action.
+    lone = build_joint_request(carol, [], "write", "trial-results", rw_cert, now=14)
+    refused = web_server.handle_request(lone, now=15, write_content=b"oops")
+    print(f"carol writes alone: granted={refused.granted}")
+
+    # --- a policy change needs unanimity --------------------------------
+    update = build_joint_request(
+        alice, [bob, carol], "set_policy", "gene-sequence", admin_cert, now=20
+    )
+    decision = web_server.update_policy(
+        update,
+        [
+            ACLEntry.of("G_researchers_rw", ["write", "read"]),
+        ],
+        now=21,
+    )
+    print(f"\nunanimous ACL update on gene-sequence: granted={decision.granted}")
+    print("  (read-only group removed: reads now need the rw certificate)")
+
+    # --- a member tries to out-vote the others at issuance time ---------
+    pharma.cooperative = False
+    try:
+        aa.issue_threshold_certificate(
+            [carol], 1, "G_researchers_rw", 22, ValidityPeriod(22, 10_000)
+        )
+    except ConsensusError as exc:
+        print(f"\nPharmaCorp dissents -> issuance impossible: {exc}")
+    pharma.cooperative = True
+
+    # --- revocation ------------------------------------------------------
+    revocation = aa.revoke_certificate(rw_cert, now=30)
+    web_server.receive_revocation(revocation, now=31)
+    stale = build_joint_request(
+        alice, [bob], "write", "trial-results", rw_cert, now=32
+    )
+    blocked = web_server.handle_request(stale, now=32, write_content=b"late")
+    print(f"\nwrite with revoked certificate: granted={blocked.granted}")
+    print(f"  reason: {blocked.decision.reason}")
+
+    # Access statistics for the session.
+    print(f"\nserver grant rate: {web_server.grant_rate():.0%} "
+          f"over {len(web_server.access_log)} decisions")
+
+
+if __name__ == "__main__":
+    main()

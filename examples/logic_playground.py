@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Logic playground: the derivation engine and concrete syntax directly.
+
+Shows the library as a *logic tool* rather than a system: write the
+paper's initial beliefs and certificates in the concrete syntax, run
+the derivation, print and independently audit the proof.
+
+Run:  python examples/logic_playground.py
+"""
+
+from repro.core import (
+    DerivationEngine,
+    Principal,
+    check_proof,
+    parse_formula,
+    render_proof,
+    to_text,
+)
+from repro.core.formulas import Controls, Says
+from repro.core.patterns import AnyTime
+from repro.core.terms import Var
+
+
+def main() -> None:
+    server = Principal("ServerP")
+    engine = DerivationEngine(server)
+
+    # --- initial beliefs, written in the concrete syntax ----------------
+    # Statement 1-analogue: the CA's key, trusted open-endedly.
+    engine.believe(parse_formula("#kca =>:[0,*]^ServerP CA1"), "CA1 key")
+    # AA's key (conventional here, to keep the playground small).
+    engine.believe(parse_formula("#kaa =>:[0,*]^ServerP AA"), "AA key")
+
+    # Jurisdiction schemas still use pattern variables (Var/AnyTime):
+    id_schema = parse_formula("#k =>:[0,*] Q")  # template shape...
+    # ...whose concrete Var form we build directly:
+    from repro.core.formulas import KeySpeaksFor, SpeaksForGroup
+    from repro.core.temporal import FOREVER, Temporal
+
+    id_schema = KeySpeaksFor(Var("k"), AnyTime("iv"), Var("q"))
+    membership_schema = SpeaksForGroup(Var("s"), AnyTime("iv"), Var("g"))
+    for issuer, schema in (("CA1", id_schema), ("AA", membership_schema)):
+        principal = Principal(issuer)
+        engine.believe(Controls(principal, Temporal.all(0, FOREVER), schema))
+        engine.believe(
+            Controls(
+                principal,
+                Temporal.all(0, FOREVER, server),
+                Says(principal, AnyTime("t"), schema),
+            )
+        )
+
+    # --- certificates, written in the concrete syntax -------------------
+    id_cert = parse_formula(
+        'sig(CA1 says:2 (#ku =>:[1,100] Alice), #kca)'
+    )
+    attribute_cert = parse_formula(
+        'sig(AA says:3 (Alice|#ku =>:[1,100] @G_read), #kaa)'
+    )
+    request = parse_formula('sig(Alice says:4 ("read O"), #ku)')
+
+    print("identity certificate :", to_text(id_cert))
+    print("attribute certificate:", to_text(attribute_cert))
+    print("signed request       :", to_text(request))
+
+    # --- the derivation ---------------------------------------------------
+    engine.admit_certificate(id_cert, received_at=5)
+    membership = engine.admit_certificate(attribute_cert, received_at=5)
+    says_body, _says_signed = engine.admit_signed_utterance(request, received_at=6)
+
+    # Alice|#ku => @G_read is key-bound membership: axiom A35 applies,
+    # and it wants the *signed* utterance.
+    _body, says_signed = engine.admit_signed_utterance(request, received_at=6)
+    conclusion = engine.derive_group_says(membership, [says_signed])
+    print("\nconclusion:", to_text(conclusion.conclusion))
+    print("\nproof:")
+    print(render_proof(conclusion))
+
+    # --- independent audit ------------------------------------------------
+    ok = check_proof(
+        conclusion,
+        trusted_premises=set(engine.store.snapshot()),
+    )
+    print(f"\nindependent proof check: {ok}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Revocation reasoning walkthrough (Section 4.3, Message 2).
+
+Reproduces the believe-until-revoked timeline with the actual proof
+objects: the belief obtained from the threshold certificate, the
+revocation admission through the RA's jurisdiction, and the defeated
+re-derivation.
+
+Run:  python examples/revocation_walkthrough.py
+"""
+
+from repro.coalition import (
+    ACLEntry,
+    Coalition,
+    CoalitionServer,
+    Domain,
+    build_joint_request,
+)
+from repro.core.proofs import render_proof
+from repro.pki import ValidityPeriod
+
+
+def main() -> None:
+    domains = [Domain(f"D{i}", key_bits=256) for i in (1, 2, 3)]
+    users = [
+        d.register_user(f"User_D{i}", now=0)
+        for i, d in enumerate(domains, start=1)
+    ]
+    coalition = Coalition("revocation-demo", key_bits=256)
+    coalition.form(domains)
+    server = CoalitionServer("ServerP")
+    coalition.attach_server(server)
+    server.create_object(
+        "ObjectO", b"v1", [ACLEntry.of("G_write", ["write"])], "G_admin"
+    )
+
+    tac = coalition.authority.issue_threshold_certificate(
+        users, 2, "G_write", now=1, validity=ValidityPeriod(1, 1_000)
+    )
+    print(f"t=1   AA issues {tac.serial} (2-of-3 => G_write)")
+
+    request = build_joint_request(
+        users[0], [users[1]], "write", "ObjectO", tac, now=4
+    )
+    result = server.handle_request(request, now=4, write_content=b"v2")
+    print(f"t=4   joint write: granted={result.granted}")
+    print("      belief obtained (statement 10):",
+          result.decision.proof.premises[0].conclusion)
+
+    # Message 2: the revocation authority revokes on behalf of AA.
+    revocation = coalition.authority.revoke_certificate(tac, now=7)
+    print(f"\nt=7   RA publishes revocation {revocation.serial}")
+    proof = server.protocol.apply_revocation(revocation, now=8)
+    print("t=8   server admits the revocation; derived belief:")
+    print(render_proof(proof))
+
+    # For decision times t >= t8 the old belief is no longer obtainable.
+    stale = build_joint_request(
+        users[0], [users[1]], "write", "ObjectO", tac, now=9
+    )
+    denied = server.handle_request(stale, now=9, write_content=b"v3")
+    print(f"\nt=9   same certificate, same signers: granted={denied.granted}")
+    print(f"      {denied.decision.reason}")
+
+    # Re-granting requires a fresh certificate — i.e. fresh consensus.
+    fresh = coalition.authority.issue_threshold_certificate(
+        users, 2, "G_write", now=10, validity=ValidityPeriod(10, 1_000)
+    )
+    again = build_joint_request(
+        users[0], [users[1]], "write", "ObjectO", fresh, now=11
+    )
+    regranted = server.handle_request(again, now=11, write_content=b"v3")
+    print(f"\nt=11  fresh certificate (new consensus): granted={regranted.granted}")
+
+
+if __name__ == "__main__":
+    main()

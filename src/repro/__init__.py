@@ -1,0 +1,35 @@
+"""Reproduction of Khurana, Gligor & Linn, "Reasoning about Joint
+Administration of Access Policies for Coalition Resources" (ICDCS 2002).
+
+Subpackages
+-----------
+
+``repro.core``
+    The paper's access-control logic: terms, formulas, axioms A1-A38,
+    and a derivation engine producing machine-checkable proof trees.
+``repro.semantics``
+    The run-based model of computation (Appendix C) and an executable
+    soundness checker (Appendix D).
+``repro.crypto``
+    Threshold-RSA substrate: Boneh-Franklin dealerless shared key
+    generation, joint signatures, Shoup m-of-n threshold signatures.
+``repro.pki``
+    Identity / attribute / threshold-attribute / revocation
+    certificates, authorities, and directories.
+``repro.coalition``
+    The system of Figure 1: domains, the jointly controlled attribute
+    authority, coalition server P, the Section 4.3 authorization
+    protocol, and coalition dynamics.
+``repro.sim``
+    Simulated clocks and an adversarial message-passing network.
+``repro.baselines``
+    Case I (conventional key + hardware lockbox), unilateral
+    administration, and SPKI-style comparison points.
+``repro.analysis``
+    Trust-liability, collusion, availability and dynamics-cost models
+    backing the benchmark suite.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

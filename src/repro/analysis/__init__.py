@@ -1,0 +1,59 @@
+"""Quantitative analyses backing the benchmark suite.
+
+* :mod:`~repro.analysis.compromise` — Case I vs Case II trust
+  liability (E8).
+* :mod:`~repro.analysis.collusion` — share- and transcript-collusion
+  bounds (E9).
+* :mod:`~repro.analysis.availability` — m-of-n vs n-of-n signing
+  availability (E10).
+* :mod:`~repro.analysis.dynamics_cost` — join/leave re-keying cost
+  model (E11).
+"""
+
+from .availability import (
+    AvailabilityPoint,
+    m_of_n_availability,
+    n_of_n_availability,
+    simulate_signing_availability,
+)
+from .collusion import (
+    CollusionSweep,
+    subset_recovers_key,
+    sweep_collusion,
+    transcript_collusion_threshold,
+)
+from .compromise import (
+    CompromiseModel,
+    CompromiseResult,
+    case1_compromise_probability,
+    case2_compromise_probability,
+    simulate_compromise,
+    sweep_coalition_size,
+)
+from .dynamics_cost import (
+    CostBreakdown,
+    DynamicsCostModel,
+    predict_event_cost,
+    refresh_cost,
+)
+
+__all__ = [
+    "AvailabilityPoint",
+    "m_of_n_availability",
+    "n_of_n_availability",
+    "simulate_signing_availability",
+    "CollusionSweep",
+    "subset_recovers_key",
+    "sweep_collusion",
+    "transcript_collusion_threshold",
+    "CompromiseModel",
+    "CompromiseResult",
+    "case1_compromise_probability",
+    "case2_compromise_probability",
+    "simulate_compromise",
+    "sweep_coalition_size",
+    "CostBreakdown",
+    "DynamicsCostModel",
+    "predict_event_cost",
+    "refresh_cost",
+]

@@ -1,0 +1,133 @@
+"""Trust-liability analysis: Case I vs Case II key-compromise exposure.
+
+Section 2.2's argument, quantified.  The adversary compromises
+individual hosts independently per campaign:
+
+* **Case I** (conventional key in a lockbox): the AA private key falls
+  if the lockbox is penetrated (probability ``p_lockbox``, covering the
+  transaction-set attacks the paper cites), if any of the ``replicas``
+  of the AA is penetrated, or if any of the ``n`` domains' privileged
+  insiders goes rogue (``p_insider`` each).
+* **Case II** (shared key): the key falls only if **all n domains** are
+  penetrated (``p_domain`` each) — an insider must compromise the other
+  n-1 domains.
+
+Both analytic formulas and a seeded Monte-Carlo simulation are
+provided; benchmark E8 reports the curves and their ratio.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+__all__ = [
+    "CompromiseModel",
+    "case1_compromise_probability",
+    "case2_compromise_probability",
+    "simulate_compromise",
+    "CompromiseResult",
+]
+
+
+@dataclass(frozen=True)
+class CompromiseModel:
+    """Per-campaign compromise probabilities."""
+
+    n_domains: int
+    p_lockbox: float = 0.05
+    p_insider: float = 0.01
+    p_domain: float = 0.1
+    replicas: int = 1  # Case I replication amplifies exposure
+
+    def __post_init__(self) -> None:
+        if self.n_domains < 1:
+            raise ValueError("need at least one domain")
+        for p in (self.p_lockbox, self.p_insider, self.p_domain):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("probabilities must lie in [0, 1]")
+        if self.replicas < 1:
+            raise ValueError("need at least one replica")
+
+
+def case1_compromise_probability(model: CompromiseModel) -> float:
+    """P[key compromised] for the conventional-key design (analytic)."""
+    survive_boxes = (1.0 - model.p_lockbox) ** model.replicas
+    survive_insiders = (1.0 - model.p_insider) ** model.n_domains
+    return 1.0 - survive_boxes * survive_insiders
+
+
+def case2_compromise_probability(model: CompromiseModel) -> float:
+    """P[key compromised] for the shared-key design (analytic)."""
+    return model.p_domain ** model.n_domains
+
+
+@dataclass
+class CompromiseResult:
+    """Monte-Carlo estimates alongside the analytic values."""
+
+    model: CompromiseModel
+    trials: int
+    case1_estimate: float
+    case2_estimate: float
+    case1_analytic: float
+    case2_analytic: float
+
+    @property
+    def liability_ratio(self) -> float:
+        """How many times more exposed Case I is (inf when Case II ~ 0)."""
+        if self.case2_analytic == 0.0:
+            return float("inf")
+        return self.case1_analytic / self.case2_analytic
+
+
+def simulate_compromise(
+    model: CompromiseModel, trials: int = 10_000, seed: int = 0
+) -> CompromiseResult:
+    """Monte-Carlo estimate of both designs' compromise probability."""
+    rng = random.Random(seed)
+    case1_hits = 0
+    case2_hits = 0
+    for _ in range(trials):
+        # Case I: any lockbox replica or any insider.
+        boxes = any(
+            rng.random() < model.p_lockbox for _ in range(model.replicas)
+        )
+        insiders = any(
+            rng.random() < model.p_insider for _ in range(model.n_domains)
+        )
+        if boxes or insiders:
+            case1_hits += 1
+        # Case II: all domains must fall.
+        if all(rng.random() < model.p_domain for _ in range(model.n_domains)):
+            case2_hits += 1
+    return CompromiseResult(
+        model=model,
+        trials=trials,
+        case1_estimate=case1_hits / trials,
+        case2_estimate=case2_hits / trials,
+        case1_analytic=case1_compromise_probability(model),
+        case2_analytic=case2_compromise_probability(model),
+    )
+
+
+def sweep_coalition_size(
+    sizes: List[int],
+    p_lockbox: float = 0.05,
+    p_insider: float = 0.01,
+    p_domain: float = 0.1,
+    trials: int = 5_000,
+    seed: int = 0,
+) -> List[CompromiseResult]:
+    """E8's sweep: liability of both designs as the coalition grows."""
+    results = []
+    for n in sizes:
+        model = CompromiseModel(
+            n_domains=n,
+            p_lockbox=p_lockbox,
+            p_insider=p_insider,
+            p_domain=p_domain,
+        )
+        results.append(simulate_compromise(model, trials=trials, seed=seed + n))
+    return results

@@ -1,0 +1,75 @@
+"""Coalition-dynamics cost analysis (Section 6 / E11).
+
+The paper leaves "a reasonable cost for coalition dynamics" as future
+work; this module measures what its design implies.  A join or leave
+forces (1) a fresh shared key, (2) revocation of every live threshold
+certificate and (3) re-issuance, each re-issue being a joint signature
+by all members.  A *refresh* (Wu et al.) re-randomizes shares without
+any certificate churn — the contrast the benchmark reports.
+
+The cost model is validated against actual :class:`~repro.coalition
+.dynamics.Coalition` runs in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DynamicsCostModel", "predict_event_cost", "CostBreakdown"]
+
+
+@dataclass(frozen=True)
+class DynamicsCostModel:
+    """Parameters of the analytic cost model."""
+
+    n_domains: int  # membership size AFTER the event
+    live_certificates: int  # threshold ACs alive at the event
+    eligible_certificates: int  # those whose subjects all remain
+    keygen_messages_per_round: int = 0  # 0 = derive from n
+    keygen_rounds: int = 1
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Predicted operation counts for one membership-change event."""
+
+    revocations: int
+    reissues: int
+    joint_signatures: int
+    keygen_messages: int
+    total: int
+
+
+def predict_event_cost(model: DynamicsCostModel) -> CostBreakdown:
+    """Predicted cost of one join/leave under the paper's design.
+
+    * every live certificate is revoked;
+    * every still-eligible certificate is re-issued with one joint
+      signature (2(n-1) messages each in the §3.2 protocol);
+    * key generation costs ``rounds * messages_per_round`` messages
+      (the dealerless protocol's dominant term).
+    """
+    n = model.n_domains
+    per_round = model.keygen_messages_per_round or n * (n - 1) * 4
+    keygen_messages = model.keygen_rounds * per_round
+    revocations = model.live_certificates
+    reissues = model.eligible_certificates
+    joint_signatures = reissues
+    total = revocations + reissues + joint_signatures + keygen_messages
+    return CostBreakdown(
+        revocations=revocations,
+        reissues=reissues,
+        joint_signatures=joint_signatures,
+        keygen_messages=keygen_messages,
+        total=total,
+    )
+
+
+def refresh_cost(n_domains: int) -> int:
+    """Messages for a proactive share refresh: n(n-1) zero-share sends.
+
+    Constant in the certificate population — the key contrast with
+    :func:`predict_event_cost`, whose total grows linearly with the
+    number of live certificates.
+    """
+    return n_domains * (n_domains - 1)

@@ -1,0 +1,93 @@
+"""Analytic cost model of the protocols (messages and crypto operations).
+
+The paper argues the shared-key design's operational costs are
+"inconsequential relative to the frequency of subsequent accesses".
+This module states the costs precisely so benchmarks and tests can
+cross-check measured counters against them:
+
+* joint signature (§3.2): ``2(n-1)`` point-to-point messages, ``n``
+  partial exponentiations, one combination, one verification;
+* joint access request (Figure 2): ``2c + 1`` messages for ``c``
+  co-signers (round trip per co-signer plus the send to the server);
+* authorization (server side): ``u + 1 + p`` signature verifications
+  for ``u`` identity certificates, one threshold AC, and ``p`` request
+  parts;
+* share refresh: ``n(n-1)`` messages; re-keying: see
+  :mod:`repro.analysis.dynamics_cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "joint_signature_messages",
+    "joint_request_messages",
+    "verification_operations",
+    "issuance_cost",
+    "IssuanceCost",
+]
+
+
+def joint_signature_messages(n_domains: int) -> int:
+    """Messages for one §3.2 joint signature among ``n`` domains."""
+    if n_domains < 1:
+        raise ValueError("need at least one domain")
+    return 2 * (n_domains - 1)
+
+
+def joint_request_messages(co_signers: int) -> int:
+    """Messages to assemble and deliver a joint access request."""
+    if co_signers < 0:
+        raise ValueError("co-signer count cannot be negative")
+    return 2 * co_signers + 1
+
+
+def verification_operations(
+    identity_certificates: int, request_parts: int
+) -> int:
+    """Signature verifications per authorization decision.
+
+    One per identity certificate, one for the threshold AC's joint
+    signature, one per signed request part.
+    """
+    return identity_certificates + 1 + request_parts
+
+
+@dataclass(frozen=True)
+class IssuanceCost:
+    """Cost of issuing one threshold attribute certificate."""
+
+    messages: int
+    partial_signatures: int
+    combinations: int = 1
+    verifications: int = 1
+
+    @property
+    def total_operations(self) -> int:
+        return (
+            self.messages
+            + self.partial_signatures
+            + self.combinations
+            + self.verifications
+        )
+
+
+def issuance_cost(n_domains: int, threshold: int = 0) -> IssuanceCost:
+    """Issuance cost: n-of-n joint signature, or m-of-n Shoup.
+
+    With ``threshold == 0`` (or == n) the n-of-n §3.2 protocol is
+    assumed; otherwise the Shoup path with ``threshold`` signature
+    shares (the requestor collects shares from m-1 peers).
+    """
+    if threshold in (0, n_domains):
+        return IssuanceCost(
+            messages=joint_signature_messages(n_domains),
+            partial_signatures=n_domains,
+        )
+    if not 1 <= threshold <= n_domains:
+        raise ValueError("threshold out of range")
+    return IssuanceCost(
+        messages=2 * (threshold - 1),
+        partial_signatures=threshold,
+    )

@@ -1,0 +1,21 @@
+"""Baseline systems the paper argues against (or improves upon).
+
+* :mod:`~repro.baselines.lockbox` — Case I: conventional AA key inside
+  a hardware lockbox, with its API/insider attack surface.
+* :mod:`~repro.baselines.unilateral` — prior-work single-owner AAs.
+* :mod:`~repro.baselines.spki` — SPKI-style conjunction-of-certificates
+  emulation of joint control, enforced in verifier policy.
+"""
+
+from .lockbox import CaseIAuthority, HardwareLockbox, LockboxAttack
+from .spki import SPKIDomainAuthority, SPKIVerifier
+from .unilateral import UnilateralAuthority
+
+__all__ = [
+    "CaseIAuthority",
+    "HardwareLockbox",
+    "LockboxAttack",
+    "SPKIDomainAuthority",
+    "SPKIVerifier",
+    "UnilateralAuthority",
+]

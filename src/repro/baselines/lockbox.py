@@ -1,0 +1,202 @@
+"""Case I baseline: a conventional AA key in a hardware lockbox (§2.2).
+
+Three administrators program a coalition AA to keep its conventional
+private key inside a hardware lockbox (e.g. an IBM 4758) and to require
+a joint cryptographic request — one password per domain — before any
+private-key operation.  This satisfies the joint-administration
+requirements *procedurally*, but carries the trust liabilities the
+paper enumerates:
+
+* the lockbox's cryptographic transaction set may be flawed (Anderson &
+  Kuhn; Bond): an **API-level attack** can extract the clear key;
+* a privileged **insider** with maintenance access can abuse the key
+  repudiably;
+* replicating the AA replicates the key, *amplifying* exposure.
+
+:class:`CaseIAuthority` exposes both the honest joint-request path and
+the attack paths, so experiments E8/E12 can measure when unilateral
+certificate issuance becomes possible.  Contrast with
+:class:`repro.coalition.authority.CoalitionAttributeAuthority`, where
+no attack short of compromising *all* domains yields the key.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..crypto.rsa import RSAKeyPair, RSAPrivateKey, RSAPublicKey, generate_keypair
+from ..pki.certificates import ThresholdAttributeCertificate, ValidityPeriod
+
+__all__ = ["LockboxAttack", "HardwareLockbox", "CaseIAuthority"]
+
+
+@dataclass(frozen=True)
+class LockboxAttack:
+    """An attempted key extraction and its outcome."""
+
+    vector: str  # "api", "insider", "physical"
+    attacker: str
+    succeeded: bool
+
+
+class HardwareLockbox:
+    """A simulated tamper-resistant module holding one private key.
+
+    ``api_flaw_probability`` models the chance that the device's
+    transaction set contains an exploitable sequence (the formal
+    verification gap the paper cites); once exploited the clear key is
+    exposed to the attacker.
+    """
+
+    def __init__(
+        self,
+        keypair: RSAKeyPair,
+        passwords: Dict[str, str],
+        api_flaw_probability: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        self._keypair = keypair
+        self._passwords = dict(passwords)
+        self._api_flaw_probability = api_flaw_probability
+        self._rng = rng or random.Random(0)
+        self._extracted_by: Set[str] = set()
+        self.attack_log: List[LockboxAttack] = []
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self._keypair.public
+
+    def joint_sign(self, payload: bytes, passwords: Dict[str, str]) -> int:
+        """The honest path: sign only with every domain's password.
+
+        Raises:
+            PermissionError: a password is missing or wrong.
+        """
+        for domain, expected in self._passwords.items():
+            if passwords.get(domain) != expected:
+                raise PermissionError(
+                    f"lockbox refuses: missing/invalid password for {domain}"
+                )
+        return self._keypair.private.sign(payload)
+
+    def attempt_api_attack(self, attacker: str) -> bool:
+        """Exploit a transaction-set flaw; success reveals the clear key."""
+        succeeded = self._rng.random() < self._api_flaw_probability
+        self.attack_log.append(
+            LockboxAttack(vector="api", attacker=attacker, succeeded=succeeded)
+        )
+        if succeeded:
+            self._extracted_by.add(attacker)
+        return succeeded
+
+    def insider_extract(self, attacker: str) -> bool:
+        """A privileged maintenance insider reads the key.
+
+        Always succeeds — the paper's point is that Case I *cannot*
+        exclude this channel, only log it (repudiably).
+        """
+        self.attack_log.append(
+            LockboxAttack(vector="insider", attacker=attacker, succeeded=True)
+        )
+        self._extracted_by.add(attacker)
+        return True
+
+    def stolen_private_key(self, attacker: str) -> Optional[RSAPrivateKey]:
+        """The clear key, if this attacker previously extracted it."""
+        if attacker in self._extracted_by:
+            return self._keypair.private
+        return None
+
+
+class CaseIAuthority:
+    """The Case I coalition AA: conventional key + lockbox + passwords."""
+
+    def __init__(
+        self,
+        name: str,
+        domain_names: Sequence[str],
+        key_bits: int = 512,
+        api_flaw_probability: float = 0.0,
+        seed: int = 0,
+    ):
+        self.name = name
+        self.domain_names = list(domain_names)
+        keypair = generate_keypair(bits=key_bits)
+        passwords = {d: f"pw-{d}-{seed}" for d in self.domain_names}
+        self._passwords = passwords
+        self.lockbox = HardwareLockbox(
+            keypair,
+            passwords,
+            api_flaw_probability=api_flaw_probability,
+            rng=random.Random(seed),
+        )
+        self._serials = itertools.count(1)
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self.lockbox.public_key
+
+    @property
+    def key_id(self) -> str:
+        return self.public_key.fingerprint()
+
+    def password_of(self, domain: str) -> str:
+        """A domain's own password (each domain knows only its own)."""
+        return self._passwords[domain]
+
+    def _build_certificate(
+        self,
+        subjects: Sequence[Tuple[str, str]],
+        threshold: int,
+        group: str,
+        now: int,
+        validity: ValidityPeriod,
+    ) -> ThresholdAttributeCertificate:
+        return ThresholdAttributeCertificate(
+            serial=f"{self.name}/case1-{next(self._serials):06d}",
+            subjects=tuple(tuple(s) for s in subjects),
+            threshold=threshold,
+            group=group,
+            issuer=self.name,
+            issuer_key_id=self.key_id,
+            timestamp=now,
+            validity=validity,
+        )
+
+    def issue_with_consensus(
+        self,
+        subjects: Sequence[Tuple[str, str]],
+        threshold: int,
+        group: str,
+        now: int,
+        validity: ValidityPeriod,
+        passwords: Dict[str, str],
+    ) -> ThresholdAttributeCertificate:
+        """The honest path: all domains present their passwords."""
+        cert = self._build_certificate(subjects, threshold, group, now, validity)
+        signature = self.lockbox.joint_sign(cert.payload_bytes(), passwords)
+        return replace(cert, signature=signature)
+
+    def issue_unilaterally(
+        self,
+        attacker: str,
+        subjects: Sequence[Tuple[str, str]],
+        threshold: int,
+        group: str,
+        now: int,
+        validity: ValidityPeriod,
+    ) -> Optional[ThresholdAttributeCertificate]:
+        """The attack path: sign with a previously extracted key.
+
+        Returns a *perfectly valid* certificate when the attacker holds
+        the extracted key — the Requirement III violation that motivates
+        Case II — or None when no extraction has succeeded.
+        """
+        private = self.lockbox.stolen_private_key(attacker)
+        if private is None:
+            return None
+        cert = self._build_certificate(subjects, threshold, group, now, validity)
+        return replace(cert, signature=private.sign(cert.payload_bytes()))

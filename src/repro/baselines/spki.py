@@ -1,0 +1,114 @@
+"""SPKI-style baseline: per-domain authorization certs, no shared key.
+
+SPKI [10] and related systems grant privileges directly to public keys
+and support threshold subjects — but there is *one issuer key per
+certificate*.  Emulating joint administration therefore requires the
+verifier to demand a **conjunction of certificates**, one from every
+owner domain, and to enforce the conjunction in its own policy logic:
+
+* message/verification cost grows linearly in the number of domains
+  (n signatures to create, n chains to verify per request), versus one
+  joint signature in Case II;
+* the consensus property lives in *server configuration*, not
+  cryptography: misconfiguring (or compromising) the verifier policy to
+  accept n-1 certificates silently re-enables unilateral control;
+* there is no multi-principal jurisdiction: no single certificate can
+  state "the owners jointly authorize G".
+
+:class:`SPKIVerifier` implements the conjunction check so benchmark E12
+can compare certificate counts, bytes, and verification latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Dict, Sequence, Tuple
+
+from ..crypto.rsa import RSAKeyPair, RSAPublicKey, generate_keypair
+from ..pki.certificates import ThresholdAttributeCertificate, ValidityPeriod
+
+__all__ = ["SPKIDomainAuthority", "SPKIVerifier"]
+
+
+class SPKIDomainAuthority:
+    """One domain's SPKI-style issuer (its own conventional key)."""
+
+    def __init__(self, domain: str, key_bits: int = 512):
+        self.domain = domain
+        self.name = f"SPKI_{domain}"
+        self.keypair: RSAKeyPair = generate_keypair(bits=key_bits)
+        self._serials = itertools.count(1)
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self.keypair.public
+
+    def issue(
+        self,
+        subjects: Sequence[Tuple[str, str]],
+        threshold: int,
+        group: str,
+        now: int,
+        validity: ValidityPeriod,
+    ) -> ThresholdAttributeCertificate:
+        """This domain's *own* certificate for the grant."""
+        cert = ThresholdAttributeCertificate(
+            serial=f"{self.name}/spki-{next(self._serials):06d}",
+            subjects=tuple(tuple(s) for s in subjects),
+            threshold=threshold,
+            group=group,
+            issuer=self.name,
+            issuer_key_id=self.keypair.public.fingerprint(),
+            timestamp=now,
+            validity=validity,
+        )
+        return replace(
+            cert, signature=self.keypair.private.sign(cert.payload_bytes())
+        )
+
+
+class SPKIVerifier:
+    """Enforces the all-domains conjunction in verifier policy.
+
+    ``required_issuers`` maps issuer name -> trusted public key.  A
+    grant is accepted only when a matching, valid certificate from
+    *every* required issuer is presented.  The ``required`` set is plain
+    mutable configuration — exactly the soft spot the paper's Case II
+    removes by pushing consensus into the key itself.
+    """
+
+    def __init__(self, required_issuers: Dict[str, RSAPublicKey]):
+        self.required_issuers = dict(required_issuers)
+        self.verifications_performed = 0
+
+    def accepts(
+        self,
+        certificates: Sequence[ThresholdAttributeCertificate],
+        group: str,
+        now: int,
+    ) -> bool:
+        """True when every required issuer vouches for the same grant."""
+        seen: Dict[str, ThresholdAttributeCertificate] = {}
+        reference: Tuple = ()
+        for cert in certificates:
+            key = self.required_issuers.get(cert.issuer)
+            if key is None:
+                continue
+            self.verifications_performed += 1
+            if not key.verify(cert.payload_bytes(), cert.signature):
+                return False
+            if not cert.validity.contains(now):
+                return False
+            grant = (cert.subjects, cert.threshold, cert.group)
+            if not reference:
+                reference = grant
+            elif grant != reference:
+                return False
+            if cert.group != group:
+                return False
+            seen[cert.issuer] = cert
+        return set(seen) == set(self.required_issuers)
+
+    def certificates_required(self) -> int:
+        return len(self.required_issuers)

@@ -1,0 +1,91 @@
+"""Unilateral-administration baseline (prior work, e.g. SVE [23]).
+
+Earlier coalition architectures assume every shared resource is owned
+and administered by a *single* domain: that domain's attribute
+authority issues certificates for it unilaterally, and other domains
+simply trust the result.  This works for domain-owned resources but
+violates Requirement III for jointly owned ones: the owning domain can
+grant or revoke access without anyone's consent.
+
+:class:`UnilateralAuthority` realizes that model so experiments can
+contrast it directly with the Case I/Case II coalition authorities.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Sequence, Tuple
+
+from ..crypto.rsa import RSAKeyPair, RSAPublicKey, generate_keypair
+from ..pki.certificates import (
+    AttributeCertificate,
+    ThresholdAttributeCertificate,
+    ValidityPeriod,
+)
+
+__all__ = ["UnilateralAuthority"]
+
+
+class UnilateralAuthority:
+    """An AA fully controlled by one owner domain."""
+
+    def __init__(self, owner_domain: str, key_bits: int = 512):
+        self.owner_domain = owner_domain
+        self.name = f"AA_{owner_domain}"
+        self.keypair: RSAKeyPair = generate_keypair(bits=key_bits)
+        self._serials = itertools.count(1)
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self.keypair.public
+
+    @property
+    def key_id(self) -> str:
+        return self.keypair.public.fingerprint()
+
+    def issue_attribute(
+        self,
+        subject: str,
+        subject_key_id: str,
+        group: str,
+        now: int,
+        validity: ValidityPeriod,
+    ) -> AttributeCertificate:
+        """Unilateral issuance: no consent from anyone else required."""
+        cert = AttributeCertificate(
+            serial=f"{self.name}/uni-{next(self._serials):06d}",
+            subject=subject,
+            subject_key_id=subject_key_id,
+            group=group,
+            issuer=self.name,
+            issuer_key_id=self.key_id,
+            timestamp=now,
+            validity=validity,
+        )
+        return replace(
+            cert, signature=self.keypair.private.sign(cert.payload_bytes())
+        )
+
+    def issue_threshold_attribute(
+        self,
+        subjects: Sequence[Tuple[str, str]],
+        threshold: int,
+        group: str,
+        now: int,
+        validity: ValidityPeriod,
+    ) -> ThresholdAttributeCertificate:
+        """Even threshold certificates are a unilateral act here."""
+        cert = ThresholdAttributeCertificate(
+            serial=f"{self.name}/uni-tac-{next(self._serials):06d}",
+            subjects=tuple(tuple(s) for s in subjects),
+            threshold=threshold,
+            group=group,
+            issuer=self.name,
+            issuer_key_id=self.key_id,
+            timestamp=now,
+            validity=validity,
+        )
+        return replace(
+            cert, signature=self.keypair.private.sign(cert.payload_bytes())
+        )

@@ -1,0 +1,182 @@
+"""Command-line interface: run the paper's scenarios and experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli demo                # the Figure 1/2 scenario
+    python -m repro.cli keygen -n 3 --bits 128 --dealerless
+    python -m repro.cli liability --domains 2 3 5 8
+    python -m repro.cli availability -n 5 -m 3
+    python -m repro.cli dynamics --certs 1 5 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.coalition import (
+        ACLEntry,
+        Coalition,
+        CoalitionServer,
+        Domain,
+        build_joint_request,
+    )
+    from repro.core.proofs import render_proof
+    from repro.pki import ValidityPeriod
+
+    domains = [Domain(f"D{i}", key_bits=args.bits) for i in (1, 2, 3)]
+    users = [
+        d.register_user(f"User_D{i}", now=0)
+        for i, d in enumerate(domains, start=1)
+    ]
+    coalition = Coalition("cli-demo", key_bits=args.bits)
+    coalition.form(domains)
+    server = CoalitionServer("ServerP")
+    coalition.attach_server(server)
+    server.create_object(
+        "ObjectO", b"cli demo object",
+        [ACLEntry.of("G_write", ["write"]), ACLEntry.of("G_read", ["read"])],
+        admin_group="G_admin",
+    )
+    tac = coalition.authority.issue_threshold_certificate(
+        users, 2, "G_write", 1, ValidityPeriod(1, 1000)
+    )
+    request = build_joint_request(
+        users[0], [users[1]], "write", "ObjectO", tac, now=2
+    )
+    result = server.handle_request(request, now=3, write_content=b"updated")
+    print(f"joint write granted: {result.granted}")
+    if args.proof and result.decision.proof is not None:
+        print(render_proof(result.decision.proof))
+    return 0 if result.granted else 1
+
+
+def _cmd_keygen(args: argparse.Namespace) -> int:
+    from repro.crypto.boneh_franklin import dealer_shared_rsa, generate_shared_rsa
+    from repro.crypto.joint_signature import joint_sign
+
+    start = time.time()
+    if args.dealerless:
+        result = generate_shared_rsa(args.n, bits=args.bits)
+    else:
+        result = dealer_shared_rsa(args.n, bits=args.bits)
+    elapsed = time.time() - start
+    print(
+        f"{'dealerless' if args.dealerless else 'dealer'} shared RSA key: "
+        f"N={result.public_key.bits} bits, {args.n} shares, "
+        f"{result.candidate_rounds} candidate rounds, {elapsed:.2f}s"
+    )
+    start = time.time()
+    signature = joint_sign(b"cli probe", result.shares, result.public_key)
+    sign_elapsed = time.time() - start
+    ok = result.public_key.verify(b"cli probe", signature)
+    print(f"joint signature: {sign_elapsed*1000:.2f} ms, verifies={ok}")
+    if sign_elapsed > 0:
+        print(f"keygen/sign ratio: {elapsed / sign_elapsed:.0f}x")
+    return 0
+
+
+def _cmd_liability(args: argparse.Namespace) -> int:
+    from repro.analysis.compromise import sweep_coalition_size
+
+    results = sweep_coalition_size(args.domains, trials=args.trials)
+    print(f"{'n':>3} {'CaseI':>10} {'CaseII':>12} {'ratio':>12}")
+    for r in results:
+        ratio = min(r.liability_ratio, 1e15)
+        print(
+            f"{r.model.n_domains:>3} {r.case1_analytic:>10.4f} "
+            f"{r.case2_analytic:>12.2e} {ratio:>12.0f}"
+        )
+    return 0
+
+
+def _cmd_availability(args: argparse.Namespace) -> int:
+    from repro.analysis.availability import (
+        m_of_n_availability,
+        n_of_n_availability,
+    )
+
+    print(f"{'q':>6} {f'{args.n}-of-{args.n}':>10} {f'{args.m}-of-{args.n}':>10}")
+    for q in (0.99, 0.95, 0.9, 0.8, 0.6):
+        print(
+            f"{q:>6} {n_of_n_availability(args.n, q):>10.4f} "
+            f"{m_of_n_availability(args.n, args.m, q):>10.4f}"
+        )
+    return 0
+
+
+def _cmd_dynamics(args: argparse.Namespace) -> int:
+    from repro.coalition import Coalition, Domain
+    from repro.pki import ValidityPeriod
+
+    print(f"{'certs':>6} {'revoked':>8} {'reissued':>9} {'total ops':>10}")
+    for n_certs in args.certs:
+        domains = [Domain(f"D{i}-{n_certs}", key_bits=256) for i in (1, 2, 3)]
+        users = [
+            d.register_user(f"u{i}", now=0)
+            for i, d in enumerate(domains, start=1)
+        ]
+        coalition = Coalition(f"cli-dyn-{n_certs}", key_bits=256)
+        coalition.form(domains)
+        for k in range(n_certs):
+            coalition.authority.issue_threshold_certificate(
+                users, 2, f"G{k}", 0, ValidityPeriod(0, 10**6)
+            )
+        report = coalition.join(Domain(f"DX-{n_certs}", key_bits=256), now=1)
+        print(
+            f"{n_certs:>6} {report.certificates_revoked:>8} "
+            f"{report.certificates_reissued:>9} {report.total_operations():>10}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Coalition joint-administration reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the Figure 1/2 scenario")
+    demo.add_argument("--bits", type=int, default=256)
+    demo.add_argument("--proof", action="store_true", help="print the proof tree")
+    demo.set_defaults(func=_cmd_demo)
+
+    keygen = sub.add_parser("keygen", help="shared RSA key generation")
+    keygen.add_argument("-n", type=int, default=3, help="number of domains")
+    keygen.add_argument("--bits", type=int, default=256)
+    keygen.add_argument(
+        "--dealerless", action="store_true",
+        help="run the real Boneh-Franklin protocol (slow)",
+    )
+    keygen.set_defaults(func=_cmd_keygen)
+
+    liability = sub.add_parser("liability", help="E8 trust-liability sweep")
+    liability.add_argument("--domains", type=int, nargs="+", default=[2, 3, 5, 8])
+    liability.add_argument("--trials", type=int, default=5000)
+    liability.set_defaults(func=_cmd_liability)
+
+    availability = sub.add_parser("availability", help="E10 m-of-n availability")
+    availability.add_argument("-n", type=int, default=5)
+    availability.add_argument("-m", type=int, default=3)
+    availability.set_defaults(func=_cmd_availability)
+
+    dynamics = sub.add_parser("dynamics", help="E11 join-cost sweep")
+    dynamics.add_argument("--certs", type=int, nargs="+", default=[1, 5, 15])
+    dynamics.set_defaults(func=_cmd_dynamics)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""The coalition system: domains, joint AA, server P, and the protocol.
+
+Realizes Figure 1 end to end: autonomous domains with their own identity
+CAs, a coalition attribute authority whose private key is shared across
+the member domains, joint access requests (Figure 2), the authorization
+protocol of Section 4.3, revocation, and coalition dynamics (Section 6).
+"""
+
+from .acl import ACL, ACLEntry, CoalitionObject, PolicyObject
+from .authority import CoalitionAttributeAuthority, ConsensusError
+from .audit import AuditEntry, AuditLog, AuditVerificationError
+from .directory_service import DirectoryNode, DirectorySyncClient
+from .domain import Domain, User
+from .dynamics import Coalition, DynamicsReport
+from .netflow import NetworkedAccessFlow, NetworkFlowResult
+from .protocol import AuthorizationDecision, AuthorizationProtocol
+from .requests import (
+    JointAccessRequest,
+    SignedRequestPart,
+    build_joint_request,
+    make_request_part,
+)
+from .policies import (
+    ExtendedACL,
+    GroupHierarchy,
+    TimeConstrainedEntry,
+    TimeWindow,
+)
+from .server import AccessResult, CoalitionServer
+from .threshold_authority import ThresholdCoalitionAuthority
+
+__all__ = [
+    "ACL",
+    "ACLEntry",
+    "AuditEntry",
+    "AuditLog",
+    "AuditVerificationError",
+    "DirectoryNode",
+    "DirectorySyncClient",
+    "CoalitionObject",
+    "PolicyObject",
+    "CoalitionAttributeAuthority",
+    "ConsensusError",
+    "Domain",
+    "User",
+    "Coalition",
+    "DynamicsReport",
+    "NetworkedAccessFlow",
+    "NetworkFlowResult",
+    "AuthorizationDecision",
+    "AuthorizationProtocol",
+    "JointAccessRequest",
+    "SignedRequestPart",
+    "build_joint_request",
+    "make_request_part",
+    "AccessResult",
+    "CoalitionServer",
+    "ExtendedACL",
+    "GroupHierarchy",
+    "TimeConstrainedEntry",
+    "TimeWindow",
+    "ThresholdCoalitionAuthority",
+]

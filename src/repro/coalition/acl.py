@@ -1,0 +1,95 @@
+"""ACLs and policy objects for coalition resources.
+
+Section 4.1 / Appendix E: an object's ACL is "a simple disjunction of
+expressions" ``ACL_O = {E_0, ..., E_n}`` with each ``E_i = (G, access
+permissions)`` for a group ``G``.  Setting and updating the ACL is
+itself an operation governed by a (meta) policy object, so ACL changes
+go through the same threshold-certificate machinery as data access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List
+
+__all__ = ["ACLEntry", "ACL", "PolicyObject", "CoalitionObject"]
+
+
+@dataclass(frozen=True)
+class ACLEntry:
+    """One disjunct ``(group, permissions)`` of an ACL."""
+
+    group: str
+    permissions: FrozenSet[str]
+
+    @staticmethod
+    def of(group: str, permissions: Iterable[str]) -> "ACLEntry":
+        return ACLEntry(group=group, permissions=frozenset(permissions))
+
+    def allows(self, group: str, operation: str) -> bool:
+        return self.group == group and operation in self.permissions
+
+
+@dataclass
+class ACL:
+    """A disjunction of ACL entries."""
+
+    entries: List[ACLEntry] = field(default_factory=list)
+
+    def allows(self, group: str, operation: str, now: int = 0) -> bool:
+        """True when some entry grants ``operation`` to ``group``.
+
+        ``now`` is accepted (and ignored) so time-aware ACLs
+        (:class:`repro.coalition.policies.ExtendedACL`) are drop-in
+        replacements at the protocol's Step 4.
+        """
+        return any(entry.allows(group, operation) for entry in self.entries)
+
+    def groups_allowing(self, operation: str) -> List[str]:
+        return [e.group for e in self.entries if operation in e.permissions]
+
+    def add(self, entry: ACLEntry) -> None:
+        self.entries.append(entry)
+
+    def remove_group(self, group: str) -> int:
+        """Drop every entry for ``group``; returns how many were removed."""
+        before = len(self.entries)
+        self.entries = [e for e in self.entries if e.group != group]
+        return before - len(self.entries)
+
+
+@dataclass
+class PolicyObject:
+    """The policy object governing an object's ACL.
+
+    ``admin_group`` is the group whose (threshold-certified) members may
+    set and update the ACL — "setting and updating policy objects is
+    handled in a manner similar to that of accessing objects".
+    """
+
+    acl: ACL
+    admin_group: str
+    version: int = 0
+
+    def update(self, new_entries: Iterable[ACLEntry]) -> None:
+        self.acl.entries = list(new_entries)
+        self.version += 1
+
+
+@dataclass
+class CoalitionObject:
+    """A jointly owned resource managed by a coalition server."""
+
+    name: str
+    content: bytes
+    policy: PolicyObject
+    write_count: int = 0
+    read_count: int = 0
+
+    def write(self, content: bytes) -> None:
+        self.content = content
+        self.write_count += 1
+
+    def read(self) -> bytes:
+        self.read_count += 1
+        return self.content

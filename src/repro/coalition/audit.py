@@ -1,0 +1,146 @@
+"""A tamper-evident audit log of authorization decisions.
+
+Section 2 lists "auditing applications that are used to ensure that all
+domains are adhering to predefined access policies" among the jointly
+owned resources.  This module provides the substrate: the coalition
+server appends one signed, hash-chained entry per decision, so auditors
+can verify (a) no entry was altered, (b) no entry was removed from the
+middle, and (c) every entry was recorded by the server's key.
+
+Each entry binds: sequence number, decision metadata, the proof-tree
+digest (so the logged decision can be matched against a retained proof),
+and the previous entry's digest — a classic hash chain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..crypto.rsa import RSAKeyPair, RSAPublicKey, generate_keypair
+from ..pki.serialization import canonical_bytes
+from .protocol import AuthorizationDecision
+
+__all__ = ["AuditEntry", "AuditLog", "AuditVerificationError"]
+
+_GENESIS = "0" * 64
+
+
+class AuditVerificationError(Exception):
+    """The audit chain is broken, truncated mid-chain, or forged."""
+
+
+def _proof_digest(decision: AuthorizationDecision) -> str:
+    if decision.proof is None:
+        return _GENESIS
+    material = "\n".join(
+        f"{step.rule}:{step.conclusion}" for step in decision.proof.walk()
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One signed, chained record of a decision."""
+
+    sequence: int
+    timestamp: int
+    operation: str
+    object_name: str
+    group: Optional[str]
+    granted: bool
+    reason: str
+    proof_digest: str
+    previous_digest: str
+    signature: int = 0
+
+    def payload_bytes(self) -> bytes:
+        return canonical_bytes(
+            {
+                "sequence": self.sequence,
+                "timestamp": self.timestamp,
+                "operation": self.operation,
+                "object": self.object_name,
+                "group": self.group or "",
+                "granted": self.granted,
+                "reason": self.reason,
+                "proof_digest": self.proof_digest,
+                "previous_digest": self.previous_digest,
+            }
+        )
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.payload_bytes()).hexdigest()
+
+
+class AuditLog:
+    """An append-only, hash-chained, signed decision log."""
+
+    def __init__(self, signer: Optional[RSAKeyPair] = None, key_bits: int = 256):
+        self._signer = signer or generate_keypair(bits=key_bits)
+        self._entries: List[AuditEntry] = []
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self._signer.public
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[AuditEntry]:
+        return list(self._entries)
+
+    def append(self, decision: AuthorizationDecision) -> AuditEntry:
+        """Record a decision as the next chained entry."""
+        previous = self._entries[-1].digest() if self._entries else _GENESIS
+        entry = AuditEntry(
+            sequence=len(self._entries),
+            timestamp=decision.checked_at,
+            operation=decision.operation,
+            object_name=decision.object_name,
+            group=decision.group,
+            granted=decision.granted,
+            reason=decision.reason,
+            proof_digest=_proof_digest(decision),
+            previous_digest=previous,
+        )
+        import dataclasses
+
+        signed = dataclasses.replace(
+            entry, signature=self._signer.private.sign(entry.payload_bytes())
+        )
+        self._entries.append(signed)
+        return signed
+
+    @staticmethod
+    def verify_chain(
+        entries: List[AuditEntry], public_key: RSAPublicKey
+    ) -> None:
+        """Verify signatures, sequence numbers and the hash chain.
+
+        Raises:
+            AuditVerificationError: on any alteration, reordering or
+                mid-chain removal.  (Truncation *from the tail* is not
+                detectable from the chain alone; auditors compare
+                lengths across replicas for that.)
+        """
+        previous = _GENESIS
+        for index, entry in enumerate(entries):
+            if entry.sequence != index:
+                raise AuditVerificationError(
+                    f"entry {index} carries sequence {entry.sequence}"
+                )
+            if entry.previous_digest != previous:
+                raise AuditVerificationError(
+                    f"hash chain broken at entry {index}"
+                )
+            if not public_key.verify(entry.payload_bytes(), entry.signature):
+                raise AuditVerificationError(
+                    f"bad signature on entry {index}"
+                )
+            previous = entry.digest()
+
+    def verify(self) -> None:
+        """Self-check the whole log."""
+        self.verify_chain(self._entries, self.public_key)

@@ -1,0 +1,207 @@
+"""The coalition Attribute Authority with a shared key (Case II).
+
+The coalition AA distributes threshold attribute certificates signed
+with the shared private key ``K_AA^-1`` whose additive shares live at
+the member domains.  *Consensus is enforced cryptographically*: the AA
+cannot produce a signature unless every domain contributes its partial
+signature (Section 2.2 Case II).  A domain that dissents simply refuses
+to co-sign and the certificate cannot exist — the property the Case I
+baseline lacks (see :mod:`repro.baselines.lockbox`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from ..crypto.boneh_franklin import (
+    SharedKeyGenResult,
+    SharedRSAPublicKey,
+    dealer_shared_rsa,
+    generate_shared_rsa,
+)
+from ..crypto.joint_signature import (
+    JointSignatureError,
+    JointSignatureSession,
+)
+from ..pki.authorities import RevocationAuthority
+from ..pki.certificates import (
+    RevocationCertificate,
+    ThresholdAttributeCertificate,
+    ValidityPeriod,
+)
+from ..pki.store import CertificateStore
+from .domain import Domain, User
+
+__all__ = ["ConsensusError", "CoalitionAttributeAuthority"]
+
+
+class ConsensusError(Exception):
+    """Joint issuance failed because not all owner-domains consented."""
+
+
+class CoalitionAttributeAuthority:
+    """The jointly controlled AA of Figure 1.
+
+    Create via :meth:`establish`, which runs shared key generation and
+    installs one private-key share at each member domain.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        domains: Sequence[Domain],
+        public_key: SharedRSAPublicKey,
+        keygen_stats: SharedKeyGenResult,
+        epoch: int = 0,
+    ):
+        self.name = name
+        self.domains: List[Domain] = list(domains)
+        self.public_key = public_key
+        self.keygen_stats = keygen_stats
+        # The key epoch increments on every re-keying event, keeping
+        # certificate serials unique across coalition dynamics.
+        self.epoch = epoch
+        self.revocation_authority = RevocationAuthority(f"RA_{name}")
+        self.directory = CertificateStore()
+        self._serials = itertools.count(1)
+        self.issuance_attempts = 0
+        self.issuance_failures = 0
+
+    # ------------------------------------------------------------ setup
+
+    @classmethod
+    def establish(
+        cls,
+        domains: Sequence[Domain],
+        name: str = "AA",
+        key_bits: int = 512,
+        dealerless: bool = False,
+        epoch: int = 0,
+    ) -> "CoalitionAttributeAuthority":
+        """Run shared key generation among ``domains`` and wire up the AA.
+
+        ``dealerless=True`` uses the full Boneh-Franklin protocol (the
+        paper's choice; slower); the default uses the trusted-dealer
+        path, which produces identically shaped shares.
+        """
+        if not domains:
+            raise ValueError("a coalition needs at least one domain")
+        n = len(domains)
+        if dealerless:
+            result = generate_shared_rsa(n, bits=key_bits)
+        else:
+            result = dealer_shared_rsa(n, bits=key_bits)
+        authority = cls(
+            name=name,
+            domains=domains,
+            public_key=result.public_key,
+            keygen_stats=result,
+            epoch=epoch,
+        )
+        for domain, share in zip(domains, result.shares):
+            domain.install_key_share(share, result.public_key)
+        return authority
+
+    @property
+    def key_id(self) -> str:
+        return self.public_key.fingerprint()
+
+    def member_names(self) -> List[str]:
+        return [d.name for d in self.domains]
+
+    # --------------------------------------------------------- issuance
+
+    def issue_threshold_certificate(
+        self,
+        subjects: Sequence[User],
+        threshold: int,
+        group: str,
+        now: int,
+        validity: ValidityPeriod,
+        requesting_domain: Optional[Domain] = None,
+    ) -> ThresholdAttributeCertificate:
+        """Jointly issue a threshold AC to ``subjects`` for ``group``.
+
+        Every member domain must co-sign; the requesting domain (default:
+        the first member) drives the joint-signature session of §3.2.
+
+        Raises:
+            ConsensusError: some domain refused or lost its share, so
+                the joint signature — and hence the certificate — cannot
+                be produced.
+        """
+        self.issuance_attempts += 1
+        cert = ThresholdAttributeCertificate(
+            serial=f"{self.name}/e{self.epoch}/tac-{next(self._serials):06d}",
+            subjects=tuple(
+                (user.name, user.keypair.public.fingerprint())
+                for user in subjects
+            ),
+            threshold=threshold,
+            group=group,
+            issuer=self.name,
+            issuer_key_id=self.key_id,
+            timestamp=now,
+            validity=validity,
+        )
+        signature = self._joint_sign(cert.payload_bytes(), requesting_domain)
+        signed = replace(cert, signature=signature)
+        self.directory.publish(signed)
+        return signed
+
+    def _joint_sign(
+        self, payload: bytes, requesting_domain: Optional[Domain]
+    ) -> int:
+        requestor = requesting_domain or self.domains[0]
+        if requestor not in self.domains:
+            raise ConsensusError(f"{requestor.name} is not a member domain")
+        try:
+            requestor_signer = requestor.co_signer()
+            co_signers = [
+                d.co_signer() for d in self.domains if d is not requestor
+            ]
+        except RuntimeError as exc:
+            self.issuance_failures += 1
+            raise ConsensusError(str(exc)) from exc
+        session = JointSignatureSession(
+            requestor_share=requestor.key_share,
+            co_signers=co_signers,
+            public_key=self.public_key,
+        )
+        try:
+            return session.sign(payload)
+        except JointSignatureError as exc:
+            self.issuance_failures += 1
+            raise ConsensusError(f"joint signature failed: {exc}") from exc
+
+    # -------------------------------------------------------- revocation
+
+    def revoke_certificate(
+        self, cert: ThresholdAttributeCertificate, now: int
+    ) -> RevocationCertificate:
+        """Revoke via the coalition's RA and publish to the directory."""
+        revocation = self.revocation_authority.revoke(cert, now)
+        self.directory.publish(revocation)
+        return revocation
+
+    def revoke_all(self, now: int) -> List[RevocationCertificate]:
+        """Revoke every live threshold AC (used on re-keying, §6)."""
+        revocations = []
+        for cert in self.directory.all_certificates():
+            if not isinstance(cert, ThresholdAttributeCertificate):
+                continue
+            if self.directory.is_revoked(cert.serial, now):
+                continue
+            revocations.append(self.revoke_certificate(cert, now))
+        return revocations
+
+    def live_certificates(self, now: int) -> List[ThresholdAttributeCertificate]:
+        return [
+            cert
+            for cert in self.directory.all_certificates()
+            if isinstance(cert, ThresholdAttributeCertificate)
+            and cert.validity.contains(now)
+            and not self.directory.is_revoked(cert.serial, now)
+        ]

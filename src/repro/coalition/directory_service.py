@@ -1,0 +1,125 @@
+"""A certificate/CRL directory service over the simulated network.
+
+Section 4.3: "It is essential to verify the most recent available
+revocation information before granting access to an object."  The push
+model (the RA sends revocations to every server) is what
+:meth:`CoalitionServer.receive_revocation` implements; real deployments
+usually *pull*: servers periodically query a directory for fresh CRLs.
+
+This module provides both halves over :class:`repro.sim.Network`:
+
+* :class:`DirectoryNode` — wraps a :class:`~repro.pki.store
+  .CertificateStore` and answers ``crl-query`` messages with every
+  revocation newer than the querier's watermark;
+* :class:`DirectorySyncClient` — a server-side agent that issues
+  queries, applies returned revocations to the server's protocol state,
+  and tracks staleness (ticks since the last completed sync).
+
+Tests use it to show the freshness trade-off: a server that hasn't
+synced can wrongly grant with a just-revoked certificate; after the
+sync the same request is denied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..pki.certificates import RevocationCertificate
+from ..pki.store import CertificateStore
+from ..sim.network import Envelope, Network
+from .server import CoalitionServer
+
+__all__ = ["DirectoryNode", "DirectorySyncClient"]
+
+
+@dataclass(frozen=True)
+class _CrlQuery:
+    watermark: int  # send revocations with timestamp > watermark
+    reply_to: str
+
+
+@dataclass(frozen=True)
+class _CrlResponse:
+    revocations: tuple
+    as_of: int
+
+
+class DirectoryNode:
+    """The directory endpoint: answers CRL queries from its store."""
+
+    def __init__(self, name: str, store: CertificateStore, network: Network):
+        self.name = name
+        self.store = store
+        self.network = network
+        self.queries_served = 0
+
+    def handle(self, envelope: Envelope) -> None:
+        query = envelope.payload
+        if not isinstance(query, _CrlQuery):
+            return
+        self.queries_served += 1
+        fresh = tuple(
+            cert
+            for cert in self.store.all_certificates()
+            if isinstance(cert, RevocationCertificate)
+            and cert.timestamp > query.watermark
+        )
+        self.network.send(
+            self.name,
+            query.reply_to,
+            _CrlResponse(revocations=fresh, as_of=self.network.clock.now),
+        )
+
+
+class DirectorySyncClient:
+    """Server-side agent that pulls revocations from a directory."""
+
+    def __init__(
+        self,
+        server: CoalitionServer,
+        directory_name: str,
+        network: Network,
+    ):
+        self.server = server
+        self.directory_name = directory_name
+        self.network = network
+        self.watermark = -1
+        self.last_synced_at: Optional[int] = None
+        self.revocations_applied = 0
+        self._applied_serials: set = set()
+
+    # -------------------------------------------------------------- sync
+
+    def request_sync(self) -> None:
+        """Send one CRL query to the directory."""
+        self.network.send(
+            self.server.name,
+            self.directory_name,
+            _CrlQuery(watermark=self.watermark, reply_to=self.server.name),
+        )
+
+    def handle(self, envelope: Envelope) -> None:
+        response = envelope.payload
+        if not isinstance(response, _CrlResponse):
+            return
+        now = self.network.clock.now
+        for revocation in response.revocations:
+            if revocation.serial in self._applied_serials:
+                continue  # duplicate (e.g. a replayed response envelope)
+            try:
+                self.server.receive_revocation(revocation, now=now)
+            except Exception:
+                # An untrusted/garbled revocation must not poison the
+                # sync; it is simply skipped (and stays re-fetchable).
+                continue
+            self._applied_serials.add(revocation.serial)
+            self.revocations_applied += 1
+            self.watermark = max(self.watermark, revocation.timestamp)
+        self.last_synced_at = now
+
+    def staleness(self) -> Optional[int]:
+        """Ticks since the last completed sync (None: never synced)."""
+        if self.last_synced_at is None:
+            return None
+        return self.network.clock.now - self.last_synced_at

@@ -1,0 +1,122 @@
+"""Domains and their users.
+
+Each autonomous domain runs its own identity CA (Requirement I) and
+registers its own users.  After coalition formation a domain also holds
+one additive share of the coalition AA's private key, which is how it
+participates in (and can refuse) joint certificate issuance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..crypto.boneh_franklin import PrivateKeyShare, SharedRSAPublicKey
+from ..crypto.joint_signature import CoSigner
+from ..crypto.rsa import RSAKeyPair, generate_keypair
+from ..pki.authorities import CertificateAuthority
+from ..pki.certificates import IdentityCertificate, ValidityPeriod
+
+__all__ = ["User", "Domain"]
+
+DEFAULT_VALIDITY_TICKS = 1_000
+
+
+@dataclass
+class User:
+    """A coalition user: a keypair plus the domain CA's identity cert."""
+
+    name: str
+    domain_name: str
+    keypair: RSAKeyPair
+    identity_certificate: IdentityCertificate
+
+    @property
+    def key_id(self) -> str:
+        return self.keypair.public.fingerprint()
+
+    def sign(self, payload: bytes) -> int:
+        return self.keypair.private.sign(payload)
+
+
+class Domain:
+    """An autonomous domain: CA, users, and (after formation) a key share."""
+
+    def __init__(self, name: str, key_bits: int = 512, clock_skew: int = 0):
+        self.name = name
+        self.key_bits = key_bits
+        self.clock_skew = clock_skew
+        self.ca = CertificateAuthority(f"CA_{name}", key_bits=key_bits)
+        self.users: Dict[str, User] = {}
+        # Coalition state, populated by Coalition.form():
+        self.key_share: Optional[PrivateKeyShare] = None
+        self.shared_public_key: Optional[SharedRSAPublicKey] = None
+        # When False the domain refuses to co-sign joint requests,
+        # modelling dissent (Requirement III's consensus is then unmet).
+        self.cooperative = True
+
+    def register_user(
+        self,
+        user_name: str,
+        now: int,
+        validity_ticks: int = DEFAULT_VALIDITY_TICKS,
+    ) -> User:
+        """Create a user with a fresh keypair and identity certificate."""
+        if user_name in self.users:
+            raise ValueError(f"user {user_name} already registered in {self.name}")
+        keypair = generate_keypair(bits=self.key_bits)
+        cert = self.ca.issue_identity(
+            subject=user_name,
+            subject_key=keypair.public,
+            now=now,
+            validity=ValidityPeriod(now, now + validity_ticks),
+        )
+        user = User(
+            name=user_name,
+            domain_name=self.name,
+            keypair=keypair,
+            identity_certificate=cert,
+        )
+        self.users[user_name] = user
+        return user
+
+    def reissue_identity(
+        self, user: User, now: int, validity_ticks: int = DEFAULT_VALIDITY_TICKS
+    ) -> IdentityCertificate:
+        """Issue a fresh identity certificate for an existing user."""
+        cert = self.ca.issue_identity(
+            subject=user.name,
+            subject_key=user.keypair.public,
+            now=now,
+            validity=ValidityPeriod(now, now + validity_ticks),
+        )
+        user.identity_certificate = cert
+        return cert
+
+    def install_key_share(
+        self, share: PrivateKeyShare, public_key: SharedRSAPublicKey
+    ) -> None:
+        """Store this domain's share of the coalition AA's private key."""
+        self.key_share = share
+        self.shared_public_key = public_key
+
+    def clear_key_share(self) -> None:
+        """Drop coalition key material (on leave or re-key)."""
+        self.key_share = None
+        self.shared_public_key = None
+
+    def co_signer(self) -> CoSigner:
+        """This domain's co-signer endpoint for joint signatures.
+
+        Raises:
+            RuntimeError: the domain holds no share or is refusing to
+                cooperate.
+        """
+        if self.key_share is None or self.shared_public_key is None:
+            raise RuntimeError(f"domain {self.name} holds no coalition key share")
+        if not self.cooperative:
+            raise RuntimeError(f"domain {self.name} refuses to co-sign")
+        return CoSigner(self.key_share, self.shared_public_key)
+
+    def __repr__(self) -> str:
+        return f"Domain({self.name!r}, users={len(self.users)})"

@@ -1,0 +1,248 @@
+"""Coalition formation and dynamics (joins and leaves, Section 6).
+
+The paper: "coalition dynamics would require establishing a new, shared
+public-key and consequently would require large-scale revocation and
+re-distribution of certificates."  :class:`Coalition` implements exactly
+that: on every membership change it
+
+1. revokes every live threshold attribute certificate,
+2. clears all old key shares,
+3. runs shared key generation over the *new* member set,
+4. re-issues certificates whose subjects all still belong, and
+5. re-configures every attached server's trust anchors.
+
+:class:`DynamicsReport` captures the cost (certificates revoked and
+re-issued, joint signatures applied, messages exchanged) — the data for
+experiment E11.  Proactive share *refresh* (Wu et al.) is also exposed,
+to contrast its constant cost against full re-keying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..crypto.refresh import refresh_shares
+from ..pki.certificates import ThresholdAttributeCertificate, ValidityPeriod
+from .authority import CoalitionAttributeAuthority
+from .domain import Domain, User
+from .server import CoalitionServer
+
+__all__ = ["DynamicsReport", "Coalition"]
+
+
+@dataclass
+class DynamicsReport:
+    """Cost accounting for one membership-change event."""
+
+    event: str  # "form", "join", "leave", "refresh"
+    domain: str
+    certificates_revoked: int = 0
+    certificates_reissued: int = 0
+    certificates_dropped: int = 0  # subjects no longer eligible
+    joint_signatures: int = 0
+    keygen_messages: int = 0
+    keygen_rounds: int = 0
+    servers_reconfigured: int = 0
+
+    def total_operations(self) -> int:
+        return (
+            self.certificates_revoked
+            + self.certificates_reissued
+            + self.joint_signatures
+            + self.keygen_messages
+        )
+
+
+class Coalition:
+    """A dynamic coalition: member domains, the joint AA, and servers."""
+
+    def __init__(
+        self,
+        name: str,
+        key_bits: int = 512,
+        dealerless: bool = False,
+    ):
+        self.name = name
+        self.key_bits = key_bits
+        self.dealerless = dealerless
+        self.domains: List[Domain] = []
+        self.authority: Optional[CoalitionAttributeAuthority] = None
+        self.servers: List[CoalitionServer] = []
+        self.history: List[DynamicsReport] = []
+
+    # ---------------------------------------------------------- lifecycle
+
+    def form(self, domains: Sequence[Domain]) -> DynamicsReport:
+        """Establish the coalition: shared keygen + AA creation."""
+        if self.authority is not None:
+            raise RuntimeError("coalition already formed")
+        self.domains = list(domains)
+        self.authority = CoalitionAttributeAuthority.establish(
+            self.domains,
+            name=f"AA_{self.name}",
+            key_bits=self.key_bits,
+            dealerless=self.dealerless,
+        )
+        report = DynamicsReport(
+            event="form",
+            domain=",".join(d.name for d in self.domains),
+            keygen_messages=self.authority.keygen_stats.messages_exchanged,
+            keygen_rounds=self.authority.keygen_stats.candidate_rounds,
+        )
+        self.history.append(report)
+        return report
+
+    def attach_server(self, server: CoalitionServer) -> None:
+        """Configure a server's trust anchors for this coalition."""
+        if self.authority is None:
+            raise RuntimeError("form the coalition before attaching servers")
+        self._configure_server(server)
+        self.servers.append(server)
+
+    def _configure_server(self, server: CoalitionServer) -> None:
+        assert self.authority is not None
+        server.protocol.trust_coalition_aa(
+            self.authority.name,
+            self.authority.public_key,
+            [d.name for d in self.domains],
+        )
+        server.protocol.trust_revocation_authority(
+            self.authority.revocation_authority.name,
+            self.authority.revocation_authority.public_key,
+        )
+        for domain in self.domains:
+            server.protocol.trust_domain_ca(domain.ca.name, domain.ca.public_key)
+
+    # ------------------------------------------------------------ dynamics
+
+    def join(self, new_domain: Domain, now: int) -> DynamicsReport:
+        """A domain joins: full re-key + mass revocation/re-issue."""
+        if self.authority is None:
+            raise RuntimeError("coalition not formed")
+        if new_domain in self.domains:
+            raise ValueError(f"{new_domain.name} is already a member")
+        return self._rekey("join", new_domain, self.domains + [new_domain], now)
+
+    def leave(self, leaving_domain: Domain, now: int) -> DynamicsReport:
+        """A domain leaves: full re-key + mass revocation/re-issue.
+
+        The joint AA survives the departure (Requirement I: no single
+        domain can break up the coalition by withdrawing).
+        """
+        if self.authority is None:
+            raise RuntimeError("coalition not formed")
+        if leaving_domain not in self.domains:
+            raise ValueError(f"{leaving_domain.name} is not a member")
+        remaining = [d for d in self.domains if d is not leaving_domain]
+        if not remaining:
+            raise ValueError("cannot dissolve the coalition via leave()")
+        report = self._rekey("leave", leaving_domain, remaining, now)
+        leaving_domain.clear_key_share()
+        return report
+
+    def refresh(self, now: int) -> DynamicsReport:
+        """Proactive share refresh (same members, same public key)."""
+        if self.authority is None:
+            raise RuntimeError("coalition not formed")
+        old_shares = [d.key_share for d in self.domains]
+        new_shares = refresh_shares(old_shares)
+        for domain, share in zip(self.domains, new_shares):
+            domain.install_key_share(share, self.authority.public_key)
+        report = DynamicsReport(
+            event="refresh",
+            domain=",".join(d.name for d in self.domains),
+            keygen_messages=len(self.domains) * (len(self.domains) - 1),
+        )
+        self.history.append(report)
+        return report
+
+    def _rekey(
+        self,
+        event: str,
+        changed: Domain,
+        new_members: List[Domain],
+        now: int,
+    ) -> DynamicsReport:
+        assert self.authority is not None
+        old_authority = self.authority
+        live = old_authority.live_certificates(now)
+        revocations = old_authority.revoke_all(now)
+        for server in self.servers:
+            for revocation in revocations:
+                server.receive_revocation(revocation, now)
+
+        for domain in self.domains:
+            domain.clear_key_share()
+        self.domains = new_members
+        self.authority = CoalitionAttributeAuthority.establish(
+            self.domains,
+            name=old_authority.name,
+            key_bits=self.key_bits,
+            dealerless=self.dealerless,
+            epoch=old_authority.epoch + 1,
+        )
+        # Move the directory history over so old serials stay resolvable.
+        for cert in old_authority.directory.all_certificates():
+            if self.authority.directory.get(cert.serial) is None:
+                self.authority.directory.publish(cert)
+
+        member_names = {d.name for d in self.domains}
+        reissued = 0
+        dropped = 0
+        for cert in live:
+            if self._subjects_still_eligible(cert, member_names):
+                users = self._resolve_subjects(cert)
+                self.authority.issue_threshold_certificate(
+                    subjects=users,
+                    threshold=cert.threshold,
+                    group=cert.group,
+                    now=now,
+                    validity=ValidityPeriod(now, cert.validity.end),
+                )
+                reissued += 1
+            else:
+                dropped += 1
+
+        for server in self.servers:
+            self._configure_server(server)
+
+        report = DynamicsReport(
+            event=event,
+            domain=changed.name,
+            certificates_revoked=len(revocations),
+            certificates_reissued=reissued,
+            certificates_dropped=dropped,
+            joint_signatures=reissued,
+            keygen_messages=self.authority.keygen_stats.messages_exchanged,
+            keygen_rounds=self.authority.keygen_stats.candidate_rounds,
+            servers_reconfigured=len(self.servers),
+        )
+        self.history.append(report)
+        return report
+
+    def _subjects_still_eligible(
+        self, cert: ThresholdAttributeCertificate, member_names: set
+    ) -> bool:
+        for name, _key in cert.subjects:
+            domain = self._domain_of_user(name)
+            if domain is None or domain.name not in member_names:
+                return False
+        return True
+
+    def _resolve_subjects(
+        self, cert: ThresholdAttributeCertificate
+    ) -> List[User]:
+        users = []
+        for name, _key in cert.subjects:
+            domain = self._domain_of_user(name)
+            if domain is None:
+                raise KeyError(f"unknown certificate subject {name}")
+            users.append(domain.users[name])
+        return users
+
+    def _domain_of_user(self, user_name: str) -> Optional[Domain]:
+        for domain in self.domains:
+            if user_name in domain.users:
+                return domain
+        return None

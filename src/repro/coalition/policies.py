@@ -1,0 +1,158 @@
+"""Application-oriented policy extensions (Section 4.1).
+
+The paper restricts its discussion to plain group ACLs but notes that
+"application-oriented policies such as privilege inheritance,
+time-constrained access, etc. ... will not pose any additional
+fundamental design problems."  This module makes good on that claim:
+
+* :class:`TimeConstrainedEntry` — an ACL entry valid only inside given
+  tick windows (e.g. business hours / mission phases);
+* :class:`GroupHierarchy` — privilege inheritance: membership of a
+  senior group implies the privileges of its juniors;
+* :class:`ExtendedACL` — an ACL over both, drop-in compatible with the
+  authorization protocol (it exposes the same ``allows`` interface,
+  evaluated at decision time).
+
+These compose with the threshold-certificate machinery untouched: the
+logic still concludes ``G says "op" O``; only Step 4's ACL predicate
+becomes richer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .acl import ACLEntry
+
+__all__ = [
+    "TimeWindow",
+    "TimeConstrainedEntry",
+    "GroupHierarchy",
+    "ExtendedACL",
+]
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A recurring window of ticks: [start, end) modulo ``period``.
+
+    With ``period == 0`` the window is absolute: [start, end) on the
+    global timeline.
+    """
+
+    start: int
+    end: int
+    period: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period < 0:
+            raise ValueError("period must be nonnegative")
+        if self.period == 0 and self.start >= self.end:
+            raise ValueError("absolute window must be nonempty")
+        if self.period > 0 and not (0 <= self.start < self.period):
+            raise ValueError("recurring window start must lie in the period")
+
+    def contains(self, t: int) -> bool:
+        if self.period == 0:
+            return self.start <= t < self.end
+        phase = t % self.period
+        if self.start <= self.end:
+            return self.start <= phase < self.end
+        # Window wraps around the period boundary.
+        return phase >= self.start or phase < self.end
+
+
+@dataclass(frozen=True)
+class TimeConstrainedEntry:
+    """An ACL entry that only grants inside its time windows."""
+
+    group: str
+    permissions: FrozenSet[str]
+    windows: Tuple[TimeWindow, ...]
+
+    @staticmethod
+    def of(
+        group: str, permissions: Iterable[str], windows: Iterable[TimeWindow]
+    ) -> "TimeConstrainedEntry":
+        return TimeConstrainedEntry(
+            group=group,
+            permissions=frozenset(permissions),
+            windows=tuple(windows),
+        )
+
+    def allows(self, group: str, operation: str, now: int) -> bool:
+        if self.group != group or operation not in self.permissions:
+            return False
+        return any(w.contains(now) for w in self.windows)
+
+
+class GroupHierarchy:
+    """Privilege inheritance: ``senior`` inherits from ``junior``.
+
+    ``add(senior, junior)`` states that members of *senior* may exercise
+    any privilege granted to *junior* (transitively).  Cycles are
+    rejected — inheritance must be a DAG.
+    """
+
+    def __init__(self) -> None:
+        self._parents: Dict[str, Set[str]] = {}
+
+    def add(self, senior: str, junior: str) -> None:
+        if senior == junior:
+            raise ValueError("a group cannot inherit from itself")
+        if senior in self.ancestors_of(junior):
+            raise ValueError(
+                f"adding {senior} -> {junior} would create an inheritance cycle"
+            )
+        self._parents.setdefault(senior, set()).add(junior)
+
+    def ancestors_of(self, group: str) -> Set[str]:
+        """All groups ``group`` transitively inherits from (descendants
+        in privilege terms): the juniors whose privileges it may use."""
+        seen: Set[str] = set()
+        frontier = [group]
+        while frontier:
+            current = frontier.pop()
+            for junior in self._parents.get(current, ()):
+                if junior not in seen:
+                    seen.add(junior)
+                    frontier.append(junior)
+        return seen
+
+    def effective_groups(self, group: str) -> Set[str]:
+        """The group itself plus everything it inherits."""
+        return {group} | self.ancestors_of(group)
+
+
+class ExtendedACL:
+    """An ACL with plain entries, time-constrained entries, and
+    inheritance.  Drop-in for the protocol: exposes ``allows``; the
+    decision time defaults to 0 for plain two-argument calls."""
+
+    def __init__(
+        self,
+        entries: Optional[Iterable[ACLEntry]] = None,
+        timed_entries: Optional[Iterable[TimeConstrainedEntry]] = None,
+        hierarchy: Optional[GroupHierarchy] = None,
+    ):
+        self.entries: List[ACLEntry] = list(entries or ())
+        self.timed_entries: List[TimeConstrainedEntry] = list(timed_entries or ())
+        self.hierarchy = hierarchy or GroupHierarchy()
+
+    def allows(self, group: str, operation: str, now: int = 0) -> bool:
+        """True when ``group`` (or anything it inherits) grants the op."""
+        for effective in self.hierarchy.effective_groups(group):
+            for entry in self.entries:
+                if entry.allows(effective, operation):
+                    return True
+            for timed in self.timed_entries:
+                if timed.allows(effective, operation, now):
+                    return True
+        return False
+
+    def add(self, entry: ACLEntry) -> None:
+        self.entries.append(entry)
+
+    def add_timed(self, entry: TimeConstrainedEntry) -> None:
+        self.timed_entries.append(entry)

@@ -1,0 +1,349 @@
+"""The authorization protocol of Section 4.3 / Appendix E.
+
+:class:`AuthorizationProtocol` is the verifier-side machine a coalition
+server runs.  ``configure_*`` methods install the initial beliefs
+(statements 1-11); :meth:`authorize` applies the four protocol steps to
+a joint access request:
+
+* **Step 0 (cryptographic)** — discharge the logic's ideal-signature
+  assumption: verify certificate and request signatures, validity
+  periods, freshness windows and replay nonces.
+* **Step 1** — verify the signing keys: admit identity certificates
+  (A10 + A22 jurisdiction chains) to believe ``K_u => U``.
+* **Step 2** — establish group membership: admit the threshold
+  attribute certificate (A10, A23, A9, A25/A28) to believe
+  ``CP_{m,n} => G``, subject to believe-until-revoked.
+* **Step 3** — verify the signed request parts (A10 + A19).
+* **Step 4** — apply A38 to conclude ``G says "op" O`` and check the
+  object's ACL and the certificate validity window.
+
+Every decision returns the derivation as a proof tree, so a granted
+request is *literally* the Appendix E derivation for that request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..core.derivation import DerivationEngine, DerivationError
+from ..core.formulas import Controls, KeySpeaksFor, Not, Says, SpeaksForGroup
+from ..core.patterns import AnyTime
+from ..core.proofs import ProofStep
+from ..core.temporal import FOREVER, Temporal
+from ..core.terms import CompoundPrincipal, KeyRef, Principal, Var
+from ..crypto.boneh_franklin import SharedRSAPublicKey
+from ..crypto.rsa import RSAPublicKey
+from ..pki.certificates import RevocationCertificate
+from ..pki.validation import CertificateError, validate_certificate
+from .acl import ACL
+from .requests import JointAccessRequest
+
+__all__ = ["AuthorizationDecision", "AuthorizationProtocol"]
+
+DEFAULT_FRESHNESS_WINDOW = 50
+
+
+@dataclass
+class AuthorizationDecision:
+    """Outcome of the authorization protocol for one request."""
+
+    granted: bool
+    reason: str
+    operation: str
+    object_name: str
+    checked_at: int
+    group: Optional[str] = None
+    proof: Optional[ProofStep] = None
+    derivation_steps: int = 0
+
+    def __bool__(self) -> bool:
+        return self.granted
+
+
+class AuthorizationProtocol:
+    """Verifier-side state: trust anchors, beliefs, and the 4-step check."""
+
+    def __init__(
+        self,
+        verifier_name: str,
+        freshness_window: int = DEFAULT_FRESHNESS_WINDOW,
+        trust_epoch: int = 0,
+    ):
+        self.verifier = Principal(verifier_name)
+        self.engine = DerivationEngine(self.verifier)
+        self.freshness_window = freshness_window
+        self.trust_epoch = trust_epoch  # the paper's t*
+        self._trusted_ca_keys: Dict[str, RSAPublicKey] = {}
+        self._trusted_aa_keys: Dict[str, SharedRSAPublicKey] = {}
+        self._trusted_ra_keys: Dict[str, RSAPublicKey] = {}
+        self._seen_nonces: Set[str] = set()
+        self.decisions_made = 0
+
+    # ----------------------------------------------------- trust set-up
+
+    def trust_domain_ca(self, ca_name: str, ca_key: RSAPublicKey) -> None:
+        """Install statements 6-11: CA key + identity-cert jurisdiction."""
+        self._trusted_ca_keys[ca_name] = ca_key
+        ca = Principal(ca_name)
+        key_ref = KeyRef(ca_key.fingerprint(), f"K_{ca_name}")
+        self.engine.believe(
+            KeySpeaksFor(key_ref, Temporal.all(self.trust_epoch, FOREVER, self.verifier), ca),
+            note=f"trusted CA key for {ca_name}",
+        )
+        id_schema = KeySpeaksFor(Var("K"), AnyTime("iv"), Var("Q"))
+        self.engine.believe(
+            Controls(ca, Temporal.all(0, FOREVER), id_schema),
+            note=f"stmt 6/8/10: {ca_name} controls identity bindings",
+        )
+        self.engine.believe(
+            Controls(
+                ca,
+                Temporal.all(self.trust_epoch, FOREVER, self.verifier),
+                Says(ca, AnyTime("tca"), id_schema),
+            ),
+            note=f"stmt 7/9/11: {ca_name} controls its certificate timestamps",
+        )
+        # CAs also have jurisdiction over revoking their own bindings
+        # (identity-certificate revocation, Stubblebine-Wright style).
+        neg_id_schema = Not(id_schema)
+        self.engine.believe(
+            Controls(ca, Temporal.all(0, FOREVER), neg_id_schema),
+            note=f"{ca_name} controls identity revocation",
+        )
+        self.engine.believe(
+            Controls(
+                ca,
+                Temporal.all(self.trust_epoch, FOREVER, self.verifier),
+                Says(ca, AnyTime("tca"), neg_id_schema),
+            ),
+            note=f"{ca_name} controls its revocation timestamps",
+        )
+
+    def trust_coalition_aa(
+        self,
+        aa_name: str,
+        shared_key: SharedRSAPublicKey,
+        member_domains: List[str],
+        threshold: Optional[int] = None,
+    ) -> None:
+        """Install statements 1-5: shared key ownership + AA jurisdiction.
+
+        ``threshold`` is the m of the key's m-of-n sharing; it defaults
+        to n (the consensus design).  An m < n records the Section 3.3
+        availability variant in statement 1.
+        """
+        self._trusted_aa_keys[aa_name] = shared_key
+        aa = Principal(aa_name)
+        domains = CompoundPrincipal.of([Principal(d) for d in member_domains])
+        key_ref = KeyRef(shared_key.fingerprint(), f"K_{aa_name}")
+        m = domains.size if threshold is None else threshold
+        # Statement 1: K_AA => CP_{m,n} (m == n for the consensus design).
+        self.engine.believe(
+            KeySpeaksFor(
+                key_ref,
+                Temporal.all(self.trust_epoch, FOREVER, self.verifier),
+                domains.threshold(m),
+            ),
+            note=f"stmt 1: {aa_name}'s shared key is owned by {member_domains}",
+        )
+        self.engine.register_alias(domains, aa)
+        membership_schema = SpeaksForGroup(Var("CP"), AnyTime("iv"), Var("G"))
+        # Statements 2/3 (and 4/5 for simple principals, subsumed by Var).
+        self.engine.believe(
+            Controls(aa, Temporal.all(0, FOREVER), membership_schema),
+            note=f"stmt 2/3: {aa_name} controls group membership",
+        )
+        self.engine.believe(
+            Controls(
+                aa,
+                Temporal.all(self.trust_epoch, FOREVER, self.verifier),
+                Says(aa, AnyTime("taa"), membership_schema),
+            ),
+            note=f"stmt 4/5: {aa_name} controls its certificate timestamps",
+        )
+
+    def trust_revocation_authority(
+        self, ra_name: str, ra_key: RSAPublicKey
+    ) -> None:
+        """Authorize an RA to revoke memberships on behalf of the AA."""
+        self._trusted_ra_keys[ra_name] = ra_key
+        ra = Principal(ra_name)
+        key_ref = KeyRef(ra_key.fingerprint(), f"K_{ra_name}")
+        self.engine.believe(
+            KeySpeaksFor(
+                key_ref, Temporal.all(self.trust_epoch, FOREVER, self.verifier), ra
+            ),
+            note=f"trusted RA key for {ra_name}",
+        )
+        revocation_schema = Not(SpeaksForGroup(Var("CP"), AnyTime("iv"), Var("G")))
+        self.engine.believe(
+            Controls(ra, Temporal.all(0, FOREVER), revocation_schema),
+            note=f"{ra_name} controls membership revocation",
+        )
+        self.engine.believe(
+            Controls(
+                ra,
+                Temporal.all(self.trust_epoch, FOREVER, self.verifier),
+                Says(ra, AnyTime("tra"), revocation_schema),
+            ),
+            note=f"{ra_name} controls its revocation timestamps",
+        )
+
+    # ------------------------------------------------------- revocation
+
+    def apply_revocation(
+        self, revocation: RevocationCertificate, now: int
+    ) -> ProofStep:
+        """Admit a revocation certificate (Message 2 of Section 4.3).
+
+        After this, membership queries for the revoked subject/group
+        fail for any check time >= the revocation's effective time.
+        """
+        ra_key = self._trusted_ra_keys.get(revocation.issuer) or (
+            self._trusted_ca_keys.get(revocation.issuer)
+        )
+        if ra_key is None:
+            raise CertificateError(
+                f"no trusted revocation key for issuer {revocation.issuer}"
+            )
+        validate_certificate(revocation, ra_key)
+        return self.engine.admit_revocation(revocation.idealize(), now)
+
+    # ----------------------------------------------------------- auditing
+
+    def audit(self, decision: AuthorizationDecision) -> bool:
+        """Independently re-check a granted decision's proof tree.
+
+        Re-applies every cited axiom to the premise conclusions and
+        checks each premise against the verifier's current beliefs.
+        Raises :class:`repro.core.checker.ProofCheckError` on any
+        discrepancy — a tampered or fabricated proof never passes.
+        """
+        from ..core.checker import ProofChecker
+
+        if decision.proof is None:
+            raise ValueError("decision carries no proof to audit")
+        checker = ProofChecker(
+            trusted_premises=set(self.engine.store.snapshot()),
+            aliases=self.engine.alias_map(),
+        )
+        return checker.check(decision.proof)
+
+    # ------------------------------------------------------ authorization
+
+    def authorize(
+        self, request: JointAccessRequest, acl: ACL, now: int
+    ) -> AuthorizationDecision:
+        """Run Steps 0-4 on a joint access request against ``acl``."""
+        self.decisions_made += 1
+        deny = lambda reason: AuthorizationDecision(  # noqa: E731
+            granted=False,
+            reason=reason,
+            operation=request.operation,
+            object_name=request.object_name,
+            checked_at=now,
+        )
+
+        # ---- Step 0: cryptographic checks --------------------------------
+        certs_by_subject = {}
+        for cert in request.identity_certificates:
+            ca_key = self._trusted_ca_keys.get(cert.issuer)
+            if ca_key is None:
+                return deny(f"untrusted identity CA {cert.issuer!r}")
+            try:
+                validate_certificate(cert, ca_key, now)
+            except CertificateError as exc:
+                return deny(f"identity certificate rejected: {exc}")
+            certs_by_subject[cert.subject] = cert
+
+        tac = request.attribute_certificate
+        aa_key = self._trusted_aa_keys.get(tac.issuer)
+        if aa_key is None:
+            return deny(f"untrusted attribute authority {tac.issuer!r}")
+        try:
+            validate_certificate(tac, aa_key, now)
+        except CertificateError as exc:
+            return deny(f"threshold attribute certificate rejected: {exc}")
+
+        tac_keys = dict(tac.subjects)
+        for part in request.parts:
+            cert = certs_by_subject.get(part.user)
+            if cert is None:
+                return deny(f"no identity certificate supplied for {part.user}")
+            if not cert.subject_key.verify(part.payload_bytes(), part.signature):
+                return deny(f"bad request signature from {part.user}")
+            if part.user not in tac_keys:
+                return deny(f"{part.user} is not a subject of the certificate")
+            if tac_keys[part.user] != cert.subject_key_id:
+                return deny(
+                    f"{part.user}'s certificate key differs from the key the "
+                    "threshold certificate binds (selective distribution)"
+                )
+            if not self.engine.check_freshness(
+                part.stated_at, now, self.freshness_window
+            ):
+                return deny(
+                    f"stale request part from {part.user} "
+                    f"(stated {part.stated_at}, now {now})"
+                )
+            if (part.operation, part.object_name) != (
+                request.operation,
+                request.object_name,
+            ):
+                return deny(f"{part.user}'s part signs a different request")
+        nonces = {part.nonce for part in request.parts}
+        if len(nonces) != 1:
+            return deny("request parts carry inconsistent nonces")
+        nonce = nonces.pop()
+        if nonce in self._seen_nonces:
+            return deny("replayed request (nonce already accepted)")
+
+        # ---- Steps 1-4: the derivation ------------------------------------
+        try:
+            # Step 1: believe the users' key bindings.
+            for cert in request.identity_certificates:
+                self.engine.admit_certificate(cert.idealize(), now)
+            # Step 2: believe the threshold membership.
+            membership_proof = self.engine.admit_certificate(tac.idealize(), now)
+            membership = membership_proof.conclusion
+            revoked = self.engine.membership_revoked(
+                membership, now, stated_at=tac.timestamp
+            )
+            if revoked is not None:
+                return deny(
+                    "membership revoked: believe-until-revoked defeats the "
+                    f"certificate ({revoked.conclusion})"
+                )
+            # Step 3: believe the signed request parts.
+            says_proofs = []
+            for part in request.parts:
+                _says_body, says_signed = self.engine.admit_signed_utterance(
+                    part.idealize(), now
+                )
+                says_proofs.append(says_signed)
+            # Step 4: A38 concludes "G says op", then check the ACL.
+            group_says_proof = self.engine.derive_group_says(
+                membership_proof, says_proofs
+            )
+        except DerivationError as exc:
+            return deny(f"derivation failed: {exc}")
+
+        group = tac.group
+        if not tac.validity.contains(now):
+            return deny("certificate validity window excludes decision time")
+        if not acl.allows(group, request.operation, now):
+            return deny(
+                f"ACL grants no {request.operation!r} to group {group!r}"
+            )
+        self._seen_nonces.add(nonce)
+        return AuthorizationDecision(
+            granted=True,
+            reason="access approved",
+            operation=request.operation,
+            object_name=request.object_name,
+            checked_at=now,
+            group=group,
+            proof=group_says_proof,
+            derivation_steps=group_says_proof.size(),
+        )

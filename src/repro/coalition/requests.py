@@ -1,0 +1,157 @@
+"""Joint access requests (Figure 2).
+
+A joint access request bundles identity certificates, a threshold
+attribute certificate, and one *signed request part* per participating
+user.  The user requesting the operation is the **requestor**; users
+attesting it are **co-signers**.  The requestor gathers all the signed
+parts before sending the request to the server (Figure 2(b)).
+
+Every part is a real signature over canonical bytes and idealizes into
+``<U says_tu "op" O>_{K_u^-1}``, the form axiom A38 consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.formulas import Says
+from ..core.messages import Data, Signed
+from ..core.temporal import Temporal
+from ..core.terms import KeyRef, Principal
+from ..pki.certificates import (
+    IdentityCertificate,
+    ThresholdAttributeCertificate,
+)
+from ..pki.serialization import canonical_bytes
+from .domain import User
+
+__all__ = [
+    "SignedRequestPart",
+    "JointAccessRequest",
+    "build_joint_request",
+    "make_request_part",
+]
+
+
+@dataclass(frozen=True)
+class SignedRequestPart:
+    """One user's signed statement ``"op" O`` at local time ``stated_at``."""
+
+    user: str
+    user_key_id: str
+    operation: str
+    object_name: str
+    stated_at: int
+    nonce: str
+    signature: int
+
+    @staticmethod
+    def payload_for(
+        user: str, operation: str, object_name: str, stated_at: int, nonce: str
+    ) -> bytes:
+        return canonical_bytes(
+            {
+                "type": "request-part",
+                "user": user,
+                "operation": operation,
+                "object": object_name,
+                "stated_at": stated_at,
+                "nonce": nonce,
+            }
+        )
+
+    def payload_bytes(self) -> bytes:
+        return self.payload_for(
+            self.user, self.operation, self.object_name, self.stated_at, self.nonce
+        )
+
+    def request_data(self) -> Data:
+        """The idealized request content ``"op" O``."""
+        return Data(f'"{self.operation}" {self.object_name}')
+
+    def idealize(self) -> Signed:
+        """``<U says_tu "op" O>_{K_u^-1}``."""
+        says = Says(
+            Principal(self.user),
+            Temporal.point(self.stated_at),
+            self.request_data(),
+        )
+        return Signed(says, KeyRef(self.user_key_id, f"K_{self.user}"))
+
+
+@dataclass
+class JointAccessRequest:
+    """The full message bundle of Figure 2(b)/(d).
+
+    ``requestor`` names the user who assembled and sent the request;
+    the response (for reads) is encrypted under that user's public key.
+    """
+
+    operation: str
+    object_name: str
+    requestor: str
+    identity_certificates: List[IdentityCertificate]
+    attribute_certificate: ThresholdAttributeCertificate
+    parts: List[SignedRequestPart]
+
+    def signer_names(self) -> List[str]:
+        return [part.user for part in self.parts]
+
+    def message_count(self) -> int:
+        """Messages exchanged to assemble and deliver this request.
+
+        The requestor contacts each co-signer and receives a reply, then
+        sends one message to the server.
+        """
+        co_signers = len(self.parts) - 1
+        return 2 * co_signers + 1
+
+
+def make_request_part(
+    user: User, operation: str, object_name: str, stated_at: int, nonce: str
+) -> SignedRequestPart:
+    """Sign one request part with the user's private key."""
+    payload = SignedRequestPart.payload_for(
+        user.name, operation, object_name, stated_at, nonce
+    )
+    return SignedRequestPart(
+        user=user.name,
+        user_key_id=user.keypair.public.fingerprint(),
+        operation=operation,
+        object_name=object_name,
+        stated_at=stated_at,
+        nonce=nonce,
+        signature=user.sign(payload),
+    )
+
+
+def build_joint_request(
+    requestor: User,
+    co_signers: Sequence[User],
+    operation: str,
+    object_name: str,
+    attribute_certificate: ThresholdAttributeCertificate,
+    now: int,
+    nonce: str = "",
+) -> JointAccessRequest:
+    """Assemble a joint access request (the Figure 2(b) message flow).
+
+    The requestor generates its part, collects a part from every
+    co-signer, attaches everyone's identity certificates and the
+    threshold AC, and the bundle is ready for the server.
+    """
+    nonce = nonce or f"{requestor.name}:{object_name}:{operation}:{now}"
+    participants = [requestor, *co_signers]
+    parts = [
+        make_request_part(user, operation, object_name, now, nonce)
+        for user in participants
+    ]
+    return JointAccessRequest(
+        operation=operation,
+        object_name=object_name,
+        requestor=requestor.name,
+        identity_certificates=[u.identity_certificate for u in participants],
+        attribute_certificate=attribute_certificate,
+        parts=parts,
+    )

@@ -1,0 +1,166 @@
+"""The coalition server P: objects, policies, and mediated access.
+
+Server P (Figure 1) manages jointly owned objects, runs the
+authorization protocol on every joint access request, executes granted
+operations (including the encrypted read response of Figure 2(d)), and
+maintains the policy objects whose updates are themselves mediated by
+threshold certificates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..crypto.rsa import RSAPublicKey, hybrid_encrypt
+from ..pki.certificates import RevocationCertificate
+from .acl import ACL, ACLEntry, CoalitionObject, PolicyObject
+from .protocol import AuthorizationDecision, AuthorizationProtocol
+from .requests import JointAccessRequest
+
+__all__ = ["AccessResult", "CoalitionServer"]
+
+
+@dataclass
+class AccessResult:
+    """A decision plus (for granted reads) the encrypted response."""
+
+    decision: AuthorizationDecision
+    encrypted_response: Optional[Tuple[int, bytes]] = None
+
+    @property
+    def granted(self) -> bool:
+        return self.decision.granted
+
+
+class CoalitionServer:
+    """Application server enforcing jointly administered policies."""
+
+    def __init__(
+        self,
+        name: str = "ServerP",
+        freshness_window: int = 50,
+        trust_epoch: int = 0,
+    ):
+        self.name = name
+        self.protocol = AuthorizationProtocol(
+            verifier_name=name,
+            freshness_window=freshness_window,
+            trust_epoch=trust_epoch,
+        )
+        self.objects: Dict[str, CoalitionObject] = {}
+        self.access_log: List[AuthorizationDecision] = []
+
+    # -------------------------------------------------------- management
+
+    def create_object(
+        self,
+        name: str,
+        content: bytes,
+        acl_entries: Iterable[ACLEntry],
+        admin_group: str,
+    ) -> CoalitionObject:
+        """Create a jointly owned object with its ACL and policy object."""
+        if name in self.objects:
+            raise ValueError(f"object {name!r} already exists")
+        obj = CoalitionObject(
+            name=name,
+            content=content,
+            policy=PolicyObject(acl=ACL(list(acl_entries)), admin_group=admin_group),
+        )
+        self.objects[name] = obj
+        return obj
+
+    def object_acl(self, name: str) -> ACL:
+        return self.objects[name].policy.acl
+
+    # ----------------------------------------------------------- access
+
+    def handle_request(
+        self,
+        request: JointAccessRequest,
+        now: int,
+        write_content: Optional[bytes] = None,
+        responder_key: Optional[RSAPublicKey] = None,
+    ) -> AccessResult:
+        """Authorize and (when granted) execute a joint access request.
+
+        * ``write``: replaces the object content with ``write_content``.
+        * ``read``: returns the content encrypted under ``responder_key``
+          (the requestor's public key, Figure 2(d)).
+        * any other operation: authorization only (callers execute).
+        """
+        obj = self.objects.get(request.object_name)
+        if obj is None:
+            decision = AuthorizationDecision(
+                granted=False,
+                reason=f"no such object {request.object_name!r}",
+                operation=request.operation,
+                object_name=request.object_name,
+                checked_at=now,
+            )
+            self.access_log.append(decision)
+            return AccessResult(decision=decision)
+
+        decision = self.protocol.authorize(request, obj.policy.acl, now)
+        self.access_log.append(decision)
+        if not decision.granted:
+            return AccessResult(decision=decision)
+
+        if request.operation == "write":
+            if write_content is None:
+                raise ValueError("write request needs write_content")
+            obj.write(write_content)
+            return AccessResult(decision=decision)
+        if request.operation == "read":
+            content = obj.read()
+            encrypted = None
+            if responder_key is not None:
+                encrypted = hybrid_encrypt(responder_key, content)
+            return AccessResult(decision=decision, encrypted_response=encrypted)
+        return AccessResult(decision=decision)
+
+    def update_policy(
+        self,
+        request: JointAccessRequest,
+        new_entries: Iterable[ACLEntry],
+        now: int,
+    ) -> AuthorizationDecision:
+        """Set/update a policy object (operation ``set_policy``).
+
+        The request must be authorized against the object's *admin*
+        group — policy updates are mediated exactly like data access.
+        """
+        obj = self.objects.get(request.object_name)
+        if obj is None:
+            decision = AuthorizationDecision(
+                granted=False,
+                reason=f"no such object {request.object_name!r}",
+                operation=request.operation,
+                object_name=request.object_name,
+                checked_at=now,
+            )
+            self.access_log.append(decision)
+            return decision
+        admin_acl = ACL([ACLEntry.of(obj.policy.admin_group, ["set_policy"])])
+        decision = self.protocol.authorize(request, admin_acl, now)
+        self.access_log.append(decision)
+        if decision.granted:
+            obj.policy.update(new_entries)
+        return decision
+
+    # -------------------------------------------------------- revocation
+
+    def receive_revocation(
+        self, revocation: RevocationCertificate, now: int
+    ) -> None:
+        """Admit a revocation pushed by the coalition RA."""
+        self.protocol.apply_revocation(revocation, now)
+
+    # ----------------------------------------------------------- metrics
+
+    def grant_rate(self) -> float:
+        if not self.access_log:
+            return 0.0
+        granted = sum(1 for d in self.access_log if d.granted)
+        return granted / len(self.access_log)

@@ -1,0 +1,106 @@
+"""The paper's access-control logic: terms, formulas, axioms, derivation.
+
+The public surface mirrors the paper's Appendices A and B:
+
+* :mod:`~repro.core.terms` — principals, compound/threshold principals,
+  key references, groups (the term set Gamma);
+* :mod:`~repro.core.temporal` — point/interval temporal subscripts;
+* :mod:`~repro.core.messages` — signed/encrypted/tuple messages;
+* :mod:`~repro.core.formulas` — the formula language F1-F22;
+* :mod:`~repro.core.axioms` — axiom schemas A1-A38 as pure functions;
+* :mod:`~repro.core.derivation` — the engine a verifier runs, producing
+  proof trees citing axioms by their paper names.
+"""
+
+from .axioms import AxiomError
+from .checker import ProofChecker, ProofCheckError, check_proof
+from .derivation import DerivationEngine, DerivationError
+from .formulas import (
+    And,
+    At,
+    Believes,
+    Controls,
+    Formula,
+    Fresh,
+    Has,
+    Implies,
+    KeySpeaksFor,
+    Not,
+    Received,
+    Said,
+    Says,
+    SpeaksForGroup,
+    TimeLe,
+    TRUE,
+)
+from .messages import Data, Encrypted, MessageTuple, Signed, submessages
+from .patterns import AnyTime, AnyTimeFrom, match, substitute
+from .proofs import ProofStep, render_proof
+from .store import BeliefStore
+from .syntax import parse_formula, to_text
+from .temporal import FOREVER, Temporal, TemporalKind, at, during, sometime
+from .terms import (
+    CompoundPrincipal,
+    Group,
+    KeyBoundCompound,
+    KeyBoundPrincipal,
+    KeyRef,
+    Principal,
+    ThresholdPrincipal,
+    Var,
+    is_ground,
+)
+
+__all__ = [
+    "AxiomError",
+    "ProofChecker",
+    "ProofCheckError",
+    "check_proof",
+    "KeyBoundCompound",
+    "DerivationEngine",
+    "DerivationError",
+    "And",
+    "At",
+    "Believes",
+    "Controls",
+    "Formula",
+    "Fresh",
+    "Has",
+    "Implies",
+    "KeySpeaksFor",
+    "Not",
+    "Received",
+    "Said",
+    "Says",
+    "SpeaksForGroup",
+    "TimeLe",
+    "TRUE",
+    "Data",
+    "Encrypted",
+    "MessageTuple",
+    "Signed",
+    "submessages",
+    "AnyTime",
+    "AnyTimeFrom",
+    "match",
+    "substitute",
+    "ProofStep",
+    "render_proof",
+    "BeliefStore",
+    "parse_formula",
+    "to_text",
+    "FOREVER",
+    "Temporal",
+    "TemporalKind",
+    "at",
+    "during",
+    "sometime",
+    "CompoundPrincipal",
+    "Group",
+    "KeyBoundPrincipal",
+    "KeyRef",
+    "Principal",
+    "ThresholdPrincipal",
+    "Var",
+    "is_ground",
+]

@@ -1,0 +1,213 @@
+"""Independent proof checking: re-validate a derivation without trust.
+
+A :class:`ProofChecker` walks a :class:`~repro.core.proofs.ProofStep`
+tree and re-applies the named axiom to the premise conclusions, checking
+that each step's conclusion is actually derivable.  This lets a third
+party (an auditor, another coalition server) verify an access decision
+from its proof alone, given only the set of premises it is willing to
+accept — the logic-level analogue of verifying a signature chain.
+
+Premise acceptance is pluggable: by default, ``premise`` steps are
+accepted if they appear in the checker's ``trusted_premises`` (e.g. the
+auditor's own copy of statements 1-11 plus the message receipts it can
+confirm); pass ``accept_all_premises=True`` to only check inference
+structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from . import axioms
+from .axioms import AxiomError
+from .formulas import At, Controls, Formula, Said, Says
+from .patterns import match
+from .proofs import ProofStep
+from .terms import Principal
+
+__all__ = ["ProofCheckError", "ProofChecker", "check_proof"]
+
+
+class ProofCheckError(Exception):
+    """A proof step does not follow from its premises by its rule."""
+
+
+class ProofChecker:
+    """Re-validates proof trees step by step."""
+
+    def __init__(
+        self,
+        trusted_premises: Optional[Iterable[Formula]] = None,
+        accept_all_premises: bool = False,
+        aliases: Optional[dict] = None,
+    ):
+        self.trusted_premises: Set[Formula] = set(trusted_premises or ())
+        self.accept_all_premises = accept_all_premises
+        # authority Principal -> implementing CompoundPrincipal, the
+        # inverse of the engine's alias map ("AA is implemented by CP").
+        self.aliases = dict(aliases or {})
+        self.steps_checked = 0
+
+    # ------------------------------------------------------------ public
+
+    def check(self, proof: ProofStep) -> bool:
+        """Validate the whole tree; raises ProofCheckError on failure."""
+        for premise in proof.premises:
+            self.check(premise)
+        self._check_step(proof)
+        return True
+
+    # ------------------------------------------------------------ steps
+
+    def _check_step(self, step: ProofStep) -> None:
+        self.steps_checked += 1
+        handler = getattr(self, f"_rule_{step.rule.replace('/', '_').lower()}", None)
+        if handler is None:
+            raise ProofCheckError(f"unknown rule {step.rule!r}")
+        try:
+            handler(step)
+        except AxiomError as exc:
+            raise ProofCheckError(
+                f"step [{step.rule}] {step.conclusion} does not follow: {exc}"
+            ) from exc
+
+    # Each rule handler confirms: conclusion == axiom(premise conclusions).
+
+    def _rule_premise(self, step: ProofStep) -> None:
+        if step.premises:
+            raise ProofCheckError("premise steps must be leaves")
+        if self.accept_all_premises:
+            return
+        if step.conclusion not in self.trusted_premises:
+            raise ProofCheckError(
+                f"untrusted premise: {step.conclusion}"
+            )
+
+    def _rule_inst(self, step: ProofStep) -> None:
+        # Universal instantiation: the conclusion must unify with the
+        # (schematic) premise.
+        if len(step.premises) != 1:
+            raise ProofCheckError("inst takes exactly one premise")
+        schema = step.premises[0].conclusion
+        if match(schema, step.conclusion) is None:
+            raise ProofCheckError(
+                "instantiation is not an instance of its schema"
+            )
+
+    def _rule_a10(self, step: ProofStep) -> None:
+        if len(step.premises) != 2:
+            raise ProofCheckError("A10 takes (key binding, receipt)")
+        speaks, received = (p.conclusion for p in step.premises)
+        said_body, said_signed = axioms.a10_originator_identification(
+            speaks, received
+        )
+        candidates = {said_body, said_signed}
+        # Alias rewriting: the compound principal implements the authority.
+        conclusion = step.conclusion
+        if isinstance(conclusion, Said) and isinstance(
+            conclusion.subject, Principal
+        ):
+            compound = self.aliases.get(conclusion.subject)
+            if compound is not None:
+                candidates |= {
+                    Said(conclusion.subject, said_body.time, said_body.body),
+                    Said(conclusion.subject, said_signed.time, said_signed.body),
+                }
+        if conclusion not in candidates:
+            raise ProofCheckError("A10 conclusion mismatch")
+
+    def _rule_a19(self, step: ProofStep) -> None:
+        if len(step.premises) != 1:
+            raise ProofCheckError("A19 takes one premise")
+        said = step.premises[0].conclusion
+        conclusion = step.conclusion
+        if not isinstance(conclusion, Says):
+            raise ProofCheckError("A19 concludes a says formula")
+        rebuilt = axioms.a19_said_to_says(said, conclusion.time.lo)
+        if rebuilt != conclusion:
+            raise ProofCheckError("A19 conclusion mismatch")
+
+    def _rule_a9(self, step: ProofStep) -> None:
+        # The engine uses A9 (with A3) to strip a verifier-located At.
+        if len(step.premises) != 1:
+            raise ProofCheckError("A9 takes one premise")
+        located = step.premises[0].conclusion
+        if not isinstance(located, At):
+            raise ProofCheckError("A9 premise must be an at-formula")
+        if located.body != step.conclusion:
+            raise ProofCheckError("A9 must strip exactly the location")
+
+    def _check_jurisdiction(self, step: ProofStep) -> None:
+        if len(step.premises) != 2:
+            raise ProofCheckError("jurisdiction takes (controls, utterance)")
+        controls, says = (p.conclusion for p in step.premises)
+        if not isinstance(controls, Controls) or not isinstance(says, Says):
+            raise ProofCheckError("jurisdiction premises malformed")
+        axioms.a22_jurisdiction(controls, says)
+        conclusion = step.conclusion
+        if not isinstance(conclusion, At) or conclusion.body != says.body:
+            raise ProofCheckError("jurisdiction must locate the utterance body")
+
+    # A22-A33 are all instances of the jurisdiction schema.
+    _rule_a22 = _check_jurisdiction
+    _rule_a23 = _check_jurisdiction
+    _rule_a24 = _check_jurisdiction
+    _rule_a25 = _check_jurisdiction
+    _rule_a26 = _check_jurisdiction
+    _rule_a27 = _check_jurisdiction
+    _rule_a28 = _check_jurisdiction
+
+    def _rule_a34(self, step: ProofStep) -> None:
+        membership, says = (p.conclusion for p in step.premises)
+        if axioms.a34_group_says(membership, says) != step.conclusion:
+            raise ProofCheckError("A34 conclusion mismatch")
+
+    def _rule_a35(self, step: ProofStep) -> None:
+        if len(step.premises) != 3:
+            raise ProofCheckError("A35 takes (membership, binding, says)")
+        membership, binding, says = (p.conclusion for p in step.premises)
+        if axioms.a35_keybound_group_says(membership, binding, says) != (
+            step.conclusion
+        ):
+            raise ProofCheckError("A35 conclusion mismatch")
+
+    def _rule_a36(self, step: ProofStep) -> None:
+        membership, says = (p.conclusion for p in step.premises)
+        if axioms.a36_compound_group_says(membership, says) != step.conclusion:
+            raise ProofCheckError("A36 conclusion mismatch")
+
+    def _rule_a37(self, step: ProofStep) -> None:
+        if len(step.premises) != 3:
+            raise ProofCheckError("A37 takes (membership, binding, says)")
+        membership, binding, says = (p.conclusion for p in step.premises)
+        if axioms.a37_keybound_compound_group_says(
+            membership, binding, says
+        ) != step.conclusion:
+            raise ProofCheckError("A37 conclusion mismatch")
+
+    def _rule_a38(self, step: ProofStep) -> None:
+        if len(step.premises) < 2:
+            raise ProofCheckError("A38 takes membership + member utterances")
+        membership = step.premises[0].conclusion
+        utterances = [p.conclusion for p in step.premises[1:]]
+        if axioms.a38_threshold_group_says(membership, utterances) != (
+            step.conclusion
+        ):
+            raise ProofCheckError("A38 conclusion mismatch")
+
+
+def check_proof(
+    proof: ProofStep,
+    trusted_premises: Optional[Iterable[Formula]] = None,
+    aliases: Optional[dict] = None,
+) -> bool:
+    """Convenience wrapper: validate ``proof`` against trusted premises.
+
+    With no premises given, only the inference structure is checked.
+    """
+    checker = ProofChecker(
+        trusted_premises=trusted_premises,
+        accept_all_premises=trusted_premises is None,
+        aliases=aliases,
+    )
+    return checker.check(proof)

@@ -1,0 +1,138 @@
+"""Pattern matching for axiom schemas and quantified initial beliefs.
+
+The paper's initial beliefs quantify over groups, principals and times --
+e.g. statement 2: ``P believes (forall t) AA controls (forall G', CP',
+t'b, t'e) CP' => [t'b, t'e] G'``.  We represent such beliefs as formulas
+containing :class:`~repro.core.terms.Var` placeholders plus temporal
+wildcards, and the derivation engine instantiates them by unification
+against concrete formulas.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .temporal import Temporal
+from .terms import Var
+
+__all__ = ["AnyTime", "AnyTimeFrom", "match", "substitute", "Bindings"]
+
+Bindings = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class AnyTime:
+    """Temporal wildcard: matches any temporal annotation (``forall t``).
+
+    An optional name records the binding for later substitution.
+    """
+
+    name: str = ""
+
+    def __str__(self) -> str:
+        return f"?t{('_' + self.name) if self.name else ''}"
+
+
+@dataclass(frozen=True)
+class AnyTimeFrom:
+    """Temporal wildcard matching annotations lying entirely at/after ``lo``.
+
+    Encodes the paper's ``forall t >= t*`` quantifications.
+    """
+
+    lo: int
+    name: str = ""
+
+    def __str__(self) -> str:
+        return f"?t>={self.lo}"
+
+
+def _bind(bindings: Bindings, name: str, value: object) -> Optional[Bindings]:
+    """Extend bindings consistently; None on conflict."""
+    if name in bindings:
+        return bindings if bindings[name] == value else None
+    out = dict(bindings)
+    out[name] = value
+    return out
+
+
+def match(
+    schema: object, concrete: object, bindings: Optional[Bindings] = None
+) -> Optional[Bindings]:
+    """Unify ``schema`` (may contain Var/AnyTime) against ``concrete``.
+
+    Returns the (possibly extended) bindings on success, None on failure.
+    ``concrete`` must be ground; variables only occur on the schema side.
+    """
+    if bindings is None:
+        bindings = {}
+
+    if isinstance(schema, Var):
+        return _bind(bindings, schema.name, concrete)
+    if isinstance(schema, AnyTime):
+        if not isinstance(concrete, Temporal):
+            return None
+        if schema.name:
+            return _bind(bindings, schema.name, concrete)
+        return bindings
+    if isinstance(schema, AnyTimeFrom):
+        if not isinstance(concrete, Temporal):
+            return None
+        if concrete.lo < schema.lo:
+            return None
+        if schema.name:
+            return _bind(bindings, schema.name, concrete)
+        return bindings
+
+    if type(schema) is not type(concrete):
+        return None
+
+    if dataclasses.is_dataclass(schema) and not isinstance(schema, type):
+        for f in dataclasses.fields(schema):
+            if not f.compare:  # cosmetic fields (e.g. key labels)
+                continue
+            sub = match(
+                getattr(schema, f.name), getattr(concrete, f.name), bindings
+            )
+            if sub is None:
+                return None
+            bindings = sub
+        return bindings
+
+    if isinstance(schema, tuple):
+        if len(schema) != len(concrete):
+            return None
+        for s_item, c_item in zip(schema, concrete):
+            sub = match(s_item, c_item, bindings)
+            if sub is None:
+                return None
+            bindings = sub
+        return bindings
+
+    if isinstance(schema, frozenset):
+        # Unordered matching is exponential in general; our schemas never
+        # put variables inside frozensets, so equality suffices.
+        return bindings if schema == concrete else None
+
+    return bindings if schema == concrete else None
+
+
+def substitute(schema: object, bindings: Bindings) -> object:
+    """Replace Var/named-AnyTime occurrences in ``schema`` per ``bindings``."""
+    if isinstance(schema, Var):
+        return bindings.get(schema.name, schema)
+    if isinstance(schema, (AnyTime, AnyTimeFrom)):
+        if schema.name and schema.name in bindings:
+            return bindings[schema.name]
+        return schema
+    if dataclasses.is_dataclass(schema) and not isinstance(schema, type):
+        changes = {
+            f.name: substitute(getattr(schema, f.name), bindings)
+            for f in dataclasses.fields(schema)
+        }
+        return dataclasses.replace(schema, **changes)
+    if isinstance(schema, tuple):
+        return tuple(substitute(item, bindings) for item in schema)
+    return schema

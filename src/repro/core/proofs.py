@@ -1,0 +1,57 @@
+"""Proof objects: every derived belief carries a machine-checkable trace.
+
+A :class:`ProofStep` records the concluded formula, the axiom (by its
+paper name, e.g. "A10", "A22", "A38"), and the premise steps.  The
+authorization protocol returns the full tree with each access decision,
+so a decision can be audited exactly against the derivation printed in
+Appendix E.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = ["ProofStep", "render_proof"]
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One node of a derivation tree."""
+
+    conclusion: object  # a Formula
+    rule: str  # axiom or rule name: "premise", "A10", "A22", ...
+    premises: Tuple["ProofStep", ...] = ()
+    note: str = ""
+
+    def axioms_used(self) -> List[str]:
+        """All axiom names appearing in the tree, outermost first."""
+        seen: List[str] = []
+        for step in self.walk():
+            if step.rule not in seen:
+                seen.append(step.rule)
+        return seen
+
+    def walk(self) -> Iterator["ProofStep"]:
+        """Pre-order traversal of the proof tree."""
+        yield self
+        for premise in self.premises:
+            yield from premise.walk()
+
+    def depth(self) -> int:
+        if not self.premises:
+            return 1
+        return 1 + max(p.depth() for p in self.premises)
+
+    def size(self) -> int:
+        return sum(1 for _ in self.walk())
+
+
+def render_proof(step: ProofStep, indent: int = 0) -> str:
+    """Human-readable rendering of a proof tree."""
+    pad = "  " * indent
+    note = f"  -- {step.note}" if step.note else ""
+    lines = [f"{pad}[{step.rule}] {step.conclusion}{note}"]
+    for premise in step.premises:
+        lines.append(render_proof(premise, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""A principal's belief store.
+
+Holds every formula the principal currently believes, each paired with
+the proof step that produced it.  Supports pattern queries (used to find
+jurisdiction schemas and key bindings) and negative-belief tracking for
+revocation ("believe until revoked", Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .formulas import Formula, Not
+from .patterns import Bindings, match
+from .proofs import ProofStep
+
+__all__ = ["BeliefStore"]
+
+
+class BeliefStore:
+    """An insertion-ordered map from believed formula to its proof."""
+
+    def __init__(self) -> None:
+        self._beliefs: Dict[Formula, ProofStep] = {}
+
+    def __len__(self) -> int:
+        return len(self._beliefs)
+
+    def __contains__(self, formula: Formula) -> bool:
+        return formula in self._beliefs
+
+    def __iter__(self) -> Iterator[Formula]:
+        return iter(self._beliefs)
+
+    def add(self, proof: ProofStep) -> ProofStep:
+        """Record a proved formula; keeps the first proof of a formula."""
+        existing = self._beliefs.get(proof.conclusion)
+        if existing is not None:
+            return existing
+        self._beliefs[proof.conclusion] = proof
+        return proof
+
+    def add_premise(self, formula: Formula, note: str = "") -> ProofStep:
+        """Record an initial belief (an axiom of this principal's state)."""
+        return self.add(ProofStep(conclusion=formula, rule="premise", note=note))
+
+    def proof_of(self, formula: Formula) -> Optional[ProofStep]:
+        return self._beliefs.get(formula)
+
+    def query(
+        self, schema: object
+    ) -> List[Tuple[Formula, Bindings, ProofStep]]:
+        """All beliefs unifying with ``schema`` (with their bindings)."""
+        results = []
+        for formula, proof in self._beliefs.items():
+            bindings = match(schema, formula)
+            if bindings is not None:
+                results.append((formula, bindings, proof))
+        return results
+
+    def first(
+        self, schema: object
+    ) -> Optional[Tuple[Formula, Bindings, ProofStep]]:
+        """The first belief unifying with ``schema``, if any."""
+        for formula, proof in self._beliefs.items():
+            bindings = match(schema, formula)
+            if bindings is not None:
+                return formula, bindings, proof
+        return None
+
+    def negations_of(self, schema: object) -> List[Tuple[Formula, ProofStep]]:
+        """Beliefs of the form ``not(phi)`` whose phi unifies with schema.
+
+        Used for believe-until-revoked: a revocation certificate plants
+        ``not(CP_{m,n} => G)`` in the verifier's store, and membership
+        queries consult these before trusting a cached certificate.
+        """
+        results = []
+        for formula, proof in self._beliefs.items():
+            if not isinstance(formula, Not):
+                continue
+            if match(schema, formula.body) is not None:
+                results.append((formula, proof))
+        return results
+
+    def snapshot(self) -> List[Formula]:
+        """The current belief set (insertion order), for tests and audit."""
+        return list(self._beliefs)

@@ -1,0 +1,399 @@
+"""A concrete text syntax for the logic: render and parse formulas.
+
+The paper writes formulas like ``CA1 says_tCA1 (K_u =>_[tb,te] User_D1)``;
+this module defines an unambiguous ASCII form for the whole language,
+with a renderer (:func:`to_text`) and a recursive-descent parser
+(:func:`parse_formula`) that round-trip:
+
+======================  =========================================
+construct               syntax
+======================  =========================================
+principal               ``User_D1``
+key reference           ``#a1b2c3`` (fingerprint after ``#``)
+group                   ``@G_write``
+key-bound principal     ``User_D1|#a1b2c3``
+compound principal      ``{D1, D2, D3}``
+threshold compound      ``{U1|#k1, U2|#k2, U3|#k3}%2``
+key-bound compound      ``{U1, U2}|#k``
+point time              ``says:5``; clock: ``says:5^ServerP``
+closed interval         ``[1,100]``; ``*`` is the open-ended bound
+some-interval           ``<1,100>``
+data constant           ``"write O"``
+signed message          ``sig(X, #k)``
+encrypted message       ``enc(X, #k)``
+tuple                   ``tuple(X, Y)``
+modalities              ``P says:t X``, ``said``, ``received``,
+                        ``believes``, ``controls``, ``has``
+key speaks-for          ``#k =>:t P``
+group membership        ``P =>:t @G``
+location                ``at(phi, P, t)``
+freshness               ``fresh:t(X)``
+negation/connectives    ``not(phi)``, ``and(phi, psi)``,
+                        ``implies(phi, psi)``
+======================  =========================================
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .formulas import (
+    And,
+    At,
+    Believes,
+    Controls,
+    Fresh,
+    Has,
+    Implies,
+    KeySpeaksFor,
+    Not,
+    Received,
+    Said,
+    Says,
+    SpeaksForGroup,
+)
+from .messages import Data, Encrypted, MessageTuple, Signed
+from .temporal import FOREVER, Temporal, TemporalKind
+from .terms import (
+    CompoundPrincipal,
+    Group,
+    KeyBoundCompound,
+    KeyBoundPrincipal,
+    KeyRef,
+    Principal,
+)
+
+__all__ = ["to_text", "parse_formula", "SyntaxError_"]
+
+
+class SyntaxError_(Exception):
+    """The input is not a well-formed formula text."""
+
+
+_MODALITIES = {
+    "says": Says,
+    "said": Said,
+    "received": Received,
+    "believes": Believes,
+    "controls": Controls,
+    "has": Has,
+}
+
+# ---------------------------------------------------------------- render
+
+
+def _render_time(t: Temporal) -> str:
+    def bound(v: int) -> str:
+        return "*" if v >= FOREVER else str(v)
+
+    if t.kind is TemporalKind.POINT:
+        core = bound(t.lo)
+    elif t.kind is TemporalKind.ALL:
+        core = f"[{bound(t.lo)},{bound(t.hi)}]"
+    else:
+        core = f"<{bound(t.lo)},{bound(t.hi)}>"
+    if t.clock is not None:
+        core += f"^{_render_subject(t.clock)}"
+    return core
+
+
+def _render_subject(subject: object) -> str:
+    if isinstance(subject, Principal):
+        return subject.name
+    if isinstance(subject, Group):
+        return f"@{subject.name}"
+    if isinstance(subject, KeyRef):
+        return f"#{subject.key_id}"
+    if isinstance(subject, KeyBoundPrincipal):
+        return f"{subject.principal.name}|#{subject.key.key_id}"
+    if isinstance(subject, CompoundPrincipal):
+        inner = ", ".join(_render_subject(m) for m in subject.members)
+        return "{" + inner + "}"
+    if isinstance(subject, KeyBoundCompound):
+        return f"{_render_subject(subject.compound)}|#{subject.key.key_id}"
+    from .terms import ThresholdPrincipal
+
+    if isinstance(subject, ThresholdPrincipal):
+        return f"{_render_subject(subject.base)}%{subject.m}"
+    raise SyntaxError_(f"cannot render subject {subject!r}")
+
+
+def to_text(node: object) -> str:
+    """Render a formula or message to its concrete syntax."""
+    if isinstance(node, Data):
+        escaped = node.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(node, Signed):
+        return f"sig({to_text(node.body)}, #{node.key.key_id})"
+    if isinstance(node, Encrypted):
+        return f"enc({to_text(node.body)}, #{node.key.key_id})"
+    if isinstance(node, MessageTuple):
+        inner = ", ".join(to_text(p) for p in node.parts)
+        return f"tuple({inner})"
+    if isinstance(node, Not):
+        return f"not({to_text(node.body)})"
+    if isinstance(node, And):
+        return f"and({to_text(node.left)}, {to_text(node.right)})"
+    if isinstance(node, Implies):
+        return f"implies({to_text(node.antecedent)}, {to_text(node.consequent)})"
+    if isinstance(node, At):
+        return (
+            f"at({to_text(node.body)}, {_render_subject(node.place)}, "
+            f"{_render_time(node.time)})"
+        )
+    if isinstance(node, Fresh):
+        return f"fresh:{_render_time(node.time)}({to_text(node.message)})"
+    if isinstance(node, KeySpeaksFor):
+        return (
+            f"#{node.key.key_id} =>:{_render_time(node.time)} "
+            f"{_render_subject(node.subject)}"
+        )
+    if isinstance(node, SpeaksForGroup):
+        return (
+            f"{_render_subject(node.subject)} =>:{_render_time(node.time)} "
+            f"{_render_subject(node.group)}"
+        )
+    for keyword, cls in _MODALITIES.items():
+        if isinstance(node, cls):
+            body = node.key if isinstance(node, Has) else node.body
+            rendered = (
+                f"#{body.key_id}" if isinstance(body, KeyRef) else to_text(body)
+            )
+            return (
+                f"{_render_subject(node.subject)} {keyword}:"
+                f"{_render_time(node.time)} ({rendered})"
+            )
+    # Plain terms used as messages.
+    return _render_subject(node)
+
+
+# ----------------------------------------------------------------- lexer
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<arrow>=>)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_\-]*)
+  | (?P<keyid>\#[A-Za-z0-9_\-]+)
+  | (?P<group>@[A-Za-z_][A-Za-z0-9_\-]*)
+  | (?P<sym>[(){}\[\]<>,|%^*:])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SyntaxError_(f"unexpected character {text[pos]!r} at {pos}")
+        kind = match.lastgroup
+        value = match.group()
+        pos = match.end()
+        if kind != "ws":
+            tokens.append((kind, value))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------- token utils
+
+    def peek(self) -> Tuple[str, str]:
+        return self._tokens[self._index]
+
+    def next(self) -> Tuple[str, str]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        token_kind, token_value = self.next()
+        if token_kind != kind or (value is not None and token_value != value):
+            raise SyntaxError_(
+                f"expected {value or kind}, got {token_value!r}"
+            )
+        return token_value
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[str]:
+        token_kind, token_value = self.peek()
+        if token_kind == kind and (value is None or token_value == value):
+            self.next()
+            return token_value
+        return None
+
+    # ---------------------------------------------------------- grammar
+
+    def parse(self) -> object:
+        node = self.parse_node()
+        self.expect("eof")
+        return node
+
+    def parse_node(self) -> object:
+        kind, value = self.peek()
+        if kind == "string":
+            self.next()
+            raw = value[1:-1]
+            return Data(raw.replace('\\"', '"').replace("\\\\", "\\"))
+        if kind == "name" and value in ("sig", "enc", "tuple", "not", "and",
+                                        "implies", "at", "fresh"):
+            return self._parse_call(value)
+        if kind == "keyid":
+            # A key expression: either "#k =>_t S" or a bare key term.
+            key = self._parse_keyref()
+            if self.accept("arrow") is not None:
+                self.expect("sym", ":")
+                time = self._parse_time()
+                subject = self._parse_subject()
+                return KeySpeaksFor(key, time, subject)
+            return key
+        if kind == "sym" and value == "(":
+            self.next()
+            inner = self.parse_node()
+            self.expect("sym", ")")
+            return inner
+        # Otherwise: a subject followed by a modality or membership arrow.
+        subject = self._parse_subject()
+        kind, value = self.peek()
+        if kind == "arrow":
+            self.next()
+            self.expect("sym", ":")
+            time = self._parse_time()
+            group = self._parse_subject()
+            if not isinstance(group, Group):
+                raise SyntaxError_("membership target must be a @group")
+            return SpeaksForGroup(subject, time, group)
+        if kind == "name" and value in _MODALITIES:
+            keyword = self.next()[1]
+            self.expect("sym", ":")
+            time = self._parse_time()
+            self.expect("sym", "(")
+            body = self.parse_node()
+            self.expect("sym", ")")
+            cls = _MODALITIES[keyword]
+            if cls is Has:
+                if not isinstance(body, KeyRef):
+                    raise SyntaxError_("has takes a key reference")
+                return Has(subject, time, body)
+            return cls(subject, time, body)
+        return subject  # a bare term used as a message
+
+    def _parse_call(self, keyword: str) -> object:
+        self.expect("name", keyword)
+        if keyword == "fresh":
+            self.expect("sym", ":")
+            time = self._parse_time()
+            self.expect("sym", "(")
+            message = self.parse_node()
+            self.expect("sym", ")")
+            return Fresh(message, time)
+        self.expect("sym", "(")
+        if keyword in ("sig", "enc"):
+            body = self.parse_node()
+            self.expect("sym", ",")
+            key = self._parse_keyref()
+            self.expect("sym", ")")
+            return (Signed if keyword == "sig" else Encrypted)(body, key)
+        if keyword == "tuple":
+            parts = [self.parse_node()]
+            while self.accept("sym", ","):
+                parts.append(self.parse_node())
+            self.expect("sym", ")")
+            return MessageTuple(tuple(parts))
+        if keyword == "not":
+            body = self.parse_node()
+            self.expect("sym", ")")
+            return Not(body)
+        if keyword in ("and", "implies"):
+            left = self.parse_node()
+            self.expect("sym", ",")
+            right = self.parse_node()
+            self.expect("sym", ")")
+            return And(left, right) if keyword == "and" else Implies(left, right)
+        if keyword == "at":
+            body = self.parse_node()
+            self.expect("sym", ",")
+            place = self._parse_subject()
+            self.expect("sym", ",")
+            time = self._parse_time()
+            self.expect("sym", ")")
+            return At(body, place, time)
+        raise SyntaxError_(f"unknown call {keyword!r}")  # pragma: no cover
+
+    def _parse_keyref(self) -> KeyRef:
+        value = self.expect("keyid")
+        return KeyRef(value[1:])
+
+    def _parse_subject(self) -> object:
+        kind, value = self.peek()
+        if kind == "group":
+            self.next()
+            return Group(value[1:])
+        if kind == "sym" and value == "{":
+            return self._parse_compound()
+        if kind == "name":
+            self.next()
+            principal = Principal(value)
+            if self.accept("sym", "|"):
+                key = self._parse_keyref()
+                return KeyBoundPrincipal(principal, key)
+            return principal
+        raise SyntaxError_(f"expected a subject, got {value!r}")
+
+    def _parse_compound(self) -> object:
+        self.expect("sym", "{")
+        members = [self._parse_subject()]
+        while self.accept("sym", ","):
+            members.append(self._parse_subject())
+        self.expect("sym", "}")
+        compound = CompoundPrincipal.of(members)
+        if self.accept("sym", "%"):
+            m = int(self.expect("int"))
+            return compound.threshold(m)
+        if self.accept("sym", "|"):
+            key = self._parse_keyref()
+            return KeyBoundCompound(compound, key)
+        return compound
+
+    def _parse_time(self) -> Temporal:
+        kind, value = self.peek()
+
+        def parse_bound() -> int:
+            if self.accept("sym", "*") is not None:
+                return FOREVER
+            return int(self.expect("int"))
+
+        if kind == "sym" and value == "[":
+            self.next()
+            lo = parse_bound()
+            self.expect("sym", ",")
+            hi = parse_bound()
+            self.expect("sym", "]")
+            temporal = Temporal.all(lo, hi)
+        elif kind == "sym" and value == "<":
+            self.next()
+            lo = parse_bound()
+            self.expect("sym", ",")
+            hi = parse_bound()
+            self.expect("sym", ">")
+            temporal = Temporal.some(lo, hi)
+        else:
+            temporal = Temporal.point(parse_bound())
+        if self.accept("sym", "^"):
+            clock = self._parse_subject()
+            temporal = temporal.on_clock(clock)
+        return temporal
+
+
+def parse_formula(text: str) -> object:
+    """Parse the concrete syntax into formula/message objects."""
+    return _Parser(_tokenize(text)).parse()

@@ -1,0 +1,71 @@
+"""Threshold-RSA cryptographic substrate for the coalition system.
+
+Implements, from scratch: number theory, RSA-FDH, secret sharing, BGW
+multiplication, Boneh-Franklin dealerless shared RSA key generation, the
+n-of-n joint signature protocol of the paper's Section 3.2, Shoup m-of-n
+threshold signatures (Section 3.3), and proactive share refresh.
+"""
+
+from .boneh_franklin import (
+    PrivateKeyShare,
+    SharedKeyGenResult,
+    SharedRSAPublicKey,
+    dealer_shared_rsa,
+    generate_shared_rsa,
+)
+from .joint_signature import (
+    CoSigner,
+    JointSignatureError,
+    JointSignatureSession,
+    PartialSignature,
+    SigningRequest,
+    combine_partials,
+    joint_sign,
+    sign_share,
+)
+from .refresh import refresh_shares
+from .rsa import (
+    RSAKeyPair,
+    RSAPrivateKey,
+    RSAPublicKey,
+    generate_keypair,
+)
+from .threshold import (
+    ThresholdCombineError,
+    ThresholdKey,
+    ThresholdKeyShare,
+    ThresholdPublicKey,
+    ThresholdSignatureShare,
+    combine_threshold_shares,
+    generate_threshold_key,
+    threshold_sign_share,
+)
+
+__all__ = [
+    "PrivateKeyShare",
+    "SharedKeyGenResult",
+    "SharedRSAPublicKey",
+    "dealer_shared_rsa",
+    "generate_shared_rsa",
+    "CoSigner",
+    "JointSignatureError",
+    "JointSignatureSession",
+    "PartialSignature",
+    "SigningRequest",
+    "combine_partials",
+    "joint_sign",
+    "sign_share",
+    "refresh_shares",
+    "RSAKeyPair",
+    "RSAPrivateKey",
+    "RSAPublicKey",
+    "generate_keypair",
+    "ThresholdCombineError",
+    "ThresholdKey",
+    "ThresholdKeyShare",
+    "ThresholdPublicKey",
+    "ThresholdSignatureShare",
+    "combine_threshold_shares",
+    "generate_threshold_key",
+    "threshold_sign_share",
+]

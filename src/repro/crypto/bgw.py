@@ -1,0 +1,120 @@
+"""BGW-style secure multiplication of additively shared secrets.
+
+Boneh-Franklin key generation needs ``N = (sum p_i) * (sum q_i)`` computed
+so that no party learns another party's ``p_i`` or ``q_i``.  The classic
+BGW construction: every party Shamir-shares its additive contribution
+with a degree-``t`` polynomial (``t = (n-1)//2``); parties locally add the
+incoming shares (a degree-``t`` sharing of ``p`` and of ``q``), multiply
+pointwise (a degree-``2t`` sharing of ``p*q``), and the product is opened
+by interpolating ``2t+1`` points — which works precisely when ``n >= 2t+1``,
+i.e. for any ``n >= 3`` with honest-majority ``t``.
+
+The field modulus must exceed the largest possible product, so the opened
+value equals the integer ``p*q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from .numtheory import next_prime
+from .sharing import Polynomial, interpolate_at_zero
+
+__all__ = ["BGWParty", "bgw_multiply", "field_modulus_for"]
+
+
+def field_modulus_for(max_value: int) -> int:
+    """A prime field large enough to hold integers up to ``max_value``."""
+    return next_prime(max_value + 1)
+
+
+@dataclass
+class BGWParty:
+    """One participant in a BGW multiplication.
+
+    Attributes:
+        index: 1-based party index (also its Shamir evaluation point).
+        a_contrib: the party's additive contribution to the first factor.
+        b_contrib: the party's additive contribution to the second factor.
+    """
+
+    index: int
+    a_contrib: int
+    b_contrib: int
+    # Filled in during the protocol:
+    received_a: Dict[int, int] = field(default_factory=dict)
+    received_b: Dict[int, int] = field(default_factory=dict)
+
+    def deal_shares(self, n_parties: int, degree: int, modulus: int):
+        """Shamir-share both contributions to all parties.
+
+        Returns two dicts mapping recipient index -> share value.
+        """
+        poly_a = Polynomial.random(self.a_contrib, degree, modulus)
+        poly_b = Polynomial.random(self.b_contrib, degree, modulus)
+        out_a = {j: poly_a.evaluate(j) for j in range(1, n_parties + 1)}
+        out_b = {j: poly_b.evaluate(j) for j in range(1, n_parties + 1)}
+        return out_a, out_b
+
+    def accept_share(self, sender: int, a_share: int, b_share: int) -> None:
+        self.received_a[sender] = a_share
+        self.received_b[sender] = b_share
+
+    def product_point(self, modulus: int) -> int:
+        """Local share of the product polynomial at this party's point."""
+        a_sum = sum(self.received_a.values()) % modulus
+        b_sum = sum(self.received_b.values()) % modulus
+        return (a_sum * b_sum) % modulus
+
+
+def bgw_multiply(
+    a_contribs: Sequence[int], b_contribs: Sequence[int], max_value: int
+) -> int:
+    """Compute ``sum(a_contribs) * sum(b_contribs)`` via simulated BGW.
+
+    Each entry of the input sequences is one party's private additive
+    contribution.  The function simulates the full message flow (dealing,
+    local aggregation, opening) in-process and returns the integer product.
+
+    Args:
+        a_contribs: per-party additive shares of the first factor.
+        b_contribs: per-party additive shares of the second factor.
+        max_value: an upper bound on the absolute product, used to size
+            the prime field.
+
+    Raises:
+        ValueError: if fewer than 3 parties are given (BGW's degree
+            argument requires ``n >= 2t+1`` with ``t >= 1``).
+    """
+    n = len(a_contribs)
+    if n != len(b_contribs):
+        raise ValueError("mismatched contribution lists")
+    if n < 3:
+        raise ValueError("BGW multiplication requires at least 3 parties")
+    degree = (n - 1) // 2
+    if n < 2 * degree + 1:  # pragma: no cover - arithmetic guarantee
+        raise ValueError("not enough parties to open the product polynomial")
+    # The field carries signed values in [-max_value, max_value], so it
+    # must have more than 2*max_value elements.
+    modulus = field_modulus_for(2 * max_value)
+
+    parties = [
+        BGWParty(index=i + 1, a_contrib=a, b_contrib=b)
+        for i, (a, b) in enumerate(zip(a_contribs, b_contribs))
+    ]
+    # Round 1: every party deals Shamir shares of its contributions.
+    for sender in parties:
+        out_a, out_b = sender.deal_shares(n, degree, modulus)
+        for receiver in parties:
+            receiver.accept_share(
+                sender.index, out_a[receiver.index], out_b[receiver.index]
+            )
+    # Round 2: parties broadcast their product points; anyone interpolates.
+    points = [(p.index, p.product_point(modulus)) for p in parties]
+    needed = points[: 2 * degree + 1]
+    product = interpolate_at_zero(needed, modulus)
+    # Map back from field representative to the signed integer result.
+    if product > modulus // 2:
+        product -= modulus
+    return product

@@ -1,0 +1,98 @@
+"""Distributed Fermat biprimality test (Boneh-Franklin, Crypto '97 §3.1).
+
+After the parties have computed ``N = p*q`` from shared candidates, they
+must convince themselves that ``N`` is the product of exactly two primes
+without learning the factorization.  With ``p == q == 3 (mod 4)`` (so
+``N == 1 (mod 4)``) the parties pick random ``g`` with Jacobi symbol
+``(g/N) == 1`` and jointly evaluate ``g^((N - p - q + 1)/4) mod N``:
+
+* party 1 (holding ``p_1 == q_1 == 3 (mod 4)``) raises ``g`` to
+  ``(N + 1 - p_1 - q_1) / 4``;
+* party ``i > 1`` (holding ``p_i == q_i == 0 (mod 4)``) raises ``g`` to
+  ``-(p_i + q_i) / 4``.
+
+The product of the per-party values equals ``g^(phi(N)/4)``, which is
+``±1 (mod N)`` whenever ``N`` is biprime; a composite-with-more-factors
+``N`` fails for at least half of the eligible ``g``.
+"""
+
+from __future__ import annotations
+
+import math
+import secrets
+from typing import List, Sequence
+
+from .numtheory import jacobi, modinv
+
+__all__ = ["biprimality_test", "party_exponents"]
+
+
+def party_exponents(
+    p_shares: Sequence[int], q_shares: Sequence[int], modulus_n: int
+) -> List[int]:
+    """Each party's exponent contribution, checked for integrality."""
+    n_parties = len(p_shares)
+    if n_parties != len(q_shares):
+        raise ValueError("mismatched share lists")
+    exponents: List[int] = []
+    for i in range(n_parties):
+        if i == 0:
+            numerator = modulus_n + 1 - p_shares[0] - q_shares[0]
+        else:
+            numerator = -(p_shares[i] + q_shares[i])
+        if numerator % 4 != 0:
+            raise ValueError(
+                "share congruences violated: party exponents must be "
+                "integers (p_1 == q_1 == 3 mod 4, others == 0 mod 4)"
+            )
+        exponents.append(numerator // 4)
+    return exponents
+
+
+def _joint_power(g: int, exponents: Sequence[int], modulus_n: int) -> int:
+    """Product of per-party powers ``g^e_i mod N`` (negative e via inverse)."""
+    acc = 1
+    for e in exponents:
+        if e >= 0:
+            acc = (acc * pow(g, e, modulus_n)) % modulus_n
+        else:
+            acc = (acc * modinv(pow(g, -e, modulus_n), modulus_n)) % modulus_n
+    return acc
+
+
+def biprimality_test(
+    p_shares: Sequence[int],
+    q_shares: Sequence[int],
+    modulus_n: int,
+    rounds: int = 20,
+) -> bool:
+    """Run the distributed Fermat biprimality test on shared ``p``, ``q``.
+
+    Returns True if every round accepts; a biprime always passes, a
+    non-biprime passes a single round with probability <= 1/2.
+    """
+    if modulus_n % 4 != 1:
+        return False
+    # gcd(N, candidate sums) must be 1 against tiny common factors; the
+    # parties check gcd(N, p + q) jointly -- in simulation we use the sums.
+    p = sum(p_shares)
+    q = sum(q_shares)
+    if math.gcd(modulus_n, 2) != 1:
+        return False
+    if p * q != modulus_n:
+        raise ValueError("shares do not multiply to the supplied modulus")
+    exponents = party_exponents(p_shares, q_shares, modulus_n)
+    accepted_rounds = 0
+    while accepted_rounds < rounds:
+        g = secrets.randbelow(modulus_n - 2) + 2
+        if math.gcd(g, modulus_n) != 1:
+            # A nontrivial gcd factors N: certainly not a valid biprime
+            # candidate for RSA purposes.
+            return False
+        if jacobi(g, modulus_n) != 1:
+            continue
+        v = _joint_power(g, exponents, modulus_n)
+        if v != 1 and v != modulus_n - 1:
+            return False
+        accepted_rounds += 1
+    return True

@@ -1,0 +1,51 @@
+"""Hashing utilities: full-domain hash (FDH) for RSA signatures.
+
+RSA-FDH signs ``H(M)^d mod N`` where ``H`` maps messages onto ``Z_N``.
+We expand SHA-256 in counter mode (MGF1-style) to the modulus size so the
+scheme works for arbitrary modulus lengths, which the benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["sha256_int", "full_domain_hash", "message_digest"]
+
+
+def message_digest(message: bytes) -> bytes:
+    """SHA-256 digest of a message."""
+    return hashlib.sha256(message).digest()
+
+
+def sha256_int(message: bytes) -> int:
+    """SHA-256 of a message interpreted as a big-endian integer."""
+    return int.from_bytes(message_digest(message), "big")
+
+
+def _mgf1(seed: bytes, length: int) -> bytes:
+    """MGF1 mask generation with SHA-256."""
+    output = bytearray()
+    counter = 0
+    while len(output) < length:
+        block = hashlib.sha256(seed + counter.to_bytes(4, "big")).digest()
+        output.extend(block)
+        counter += 1
+    return bytes(output[:length])
+
+
+def full_domain_hash(message: bytes, modulus: int) -> int:
+    """Hash ``message`` into ``Z_modulus^*`` deterministically.
+
+    The result is guaranteed nonzero and strictly below the modulus, so it
+    is a valid RSA-FDH signing base for any modulus of >= 16 bits.
+    """
+    if modulus < (1 << 16):
+        raise ValueError("modulus too small for full-domain hashing")
+    byte_len = (modulus.bit_length() + 7) // 8
+    attempt = 0
+    while True:
+        material = _mgf1(message + attempt.to_bytes(4, "big"), byte_len)
+        value = int.from_bytes(material, "big") % modulus
+        if value > 1:
+            return value
+        attempt += 1

@@ -1,0 +1,259 @@
+"""Number-theoretic primitives used by the threshold-RSA substrate.
+
+Everything here is implemented from scratch on Python integers: extended
+Euclid, modular inverses, Miller-Rabin primality, Jacobi symbols, CRT,
+and prime sampling with congruence constraints (the Boneh-Franklin
+distributed key-generation protocol needs primes ``p == 3 (mod 4)`` whose
+additive shares satisfy per-party congruences).
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "egcd",
+    "modinv",
+    "is_probable_prime",
+    "miller_rabin",
+    "jacobi",
+    "crt",
+    "small_primes",
+    "random_prime",
+    "random_odd",
+    "random_in_range",
+    "next_prime",
+    "random_safe_prime",
+    "integer_sqrt",
+    "lagrange_coefficients_at_zero",
+    "product",
+]
+
+# Deterministic sieve bound for the shared small-prime table.
+_SIEVE_BOUND = 10_000
+
+
+def _sieve(bound: int) -> List[int]:
+    """Return all primes below ``bound`` via the sieve of Eratosthenes."""
+    if bound < 2:
+        return []
+    flags = bytearray([1]) * bound
+    flags[0:2] = b"\x00\x00"
+    for i in range(2, int(bound ** 0.5) + 1):
+        if flags[i]:
+            flags[i * i :: i] = b"\x00" * len(range(i * i, bound, i))
+    return [i for i in range(bound) if flags[i]]
+
+
+_SMALL_PRIMES: List[int] = _sieve(_SIEVE_BOUND)
+
+
+def small_primes(bound: int = _SIEVE_BOUND) -> List[int]:
+    """Return the primes below ``bound`` (``bound`` <= 10000 uses a cache)."""
+    if bound <= _SIEVE_BOUND:
+        # Binary search would be overkill; the table is small.
+        return [p for p in _SMALL_PRIMES if p < bound]
+    return _sieve(bound)
+
+
+def egcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Extended Euclid: return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, m: int) -> int:
+    """Return the inverse of ``a`` modulo ``m``.
+
+    Raises:
+        ValueError: if ``a`` is not invertible mod ``m``.
+    """
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} is not invertible modulo {m} (gcd={g})")
+    return x % m
+
+
+def miller_rabin(n: int, rounds: int = 40) -> bool:
+    """Miller-Rabin probabilistic primality test.
+
+    Uses random bases; error probability <= 4**-rounds for composites.
+    """
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for _ in range(rounds):
+        a = secrets.randbelow(n - 3) + 2
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def is_probable_prime(n: int, rounds: int = 40) -> bool:
+    """Trial-divide by the small-prime table, then Miller-Rabin."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if p * p > n:
+            return True
+        if n % p == 0:
+            return n == p
+    return miller_rabin(n, rounds=rounds)
+
+
+def jacobi(a: int, n: int) -> int:
+    """Jacobi symbol (a/n) for odd positive n."""
+    if n <= 0 or n % 2 == 0:
+        raise ValueError("Jacobi symbol requires odd positive n")
+    a %= n
+    result = 1
+    while a != 0:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+def crt(residues: Sequence[int], moduli: Sequence[int]) -> int:
+    """Chinese remainder theorem for pairwise-coprime moduli."""
+    if len(residues) != len(moduli):
+        raise ValueError("residues and moduli must have equal length")
+    if not moduli:
+        raise ValueError("crt requires at least one congruence")
+    x, m = residues[0] % moduli[0], moduli[0]
+    for r, n in zip(residues[1:], moduli[1:]):
+        g, p, _ = egcd(m, n)
+        if g != 1:
+            raise ValueError("crt moduli must be pairwise coprime")
+        x = (x + (r - x) * p % n * m) % (m * n)
+        m *= n
+    return x
+
+
+def random_in_range(lo: int, hi: int) -> int:
+    """Uniform random integer in ``[lo, hi)``."""
+    if hi <= lo:
+        raise ValueError("empty range")
+    return lo + secrets.randbelow(hi - lo)
+
+
+def random_odd(bits: int) -> int:
+    """Random odd integer with exactly ``bits`` bits."""
+    if bits < 2:
+        raise ValueError("need at least 2 bits")
+    n = secrets.randbits(bits) | (1 << (bits - 1)) | 1
+    return n
+
+
+def random_prime(bits: int, congruence: Tuple[int, int] = (1, 1)) -> int:
+    """Random ``bits``-bit prime ``p`` with ``p % congruence[1] == congruence[0]``.
+
+    The default congruence ``(1, 1)`` imposes no constraint.
+    """
+    residue, modulus = congruence
+    if modulus < 1:
+        raise ValueError("modulus must be positive")
+    while True:
+        p = secrets.randbits(bits) | (1 << (bits - 1))
+        p -= (p - residue) % modulus
+        if p.bit_length() != bits or p < 2:
+            continue
+        if p % 2 == 0:
+            continue
+        if is_probable_prime(p):
+            return p
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def random_safe_prime(bits: int) -> int:
+    """Random ``bits``-bit safe prime ``p`` (``(p-1)/2`` also prime).
+
+    Safe primes are required by the Shoup threshold-signature scheme; they
+    are expensive to sample, so tests use small sizes.
+    """
+    while True:
+        q = random_prime(bits - 1)
+        p = 2 * q + 1
+        if p.bit_length() == bits and is_probable_prime(p):
+            return p
+
+
+def integer_sqrt(n: int) -> int:
+    """Floor of the square root, exact on Python ints of any size."""
+    if n < 0:
+        raise ValueError("integer_sqrt of negative number")
+    if n == 0:
+        return 0
+    x = 1 << ((n.bit_length() + 1) // 2)
+    while True:
+        y = (x + n // x) // 2
+        if y >= x:
+            return x
+        x = y
+
+
+def product(values: Iterable[int]) -> int:
+    """Product of an iterable of integers (1 for empty)."""
+    result = 1
+    for v in values:
+        result *= v
+    return result
+
+
+def lagrange_coefficients_at_zero(xs: Sequence[int], modulus: int) -> List[int]:
+    """Lagrange interpolation coefficients at x=0 over GF(modulus).
+
+    Given distinct evaluation points ``xs``, returns ``lam`` such that
+    ``f(0) == sum(lam[i] * f(xs[i])) (mod modulus)`` for any polynomial f of
+    degree < len(xs).
+    """
+    if len(set(x % modulus for x in xs)) != len(xs):
+        raise ValueError("evaluation points must be distinct mod modulus")
+    coeffs = []
+    for i, xi in enumerate(xs):
+        num, den = 1, 1
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            num = (num * (-xj)) % modulus
+            den = (den * (xi - xj)) % modulus
+        coeffs.append((num * modinv(den, modulus)) % modulus)
+    return coeffs

@@ -1,0 +1,78 @@
+"""Proactive refresh of additive private-key shares (Wu, Malkin, Boneh).
+
+Section 6 of the paper notes that Wu et al.'s refresh operation lets the
+coalition re-randomize the shares of an *existing* shared key among the
+*same* member set — useful against gradual share compromise, but not a
+substitute for re-keying when the membership changes (that is the
+coalition-dynamics cost studied in experiment E11).
+
+Refresh protocol: every party deals a fresh additive sharing of **zero**
+to all parties; each party's new share is its old share plus everything
+it received.  The sum — and therefore the private key — is unchanged,
+but any set of old shares becomes useless.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Dict, List, Sequence
+
+from .boneh_franklin import PrivateKeyShare
+
+__all__ = ["refresh_shares", "RefreshTranscript"]
+
+
+class RefreshTranscript:
+    """Record of one refresh round, for auditing and tests."""
+
+    def __init__(self, n_parties: int):
+        self.n_parties = n_parties
+        # dealt[i][j]: the zero-share party i sent to party j.
+        self.dealt: Dict[int, Dict[int, int]] = {}
+
+    def record(self, dealer: int, shares: Dict[int, int]) -> None:
+        self.dealt[dealer] = dict(shares)
+
+    def messages_exchanged(self) -> int:
+        """Point-to-point messages a real execution would send."""
+        return self.n_parties * (self.n_parties - 1)
+
+
+def _deal_zero(n_parties: int, bound: int) -> Dict[int, int]:
+    """An additive sharing of zero across ``n_parties``."""
+    shares = {
+        i: secrets.randbelow(2 * bound) - bound for i in range(1, n_parties)
+    }
+    shares[n_parties] = -sum(shares.values())
+    if n_parties == 1:
+        shares = {1: 0}
+    return shares
+
+
+def refresh_shares(
+    shares: Sequence[PrivateKeyShare],
+) -> List[PrivateKeyShare]:
+    """Re-randomize additive shares without changing their sum.
+
+    Returns new shares in the same index order.  The transcript is
+    internal; callers needing message counts use
+    :class:`RefreshTranscript` directly.
+    """
+    if not shares:
+        raise ValueError("no shares to refresh")
+    n_parties = len(shares)
+    modulus = shares[0].modulus
+    if any(s.modulus != modulus for s in shares):
+        raise ValueError("shares belong to different keys")
+    bound = modulus * modulus
+    received: Dict[int, int] = {s.index: 0 for s in shares}
+    for _dealer in shares:
+        zero_shares = _deal_zero(n_parties, bound)
+        for recipient_pos, share in enumerate(shares):
+            received[share.index] += zero_shares[recipient_pos + 1]
+    return [
+        PrivateKeyShare(
+            index=s.index, value=s.value + received[s.index], modulus=modulus
+        )
+        for s in shares
+    ]

@@ -1,0 +1,168 @@
+"""Secret-sharing primitives: additive and Shamir sharing.
+
+Two schemes back the paper's key management:
+
+* **Additive n-of-n sharing** — how the coalition AA's private exponent
+  ``d`` is held after Boneh-Franklin key generation (Section 3.2): each
+  domain holds ``d_i`` with ``sum(d_i) == d`` and every domain must
+  participate in a joint signature.
+* **Shamir m-of-n sharing** — the threshold variant of Section 3.3 that
+  trades consensus for availability; also the building block of the BGW
+  multiplication used inside distributed key generation.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .numtheory import lagrange_coefficients_at_zero
+
+__all__ = [
+    "AdditiveShare",
+    "additive_share",
+    "additive_reconstruct",
+    "ShamirShare",
+    "shamir_share",
+    "shamir_reconstruct",
+    "Polynomial",
+    "interpolate_at_zero",
+    "zero_sum_masks",
+]
+
+
+@dataclass(frozen=True)
+class AdditiveShare:
+    """One party's additive share of an integer secret."""
+
+    index: int  # 1-based party index
+    value: int
+
+
+def additive_share(secret: int, parties: int, bound: int) -> List[AdditiveShare]:
+    """Split ``secret`` into ``parties`` integer shares summing to it.
+
+    Shares other than the last are uniform in ``[-bound, bound)``; the last
+    absorbs the remainder.  ``bound`` should be much larger than the secret
+    for statistical hiding (callers use ``bound = N**2``).
+    """
+    if parties < 1:
+        raise ValueError("need at least one party")
+    if bound < 1:
+        raise ValueError("bound must be positive")
+    shares: List[int] = []
+    running = 0
+    for _ in range(parties - 1):
+        r = secrets.randbelow(2 * bound) - bound
+        shares.append(r)
+        running += r
+    shares.append(secret - running)
+    return [AdditiveShare(index=i + 1, value=v) for i, v in enumerate(shares)]
+
+
+def additive_reconstruct(shares: Sequence[AdditiveShare]) -> int:
+    """Recombine additive shares (requires all of them; n-of-n)."""
+    if not shares:
+        raise ValueError("no shares supplied")
+    indices = [s.index for s in shares]
+    if len(set(indices)) != len(indices):
+        raise ValueError("duplicate share indices")
+    return sum(s.value for s in shares)
+
+
+class Polynomial:
+    """A polynomial over GF(modulus), used for Shamir sharing and BGW."""
+
+    def __init__(self, coefficients: Sequence[int], modulus: int):
+        if modulus < 2:
+            raise ValueError("modulus must be >= 2")
+        self.modulus = modulus
+        self.coefficients = [c % modulus for c in coefficients]
+
+    @classmethod
+    def random(cls, constant: int, degree: int, modulus: int) -> "Polynomial":
+        """Random degree-``degree`` polynomial with the given constant term."""
+        coeffs = [constant % modulus]
+        coeffs.extend(secrets.randbelow(modulus) for _ in range(degree))
+        return cls(coeffs, modulus)
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+    def evaluate(self, x: int) -> int:
+        """Horner evaluation at ``x`` mod the field modulus."""
+        acc = 0
+        for c in reversed(self.coefficients):
+            acc = (acc * x + c) % self.modulus
+        return acc
+
+
+@dataclass(frozen=True)
+class ShamirShare:
+    """A Shamir share: the evaluation of the sharing polynomial at ``x``."""
+
+    index: int  # evaluation point x (1-based, nonzero)
+    value: int
+    modulus: int
+    threshold: int  # m: number of shares needed to reconstruct
+
+
+def shamir_share(
+    secret: int, parties: int, threshold: int, modulus: int
+) -> List[ShamirShare]:
+    """Shamir ``threshold``-of-``parties`` sharing of ``secret`` mod ``modulus``."""
+    if not 1 <= threshold <= parties:
+        raise ValueError("threshold must satisfy 1 <= m <= n")
+    if parties >= modulus:
+        raise ValueError("field too small for this many parties")
+    poly = Polynomial.random(secret, threshold - 1, modulus)
+    return [
+        ShamirShare(index=x, value=poly.evaluate(x), modulus=modulus, threshold=threshold)
+        for x in range(1, parties + 1)
+    ]
+
+
+def shamir_reconstruct(shares: Sequence[ShamirShare]) -> int:
+    """Reconstruct the secret from >= threshold Shamir shares."""
+    if not shares:
+        raise ValueError("no shares supplied")
+    modulus = shares[0].modulus
+    threshold = shares[0].threshold
+    if any(s.modulus != modulus or s.threshold != threshold for s in shares):
+        raise ValueError("shares come from different sharings")
+    if len(shares) < threshold:
+        raise ValueError(
+            f"insufficient shares: have {len(shares)}, need {threshold}"
+        )
+    subset = shares[:threshold]
+    xs = [s.index for s in subset]
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate share indices")
+    lams = lagrange_coefficients_at_zero(xs, modulus)
+    return sum(lam * s.value for lam, s in zip(lams, subset)) % modulus
+
+
+def interpolate_at_zero(points: Sequence[Tuple[int, int]], modulus: int) -> int:
+    """Interpolate a polynomial through ``points`` and evaluate it at 0.
+
+    Unlike :func:`shamir_reconstruct` this takes raw (x, y) pairs; BGW
+    multiplication uses it to open a degree-2t product polynomial.
+    """
+    xs = [x for x, _ in points]
+    lams = lagrange_coefficients_at_zero(xs, modulus)
+    return sum(lam * y for lam, (_, y) in zip(lams, points)) % modulus
+
+
+def zero_sum_masks(parties: int, modulus: int) -> Dict[int, int]:
+    """Random values per party summing to zero mod ``modulus``.
+
+    Used to mask individual contributions when a sum (and only the sum)
+    must be revealed, e.g. distributed trial division.
+    """
+    if parties < 1:
+        raise ValueError("need at least one party")
+    masks = {i: secrets.randbelow(modulus) for i in range(1, parties)}
+    masks[parties] = (-sum(masks.values())) % modulus
+    return masks

@@ -1,0 +1,274 @@
+"""Shoup-style m-of-n threshold RSA signatures (Eurocrypt 2000).
+
+Section 3.3 of the paper discusses threshold ``m``-of-``n`` sharing of the
+coalition AA's private key as an availability/consensus trade-off: only
+``m`` domains need to be on-line to sign, at the cost of weakening the
+all-owners-consent requirement.  We implement the standard Shoup scheme:
+
+* ``N = pq`` with safe primes ``p = 2p'+1``, ``q = 2q'+1``; the secret
+  ``d = e^{-1} mod m`` where ``m = p'q'``.
+* The dealer Shamir-shares ``d`` over ``Z_m`` with a degree-``(k-1)``
+  polynomial (``k`` = threshold); party ``i`` holds ``s_i = f(i)``.
+* A signature share is ``x_i = H(M)^{2*Delta*s_i} mod N`` with
+  ``Delta = n!``.
+* Any ``k`` shares combine via integer Lagrange coefficients
+  ``lam_i = Delta * prod_{j != i} j/(j-i)`` (always integers):
+  ``w = prod x_i^{2*lam_i} = H^{4*Delta^2*d}``, and since
+  ``gcd(4*Delta^2, e) = 1`` (``e`` is a prime larger than ``n``) extended
+  Euclid turns ``w`` into the true signature ``s`` with ``s^e = H(M)``.
+
+The dealer here is the *coalition itself at key-establishment time*; the
+paper's dealerless additive scheme covers the n-of-n consensus case, and
+this module covers the §3.3 threshold variant (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+import secrets
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .hashing import full_domain_hash
+from .numtheory import egcd, modinv
+from .rsa import generate_safe_keypair
+
+__all__ = [
+    "ThresholdPublicKey",
+    "ThresholdKeyShare",
+    "ThresholdSignatureShare",
+    "ThresholdKey",
+    "generate_threshold_key",
+    "threshold_sign_share",
+    "combine_threshold_shares",
+    "robust_combine",
+    "ThresholdCombineError",
+]
+
+
+class ThresholdCombineError(Exception):
+    """Raised when threshold signature shares cannot be combined."""
+
+
+@dataclass(frozen=True)
+class ThresholdPublicKey:
+    """Public data of an m-of-n threshold RSA key."""
+
+    modulus: int
+    exponent: int
+    n_parties: int
+    threshold: int
+
+    @property
+    def delta(self) -> int:
+        return math.factorial(self.n_parties)
+
+    def verify(self, message: bytes, signature: int) -> bool:
+        if not 0 < signature < self.modulus:
+            return False
+        expected = full_domain_hash(message, self.modulus)
+        return pow(signature, self.exponent, self.modulus) == expected
+
+    def fingerprint(self) -> str:
+        import hashlib
+
+        material = (
+            f"{self.modulus}:{self.exponent}:{self.threshold}".encode()
+        )
+        return hashlib.sha256(material).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ThresholdKeyShare:
+    """Party ``index``'s share ``s_i = f(i) mod m`` of the secret ``d``."""
+
+    index: int
+    value: int
+
+
+@dataclass(frozen=True)
+class ThresholdSignatureShare:
+    """One party's signature share ``x_i = H(M)^{2*Delta*s_i}``."""
+
+    index: int
+    value: int
+
+
+@dataclass(frozen=True)
+class ThresholdKey:
+    """The dealer's output: public key plus per-party shares."""
+
+    public: ThresholdPublicKey
+    shares: List[ThresholdKeyShare]
+
+
+def generate_threshold_key(
+    n_parties: int,
+    threshold: int,
+    bits: int = 128,
+    public_exponent: int = 65_537,
+) -> ThresholdKey:
+    """Deal an m-of-n Shoup threshold key.
+
+    ``bits`` defaults low because safe-prime generation is expensive in
+    pure Python; benchmarks sweep realistic sizes.
+    """
+    if not 1 <= threshold <= n_parties:
+        raise ValueError("threshold must satisfy 1 <= m <= n")
+    if public_exponent <= n_parties:
+        raise ValueError("public exponent must exceed the party count")
+    pair, p_prime, q_prime = generate_safe_keypair(
+        bits=bits, public_exponent=public_exponent
+    )
+    m = p_prime * q_prime
+    d = modinv(public_exponent, m)
+    # Shamir sharing of d over Z_m with degree threshold-1.
+    coeffs = [d] + [secrets.randbelow(m) for _ in range(threshold - 1)]
+    shares = []
+    for i in range(1, n_parties + 1):
+        acc = 0
+        for c in reversed(coeffs):
+            acc = (acc * i + c) % m
+        shares.append(ThresholdKeyShare(index=i, value=acc))
+    public = ThresholdPublicKey(
+        modulus=pair.public.modulus,
+        exponent=public_exponent,
+        n_parties=n_parties,
+        threshold=threshold,
+    )
+    return ThresholdKey(public=public, shares=shares)
+
+
+def threshold_sign_share(
+    message: bytes, share: ThresholdKeyShare, public: ThresholdPublicKey
+) -> ThresholdSignatureShare:
+    """Compute one party's signature share."""
+    h = full_domain_hash(message, public.modulus)
+    exponent = 2 * public.delta * share.value
+    return ThresholdSignatureShare(
+        index=share.index, value=pow(h, exponent, public.modulus)
+    )
+
+
+def _integer_lagrange(
+    subset: Sequence[int], i: int, delta: int
+) -> int:
+    """Integer Lagrange coefficient ``lam = Delta * prod j/(j-i)`` at 0."""
+    num = delta
+    den = 1
+    for j in subset:
+        if j == i:
+            continue
+        num *= j
+        den *= j - i
+    if num % den != 0:  # pragma: no cover - theorem guarantees divisibility
+        raise ThresholdCombineError("non-integer Lagrange coefficient")
+    return num // den
+
+
+def combine_threshold_shares(
+    message: bytes,
+    sig_shares: Sequence[ThresholdSignatureShare],
+    public: ThresholdPublicKey,
+) -> int:
+    """Combine >= threshold signature shares into a verified signature.
+
+    Raises:
+        ThresholdCombineError: too few/duplicate shares, or a share was
+            corrupted so the combined value does not verify.
+    """
+    indices = [s.index for s in sig_shares]
+    if len(set(indices)) != len(indices):
+        raise ThresholdCombineError("duplicate signature shares")
+    if len(sig_shares) < public.threshold:
+        raise ThresholdCombineError(
+            f"need {public.threshold} shares, got {len(sig_shares)}"
+        )
+    subset = sig_shares[: public.threshold]
+    subset_indices = [s.index for s in subset]
+    n = public.modulus
+    h = full_domain_hash(message, n)
+    delta = public.delta
+
+    w = 1
+    for s in subset:
+        lam = _integer_lagrange(subset_indices, s.index, delta)
+        exponent = 2 * lam
+        if exponent >= 0:
+            w = (w * pow(s.value, exponent, n)) % n
+        else:
+            w = (w * modinv(pow(s.value, -exponent, n), n)) % n
+    # w = H^{4*Delta^2*d}; lift to H^d via egcd(4*Delta^2, e).
+    e_prime = 4 * delta * delta
+    g, a, b = egcd(e_prime, public.exponent)
+    if g != 1:  # pragma: no cover - e prime > n guarantees this
+        raise ThresholdCombineError("public exponent shares a factor with 4*Delta^2")
+    if a >= 0:
+        part_w = pow(w, a, n)
+    else:
+        part_w = modinv(pow(w, -a, n), n)
+    if b >= 0:
+        part_h = pow(h, b, n)
+    else:
+        part_h = modinv(pow(h, -b, n), n)
+    signature = (part_w * part_h) % n
+    if not public.verify(message, signature):
+        raise ThresholdCombineError(
+            "combined threshold signature failed verification"
+        )
+    return signature
+
+
+def robust_combine(
+    message: bytes,
+    sig_shares: Sequence[ThresholdSignatureShare],
+    public: ThresholdPublicKey,
+) -> "Tuple[int, List[int]]":
+    """Combine in the presence of corrupted shares; identify the culprits.
+
+    Searches size-``threshold`` subsets for one that combines to a
+    verifying signature, then classifies every remaining share by
+    substituting it into the known-good subset.  Returns
+    ``(signature, bad_indices)``.
+
+    Intrusion-tolerance in the style of Wu et al.: a minority of
+    Byzantine share holders cannot block signing as long as ``threshold``
+    honest shares are present.
+
+    Raises:
+        ThresholdCombineError: no verifying subset exists (fewer than
+            ``threshold`` honest shares).
+    """
+    import itertools as _itertools
+
+    indices = [s.index for s in sig_shares]
+    if len(set(indices)) != len(indices):
+        raise ThresholdCombineError("duplicate signature shares")
+    if len(sig_shares) < public.threshold:
+        raise ThresholdCombineError(
+            f"need {public.threshold} shares, got {len(sig_shares)}"
+        )
+    good_subset = None
+    signature = None
+    for subset in _itertools.combinations(sig_shares, public.threshold):
+        try:
+            signature = combine_threshold_shares(message, list(subset), public)
+            good_subset = list(subset)
+            break
+        except ThresholdCombineError:
+            continue
+    if good_subset is None or signature is None:
+        raise ThresholdCombineError(
+            "no verifying subset: too few honest shares"
+        )
+    good_indices = {s.index for s in good_subset}
+    bad: List[int] = []
+    for share in sig_shares:
+        if share.index in good_indices:
+            continue
+        probe = [*good_subset[: public.threshold - 1], share]
+        try:
+            combine_threshold_shares(message, probe, public)
+        except ThresholdCombineError:
+            bad.append(share.index)
+    return signature, bad

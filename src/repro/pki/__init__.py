@@ -1,0 +1,46 @@
+"""PKI substrate: certificates, authorities, validation and directories.
+
+Certificates are real cryptographic objects (canonical bytes + RSA-FDH
+signatures) that also idealize into logic formulas (Section 4.2), so the
+protocol layer can verify bytes first and reason about trust second.
+"""
+
+from .authorities import (
+    CertificateAuthority,
+    RevocationAuthority,
+    SingleAttributeAuthority,
+)
+from .certificates import (
+    AttributeCertificate,
+    Certificate,
+    IdentityCertificate,
+    RevocationCertificate,
+    ThresholdAttributeCertificate,
+    ValidityPeriod,
+)
+from .serialization import canonical_bytes
+from .store import CertificateStore
+from .validation import (
+    BadSignature,
+    CertificateError,
+    ExpiredCertificate,
+    validate_certificate,
+)
+
+__all__ = [
+    "CertificateAuthority",
+    "RevocationAuthority",
+    "SingleAttributeAuthority",
+    "AttributeCertificate",
+    "Certificate",
+    "IdentityCertificate",
+    "RevocationCertificate",
+    "ThresholdAttributeCertificate",
+    "ValidityPeriod",
+    "canonical_bytes",
+    "CertificateStore",
+    "BadSignature",
+    "CertificateError",
+    "ExpiredCertificate",
+    "validate_certificate",
+]

@@ -1,0 +1,241 @@
+"""Certificate-issuing authorities with conventional (single-owner) keys.
+
+* :class:`CertificateAuthority` — a domain's identity CA (Requirement I:
+  each domain keeps its own CA; coalition servers trust it for that
+  domain's users only).
+* :class:`SingleAttributeAuthority` — an attribute authority owned by
+  one principal.  Used for *local domain* resources and as the Case I /
+  unilateral baselines; the jointly controlled coalition AA lives in
+  :mod:`repro.coalition.authority`.
+* :class:`RevocationAuthority` — authorized to publish revocation
+  certificates on behalf of an AA (Section 4.3's RA).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..crypto.rsa import RSAKeyPair, RSAPublicKey, generate_keypair
+from .certificates import (
+    AttributeCertificate,
+    Certificate,
+    IdentityCertificate,
+    RevocationCertificate,
+    ThresholdAttributeCertificate,
+    ValidityPeriod,
+)
+
+__all__ = [
+    "CertificateAuthority",
+    "SingleAttributeAuthority",
+    "RevocationAuthority",
+]
+
+
+class _SerialCounter:
+    """Deterministic per-authority serial numbers."""
+
+    def __init__(self, prefix: str):
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    def next(self) -> str:
+        return f"{self._prefix}-{next(self._counter):06d}"
+
+
+class CertificateAuthority:
+    """A domain identity CA: registers users, issues and revokes ID certs."""
+
+    def __init__(self, name: str, key_bits: int = 512):
+        self.name = name
+        self.keypair: RSAKeyPair = generate_keypair(bits=key_bits)
+        self._serials = _SerialCounter(f"{name}/id")
+        self._issued: Dict[str, IdentityCertificate] = {}
+        self._revocations: Dict[str, RevocationCertificate] = {}
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self.keypair.public
+
+    @property
+    def key_id(self) -> str:
+        return self.keypair.public.fingerprint()
+
+    def issue_identity(
+        self,
+        subject: str,
+        subject_key: RSAPublicKey,
+        now: int,
+        validity: ValidityPeriod,
+    ) -> IdentityCertificate:
+        """Issue an identity certificate binding ``subject`` to its key."""
+        cert = IdentityCertificate(
+            serial=self._serials.next(),
+            subject=subject,
+            subject_key_modulus=subject_key.modulus,
+            subject_key_exponent=subject_key.exponent,
+            issuer=self.name,
+            issuer_key_id=self.key_id,
+            timestamp=now,
+            validity=validity,
+        )
+        signed = replace(
+            cert, signature=self.keypair.private.sign(cert.payload_bytes())
+        )
+        self._issued[signed.serial] = signed
+        return signed
+
+    def revoke(self, serial: str, now: int) -> RevocationCertificate:
+        """Revoke a previously issued identity certificate."""
+        cert = self._issued.get(serial)
+        if cert is None:
+            raise KeyError(f"{self.name} never issued certificate {serial}")
+        revocation = RevocationCertificate(
+            serial=self._serials.next(),
+            revoked_serial=serial,
+            revoked=cert,
+            issuer=self.name,
+            issuer_key_id=self.key_id,
+            timestamp=now,
+            effective_time=now,
+        )
+        signed = replace(
+            revocation, signature=self.keypair.private.sign(revocation.payload_bytes())
+        )
+        self._revocations[serial] = signed
+        return signed
+
+    def issued_certificates(self) -> List[IdentityCertificate]:
+        return list(self._issued.values())
+
+
+class SingleAttributeAuthority:
+    """An attribute authority controlled by a single owner.
+
+    This is what the paper's Section 2.2 shows to be *insufficient* for
+    jointly owned resources: whoever holds this AA's private key can
+    unilaterally issue certificates (experiment E12 demonstrates the
+    attack against it).
+    """
+
+    def __init__(self, name: str, key_bits: int = 512):
+        self.name = name
+        self.keypair: RSAKeyPair = generate_keypair(bits=key_bits)
+        self._serials = _SerialCounter(f"{name}/ac")
+        self._issued: Dict[str, Certificate] = {}
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self.keypair.public
+
+    @property
+    def key_id(self) -> str:
+        return self.keypair.public.fingerprint()
+
+    def issue_attribute(
+        self,
+        subject: str,
+        subject_key_id: str,
+        group: str,
+        now: int,
+        validity: ValidityPeriod,
+    ) -> AttributeCertificate:
+        cert = AttributeCertificate(
+            serial=self._serials.next(),
+            subject=subject,
+            subject_key_id=subject_key_id,
+            group=group,
+            issuer=self.name,
+            issuer_key_id=self.key_id,
+            timestamp=now,
+            validity=validity,
+        )
+        signed = replace(
+            cert, signature=self.keypair.private.sign(cert.payload_bytes())
+        )
+        self._issued[signed.serial] = signed
+        return signed
+
+    def issue_threshold_attribute(
+        self,
+        subjects: Sequence[Tuple[str, str]],
+        threshold: int,
+        group: str,
+        now: int,
+        validity: ValidityPeriod,
+    ) -> ThresholdAttributeCertificate:
+        """Issue a threshold AC under this single key (baseline only)."""
+        cert = ThresholdAttributeCertificate(
+            serial=self._serials.next(),
+            subjects=tuple(tuple(s) for s in subjects),
+            threshold=threshold,
+            group=group,
+            issuer=self.name,
+            issuer_key_id=self.key_id,
+            timestamp=now,
+            validity=validity,
+        )
+        signed = replace(
+            cert, signature=self.keypair.private.sign(cert.payload_bytes())
+        )
+        self._issued[signed.serial] = signed
+        return signed
+
+    def revoke(self, serial: str, now: int) -> RevocationCertificate:
+        cert = self._issued.get(serial)
+        if cert is None:
+            raise KeyError(f"{self.name} never issued certificate {serial}")
+        revocation = RevocationCertificate(
+            serial=self._serials.next(),
+            revoked_serial=serial,
+            revoked=cert,
+            issuer=self.name,
+            issuer_key_id=self.key_id,
+            timestamp=now,
+            effective_time=now,
+        )
+        return replace(
+            revocation,
+            signature=self.keypair.private.sign(revocation.payload_bytes()),
+        )
+
+
+class RevocationAuthority:
+    """Publishes revocation certificates on behalf of an AA (§4.3's RA).
+
+    The RA holds its own conventional key; verifiers are configured with
+    a jurisdiction belief that the RA speaks for the AA on revocations.
+    """
+
+    def __init__(self, name: str, key_bits: int = 512):
+        self.name = name
+        self.keypair: RSAKeyPair = generate_keypair(bits=key_bits)
+        self._serials = _SerialCounter(f"{name}/rev")
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self.keypair.public
+
+    @property
+    def key_id(self) -> str:
+        return self.keypair.public.fingerprint()
+
+    def revoke(
+        self, cert: Certificate, now: int, effective_time: Optional[int] = None
+    ) -> RevocationCertificate:
+        """Issue a revocation certificate for ``cert``."""
+        revocation = RevocationCertificate(
+            serial=self._serials.next(),
+            revoked_serial=cert.serial,
+            revoked=cert,
+            issuer=self.name,
+            issuer_key_id=self.key_id,
+            timestamp=now,
+            effective_time=now if effective_time is None else effective_time,
+        )
+        return replace(
+            revocation,
+            signature=self.keypair.private.sign(revocation.payload_bytes()),
+        )

@@ -1,0 +1,167 @@
+"""JSON transport encoding for certificates.
+
+Certificates travel between domains and servers in real deployments;
+this module provides a complete, reversible JSON encoding for every
+certificate type (including nested revoked certificates), suitable for
+wire transfer or directory persistence.  The canonical *signature*
+payload remains :func:`repro.pki.serialization.canonical_bytes`; this
+encoding is a transport envelope around it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+from .certificates import (
+    AttributeCertificate,
+    Certificate,
+    IdentityCertificate,
+    RevocationCertificate,
+    ThresholdAttributeCertificate,
+    ValidityPeriod,
+)
+
+__all__ = ["encode_certificate", "decode_certificate", "EncodingError"]
+
+
+class EncodingError(Exception):
+    """The JSON document is not a valid certificate encoding."""
+
+
+def _validity_to_json(validity: ValidityPeriod) -> Dict[str, int]:
+    return {"begin": validity.begin, "end": validity.end}
+
+
+def _validity_from_json(doc: Dict[str, int]) -> ValidityPeriod:
+    return ValidityPeriod(begin=doc["begin"], end=doc["end"])
+
+
+def _to_dict(cert: Certificate) -> Dict[str, Any]:
+    if isinstance(cert, IdentityCertificate):
+        return {
+            "kind": "identity",
+            "serial": cert.serial,
+            "subject": cert.subject,
+            "subject_key_modulus": hex(cert.subject_key_modulus),
+            "subject_key_exponent": cert.subject_key_exponent,
+            "issuer": cert.issuer,
+            "issuer_key_id": cert.issuer_key_id,
+            "timestamp": cert.timestamp,
+            "validity": _validity_to_json(cert.validity),
+            "signature": hex(cert.signature),
+        }
+    if isinstance(cert, AttributeCertificate):
+        return {
+            "kind": "attribute",
+            "serial": cert.serial,
+            "subject": cert.subject,
+            "subject_key_id": cert.subject_key_id,
+            "group": cert.group,
+            "issuer": cert.issuer,
+            "issuer_key_id": cert.issuer_key_id,
+            "timestamp": cert.timestamp,
+            "validity": _validity_to_json(cert.validity),
+            "signature": hex(cert.signature),
+        }
+    if isinstance(cert, ThresholdAttributeCertificate):
+        return {
+            "kind": "threshold-attribute",
+            "serial": cert.serial,
+            "subjects": [list(s) for s in cert.subjects],
+            "threshold": cert.threshold,
+            "group": cert.group,
+            "issuer": cert.issuer,
+            "issuer_key_id": cert.issuer_key_id,
+            "timestamp": cert.timestamp,
+            "validity": _validity_to_json(cert.validity),
+            "signature": hex(cert.signature),
+        }
+    if isinstance(cert, RevocationCertificate):
+        return {
+            "kind": "revocation",
+            "serial": cert.serial,
+            "revoked_serial": cert.revoked_serial,
+            "revoked": _to_dict(cert.revoked),
+            "issuer": cert.issuer,
+            "issuer_key_id": cert.issuer_key_id,
+            "timestamp": cert.timestamp,
+            "effective_time": cert.effective_time,
+            "signature": hex(cert.signature),
+        }
+    raise EncodingError(f"unknown certificate type {type(cert).__name__}")
+
+
+def _from_dict(doc: Dict[str, Any]) -> Certificate:
+    try:
+        kind = doc["kind"]
+        if kind == "identity":
+            return IdentityCertificate(
+                serial=doc["serial"],
+                subject=doc["subject"],
+                subject_key_modulus=int(doc["subject_key_modulus"], 16),
+                subject_key_exponent=doc["subject_key_exponent"],
+                issuer=doc["issuer"],
+                issuer_key_id=doc["issuer_key_id"],
+                timestamp=doc["timestamp"],
+                validity=_validity_from_json(doc["validity"]),
+                signature=int(doc["signature"], 16),
+            )
+        if kind == "attribute":
+            return AttributeCertificate(
+                serial=doc["serial"],
+                subject=doc["subject"],
+                subject_key_id=doc["subject_key_id"],
+                group=doc["group"],
+                issuer=doc["issuer"],
+                issuer_key_id=doc["issuer_key_id"],
+                timestamp=doc["timestamp"],
+                validity=_validity_from_json(doc["validity"]),
+                signature=int(doc["signature"], 16),
+            )
+        if kind == "threshold-attribute":
+            return ThresholdAttributeCertificate(
+                serial=doc["serial"],
+                subjects=tuple(tuple(s) for s in doc["subjects"]),
+                threshold=doc["threshold"],
+                group=doc["group"],
+                issuer=doc["issuer"],
+                issuer_key_id=doc["issuer_key_id"],
+                timestamp=doc["timestamp"],
+                validity=_validity_from_json(doc["validity"]),
+                signature=int(doc["signature"], 16),
+            )
+        if kind == "revocation":
+            return RevocationCertificate(
+                serial=doc["serial"],
+                revoked_serial=doc["revoked_serial"],
+                revoked=_from_dict(doc["revoked"]),
+                issuer=doc["issuer"],
+                issuer_key_id=doc["issuer_key_id"],
+                timestamp=doc["timestamp"],
+                effective_time=doc["effective_time"],
+                signature=int(doc["signature"], 16),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise EncodingError(f"malformed certificate document: {exc}") from exc
+    raise EncodingError(f"unknown certificate kind {kind!r}")
+
+
+def encode_certificate(cert: Certificate) -> str:
+    """Serialize any certificate to a JSON string."""
+    return json.dumps(_to_dict(cert), sort_keys=True)
+
+
+def decode_certificate(data: Union[str, bytes]) -> Certificate:
+    """Parse a certificate from its JSON encoding.
+
+    Raises:
+        EncodingError: the document is not a valid encoding.
+    """
+    try:
+        doc = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise EncodingError(f"not JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise EncodingError("certificate document must be a JSON object")
+    return _from_dict(doc)

@@ -1,0 +1,120 @@
+"""A certificate store/directory with revocation tracking.
+
+Coalition participants publish certificates here (the paper's AA
+"distributes" certificates; a directory is the usual realization).
+Lookups are by serial, subject, or group; revocations are indexed by the
+revoked serial so freshness checks are O(1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from .certificates import (
+    AttributeCertificate,
+    Certificate,
+    IdentityCertificate,
+    RevocationCertificate,
+    ThresholdAttributeCertificate,
+)
+
+__all__ = ["CertificateStore"]
+
+
+class CertificateStore:
+    """In-memory certificate directory."""
+
+    def __init__(self) -> None:
+        self._by_serial: Dict[str, Certificate] = {}
+        self._by_subject: Dict[str, List[Certificate]] = defaultdict(list)
+        self._by_group: Dict[str, List[Certificate]] = defaultdict(list)
+        self._revocations: Dict[str, RevocationCertificate] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_serial)
+
+    def publish(self, cert: Certificate) -> None:
+        """Add a certificate (or revocation) to the directory."""
+        if isinstance(cert, RevocationCertificate):
+            self._revocations[cert.revoked_serial] = cert
+            self._by_serial[cert.serial] = cert
+            return
+        if cert.serial in self._by_serial:
+            raise ValueError(f"duplicate serial {cert.serial}")
+        self._by_serial[cert.serial] = cert
+        if isinstance(cert, IdentityCertificate):
+            self._by_subject[cert.subject].append(cert)
+        elif isinstance(cert, AttributeCertificate):
+            self._by_subject[cert.subject].append(cert)
+            self._by_group[cert.group].append(cert)
+        elif isinstance(cert, ThresholdAttributeCertificate):
+            for name, _key in cert.subjects:
+                self._by_subject[name].append(cert)
+            self._by_group[cert.group].append(cert)
+
+    def get(self, serial: str) -> Optional[Certificate]:
+        return self._by_serial.get(serial)
+
+    def for_subject(self, subject: str) -> List[Certificate]:
+        return list(self._by_subject.get(subject, ()))
+
+    def for_group(self, group: str) -> List[Certificate]:
+        return list(self._by_group.get(group, ()))
+
+    def revocation_of(self, serial: str) -> Optional[RevocationCertificate]:
+        return self._revocations.get(serial)
+
+    def is_revoked(self, serial: str, now: int) -> bool:
+        """Revoked-and-effective check at local time ``now``."""
+        revocation = self._revocations.get(serial)
+        return revocation is not None and revocation.effective_time <= now
+
+    def identity_for(
+        self, subject: str, now: int
+    ) -> Optional[IdentityCertificate]:
+        """The newest valid, unrevoked identity certificate for a subject."""
+        best: Optional[IdentityCertificate] = None
+        for cert in self._by_subject.get(subject, ()):
+            if not isinstance(cert, IdentityCertificate):
+                continue
+            if not cert.validity.contains(now):
+                continue
+            if self.is_revoked(cert.serial, now):
+                continue
+            if best is None or cert.timestamp > best.timestamp:
+                best = cert
+        return best
+
+    def all_certificates(self) -> List[Certificate]:
+        return list(self._by_serial.values())
+
+    # ------------------------------------------------------- persistence
+
+    def save(self, path) -> int:
+        """Persist the directory as JSON lines; returns the entry count.
+
+        Revocations are stored like any certificate and re-indexed on
+        load, so a reloaded store gives identical revocation answers.
+        """
+        from .encoding import encode_certificate
+
+        certificates = self.all_certificates()
+        with open(path, "w", encoding="utf-8") as handle:
+            for cert in certificates:
+                handle.write(encode_certificate(cert))
+                handle.write("\n")
+        return len(certificates)
+
+    @classmethod
+    def load(cls, path) -> "CertificateStore":
+        """Rebuild a directory from :meth:`save` output."""
+        from .encoding import decode_certificate
+
+        store = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    store.publish(decode_certificate(line))
+        return store

@@ -1,0 +1,74 @@
+"""Cryptographic validation of certificates against trusted keys.
+
+The coalition server performs two layers of checking on every access
+request: the *cryptographic* layer here (signature bytes verify against
+a trusted key, validity period covers "now", not revoked) and the
+*logical* layer in :mod:`repro.coalition.protocol` (the derivation chain
+of Section 4.3).  Separating them mirrors the paper's structure: the
+logic assumes ideal signatures; this module discharges that assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..crypto.boneh_franklin import SharedRSAPublicKey
+from ..crypto.rsa import RSAPublicKey
+from .certificates import (
+    AttributeCertificate,
+    IdentityCertificate,
+    RevocationCertificate,
+    ThresholdAttributeCertificate,
+)
+
+__all__ = [
+    "CertificateError",
+    "ExpiredCertificate",
+    "BadSignature",
+    "validate_certificate",
+]
+
+VerifierKey = Union[RSAPublicKey, SharedRSAPublicKey]
+
+
+class CertificateError(Exception):
+    """Base class for certificate validation failures."""
+
+
+class BadSignature(CertificateError):
+    """The certificate's signature does not verify under the trusted key."""
+
+
+class ExpiredCertificate(CertificateError):
+    """The certificate's validity period does not cover the check time."""
+
+
+def validate_certificate(
+    cert: Union[
+        IdentityCertificate,
+        AttributeCertificate,
+        ThresholdAttributeCertificate,
+        RevocationCertificate,
+    ],
+    trusted_key: VerifierKey,
+    now: Optional[int] = None,
+) -> None:
+    """Validate signature (always) and validity period (when ``now`` given).
+
+    Raises:
+        BadSignature: signature mismatch or key-id mismatch.
+        ExpiredCertificate: ``now`` outside the validity period.
+    """
+    if cert.issuer_key_id != trusted_key.fingerprint():
+        raise BadSignature(
+            f"certificate {cert.serial} names issuer key "
+            f"{cert.issuer_key_id}, expected {trusted_key.fingerprint()}"
+        )
+    if not trusted_key.verify(cert.payload_bytes(), cert.signature):
+        raise BadSignature(f"signature check failed for {cert.serial}")
+    validity = getattr(cert, "validity", None)
+    if now is not None and validity is not None and not validity.contains(now):
+        raise ExpiredCertificate(
+            f"certificate {cert.serial} valid "
+            f"[{validity.begin}, {validity.end}], checked at {now}"
+        )

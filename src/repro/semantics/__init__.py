@@ -1,0 +1,42 @@
+"""Model of computation and executable soundness checking.
+
+Appendix C's runs/histories/truth-conditions and Appendix D's soundness
+theorem, realized as code: random legal runs are generated and every
+axiom schema is validated against the truth conditions on them.
+"""
+
+from .bridge import idealize_payload, run_from_trace
+from .events import Generate, History, Receive, Send, TimestampedEvent
+from .generators import GeneratorConfig, RunBuilder, generate_system
+from .runs import (
+    EnvironmentState,
+    GlobalState,
+    LegalityError,
+    LocalState,
+    Run,
+)
+from .soundness import Counterexample, SoundnessChecker, SoundnessReport
+from .truth import InterpretedSystem, truth
+
+__all__ = [
+    "idealize_payload",
+    "run_from_trace",
+    "Generate",
+    "History",
+    "Receive",
+    "Send",
+    "TimestampedEvent",
+    "GeneratorConfig",
+    "RunBuilder",
+    "generate_system",
+    "EnvironmentState",
+    "GlobalState",
+    "LegalityError",
+    "LocalState",
+    "Run",
+    "Counterexample",
+    "SoundnessChecker",
+    "SoundnessReport",
+    "InterpretedSystem",
+    "truth",
+]

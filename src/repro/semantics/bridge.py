@@ -1,0 +1,103 @@
+"""From a recorded network trace to a semantic Run.
+
+Closes the loop between the *system* and the *model of computation*: a
+network recorded with ``record_trace=True`` can be replayed into a
+:class:`~repro.semantics.runs.Run`, whose legality is then checkable
+and on which the truth conditions can be evaluated — so one can ask,
+of a real protocol execution, whether the formulas the server derived
+were actually *true* in the induced model.
+
+Payload idealization: objects exposing an ``idealize()`` method
+(certificates, :class:`~repro.coalition.requests.SignedRequestPart`)
+become their logic forms; other payloads become opaque
+:class:`~repro.core.messages.Data` constants.  Wire wrappers used by
+:mod:`repro.coalition.netflow` are unwrapped to the interesting parts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.messages import Data
+from ..sim.network import Network
+from .events import History, Receive, Send, TimestampedEvent
+from .runs import EnvironmentState, GlobalState, LocalState, Run
+
+__all__ = ["idealize_payload", "run_from_trace"]
+
+
+def idealize_payload(payload: object) -> object:
+    """Map a wire payload to its logic message."""
+    idealize = getattr(payload, "idealize", None)
+    if callable(idealize):
+        return idealize()
+    # Unwrap coalition.netflow wire messages to their payloads.
+    inner = getattr(payload, "payload", None)
+    kind = getattr(payload, "kind", None)
+    if kind is not None and inner is not None:
+        if kind == "sign-response":
+            return idealize_payload(inner)
+        if kind == "access-request":
+            # Idealize the whole joint request as the tuple of its parts
+            # plus certificates — the multi-part Message 1 of §4.3.
+            from ..core.messages import MessageTuple
+
+            request = inner
+            parts = [
+                idealize_payload(c) for c in request.identity_certificates
+            ]
+            parts.append(idealize_payload(request.attribute_certificate))
+            parts.extend(idealize_payload(p) for p in request.parts)
+            return MessageTuple(tuple(parts))
+        return Data(f"{kind}:{payload.request_id}")
+    return Data(repr(payload))
+
+
+def run_from_trace(
+    network: Network, principals: Optional[Sequence[str]] = None
+) -> Run:
+    """Reconstruct a legal Run from a recorded network trace.
+
+    Every sender/recipient in the trace becomes a principal (plus any
+    extra ``principals`` supplied); sends and deliveries become history
+    events at their recorded ticks.  The returned run spans tick 0 to
+    the trace's last tick and satisfies the legality conditions by
+    construction (deliveries in the trace always follow their sends).
+    """
+    if not network.record_trace:
+        raise ValueError("network was not created with record_trace=True")
+    trace = network.trace
+    names = set(principals or ())
+    horizon = network.clock.now
+    for _kind, tick, envelope in trace:
+        names.add(envelope.sender)
+        names.add(envelope.recipient)
+        horizon = max(horizon, tick)
+
+    histories: Dict[str, List[TimestampedEvent]] = {n: [] for n in sorted(names)}
+    for kind, tick, envelope in trace:
+        message = idealize_payload(envelope.payload)
+        if kind == "send":
+            histories[envelope.sender].append(
+                TimestampedEvent(Send(message, envelope.recipient), tick)
+            )
+        else:
+            histories[envelope.recipient].append(
+                TimestampedEvent(Receive(message), tick)
+            )
+
+    states: List[GlobalState] = []
+    for tick in range(horizon + 1):
+        locals_now = {}
+        for name in sorted(names):
+            events = [te for te in histories[name] if te.time <= tick]
+            locals_now[name] = LocalState(
+                name=name,
+                time=tick,
+                keys=frozenset(),
+                history=History(events),
+            )
+        states.append(
+            GlobalState(environment=EnvironmentState(time=tick), locals=locals_now)
+        )
+    return Run(states)

@@ -1,0 +1,103 @@
+"""Events and histories of the model of computation (Appendix C).
+
+A principal's history is a sequence of timestamped basic events:
+``send(X, Q)``, ``receive(X)`` and ``generate(X)``.  Times in a history
+are the principal's *local* times and must be strictly increasing for
+the history to be sequential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+__all__ = ["Send", "Receive", "Generate", "Event", "TimestampedEvent", "History"]
+
+
+@dataclass(frozen=True)
+class Send:
+    """``send(X, recipient)``."""
+
+    message: object
+    recipient: str
+
+
+@dataclass(frozen=True)
+class Receive:
+    """``receive(X)``."""
+
+    message: object
+
+
+@dataclass(frozen=True)
+class Generate:
+    """``generate(X)`` — typically key generation."""
+
+    message: object
+
+
+Event = object  # Send | Receive | Generate
+
+
+@dataclass(frozen=True)
+class TimestampedEvent:
+    """An event paired with the local time it occurred at."""
+
+    event: Event
+    time: int
+
+
+class History:
+    """A sequential history: timestamped events with nondecreasing times.
+
+    Appendix C requires strictly increasing times for *sequential*
+    histories; we allow ties only for events injected at the same tick
+    and expose :meth:`is_sequential` for the strict check.
+    """
+
+    def __init__(self, events: Optional[Iterable[TimestampedEvent]] = None):
+        self._events: List[TimestampedEvent] = list(events or [])
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def append(self, event: Event, time: int) -> None:
+        if self._events and time < self._events[-1].time:
+            raise ValueError("history times must be nondecreasing")
+        self._events.append(TimestampedEvent(event=event, time=time))
+
+    def is_sequential(self, upto: Optional[int] = None) -> bool:
+        """Strictly increasing times, all <= ``upto`` when given."""
+        times = [te.time for te in self._events]
+        if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+            return False
+        if upto is not None and times and times[-1] > upto:
+            return False
+        return True
+
+    def events_until(self, time: int) -> List[TimestampedEvent]:
+        return [te for te in self._events if te.time <= time]
+
+    def sends(self, until: Optional[int] = None) -> List[TimestampedEvent]:
+        out = [te for te in self._events if isinstance(te.event, Send)]
+        if until is not None:
+            out = [te for te in out if te.time <= until]
+        return out
+
+    def receives(self, until: Optional[int] = None) -> List[TimestampedEvent]:
+        out = [te for te in self._events if isinstance(te.event, Receive)]
+        if until is not None:
+            out = [te for te in out if te.time <= until]
+        return out
+
+    def generates(self, until: Optional[int] = None) -> List[TimestampedEvent]:
+        out = [te for te in self._events if isinstance(te.event, Generate)]
+        if until is not None:
+            out = [te for te in out if te.time <= until]
+        return out
+
+    def copy(self) -> "History":
+        return History(self._events)

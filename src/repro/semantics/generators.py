@@ -1,0 +1,206 @@
+"""Random legal-run generation for property-based soundness checking.
+
+:class:`RunBuilder` constructs runs event by event while maintaining the
+Appendix C legality invariants by construction (clocks monotone, keysets
+grow only via generate/receive, receives follow sends).  The random
+generator drives a builder with a seeded RNG to produce diverse small
+systems: plain/signed/tuple messages, key-owning principals (making the
+good-key semantics true), and group principals that echo their members'
+utterances (making membership semantics true).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.messages import Data, Encrypted, MessageTuple, Signed
+from ..core.terms import KeyRef
+from .events import Generate, History, Receive, Send
+from .runs import EnvironmentState, GlobalState, LocalState, Run
+from .truth import InterpretedSystem
+
+__all__ = ["RunBuilder", "generate_system", "GeneratorConfig"]
+
+
+class RunBuilder:
+    """Builds a legal run tick by tick.
+
+    All principals share real time; each has a nonnegative clock skew.
+    One global state is snapshotted per tick via :meth:`snapshot`.
+    """
+
+    def __init__(self, principals: Sequence[str], skews: Optional[Dict[str, int]] = None):
+        self._names = list(principals)
+        self._skews = dict(skews or {})
+        self._real = 0
+        self._keys: Dict[str, Set[object]] = {n: set() for n in self._names}
+        self._histories: Dict[str, History] = {n: History() for n in self._names}
+        self._states: List[GlobalState] = []
+        # messages sent but not yet delivered: (recipient, message, ready_at)
+        self._in_flight: List[Tuple[str, object, int]] = []
+
+    # ------------------------------------------------------------- time
+
+    def local_time(self, name: str) -> int:
+        return self._real + self._skews.get(name, 0)
+
+    def tick(self) -> None:
+        """Close the current tick (snapshot it) and advance real time.
+
+        The snapshot at real time ``r`` therefore includes every event
+        that happened at local times <= r, so point-time formulas about
+        tick ``r`` are already true at real time ``r``.
+        """
+        self.snapshot()
+        self._real += 1
+        still: List[Tuple[str, object, int]] = []
+        for recipient, message, ready_at in self._in_flight:
+            if ready_at <= self._real:
+                self._histories[recipient].append(
+                    Receive(message), self.local_time(recipient)
+                )
+            else:
+                still.append((recipient, message, ready_at))
+        self._in_flight = still
+
+    # ------------------------------------------------------------ events
+
+    def give_key(self, name: str, key: KeyRef) -> None:
+        """Record local key generation."""
+        self._histories[name].append(Generate(key), self.local_time(name))
+        self._keys[name].add(key)
+
+    def send(self, sender: str, recipient: str, message: object, delay: int = 1) -> None:
+        """Send a message; it is received ``delay`` ticks later."""
+        if delay < 1:
+            raise ValueError("delivery must be strictly after the send")
+        self._histories[sender].append(
+            Send(message, recipient), self.local_time(sender)
+        )
+        self._in_flight.append((recipient, message, self._real + delay))
+
+    def snapshot(self) -> None:
+        locals_now = {
+            name: LocalState(
+                name=name,
+                time=self.local_time(name),
+                keys=frozenset(self._keys[name]),
+                history=self._histories[name].copy(),
+            )
+            for name in self._names
+        }
+        env = EnvironmentState(time=self._real)
+        self._states.append(GlobalState(environment=env, locals=locals_now))
+
+    def build(self) -> Run:
+        """Drain in-flight messages and return the finished run."""
+        while self._in_flight:
+            self.tick()
+        self.snapshot()  # the final, quiet state
+        return Run(self._states)
+
+
+@dataclass
+class GeneratorConfig:
+    """Shape of randomly generated systems."""
+
+    n_principals: int = 3
+    n_keys: int = 2
+    n_groups: int = 1
+    n_ticks: int = 8
+    send_probability: float = 0.7
+    signed_probability: float = 0.5
+    tuple_probability: float = 0.2
+    encrypted_probability: float = 0.15
+    max_skew: int = 0  # zero-skew by default (signature axioms assume it)
+    n_runs: int = 3
+
+
+def generate_system(config: GeneratorConfig, seed: int = 0) -> InterpretedSystem:
+    """A small interpreted system of random legal runs.
+
+    Key discipline: each key is owned by exactly one principal, and only
+    the owner ever signs with it — so ``K => owner`` is semantically
+    good.  Group discipline: group principals echo (resend to
+    themselves) every member utterance, making membership true.
+    """
+    rng = random.Random(seed)
+    runs = []
+    for run_index in range(config.n_runs):
+        runs.append(_generate_run(config, rng, run_index))
+    return InterpretedSystem(runs=runs)
+
+
+def _generate_run(config: GeneratorConfig, rng: random.Random, run_index: int) -> Run:
+    principals = [f"P{i}" for i in range(config.n_principals)]
+    groups = [f"G{i}" for i in range(config.n_groups)]
+    members: Dict[str, List[str]] = {
+        g: rng.sample(principals, k=max(1, len(principals) // 2)) for g in groups
+    }
+    skews = {
+        n: rng.randint(0, config.max_skew) for n in principals + groups
+    }
+    builder = RunBuilder(principals + groups, skews)
+
+    keys = [KeyRef(f"key-{run_index}-{i}") for i in range(config.n_keys)]
+    owners = {key: rng.choice(principals) for key in keys}
+    for key, owner in owners.items():
+        builder.give_key(owner, key)
+
+    counter = 0
+    last_sent: Dict[str, Tuple[int, object]] = {}
+    for _ in range(config.n_ticks):
+        for sender in principals:
+            if rng.random() > config.send_probability:
+                continue
+            counter += 1
+            message: object = Data(f"m{run_index}.{counter}")
+            owned = [k for k, o in owners.items() if o == sender]
+            if owned and rng.random() < config.signed_probability:
+                message = Signed(message, rng.choice(owned))
+            elif keys and rng.random() < config.encrypted_probability:
+                # Encrypt to some key holder (who can then decrypt:
+                # exercises the A11/A13 truth conditions).
+                key = rng.choice(keys)
+                message = Encrypted(message, key)
+            if rng.random() < config.tuple_probability:
+                message = MessageTuple((message, Data(f"aux{counter}")))
+            if sender in last_sent and rng.random() < 0.3:
+                # Occasionally utter a (true) formula about an earlier
+                # send — this exercises the jurisdiction axioms
+                # non-vacuously in the soundness checks.
+                from ..core.formulas import Said
+                from ..core.temporal import Temporal
+                from ..core.terms import Principal
+
+                prev_time, prev_message = last_sent[sender]
+                message = Said(
+                    Principal(sender), Temporal.point(prev_time), prev_message
+                )
+            elif groups and rng.random() < 0.2:
+                # Or utter a (true) membership formula about a fellow
+                # group member — the A24-A33 group-jurisdiction fodder.
+                from ..core.formulas import SpeaksForGroup
+                from ..core.temporal import Temporal
+                from ..core.terms import Group, Principal
+
+                group = rng.choice(groups)
+                member = rng.choice(members[group])
+                message = SpeaksForGroup(
+                    Principal(member),
+                    Temporal.point(builder.local_time(sender)),
+                    Group(group),
+                )
+            recipient = rng.choice([p for p in principals if p != sender])
+            builder.send(sender, recipient, message, delay=rng.randint(1, 2))
+            last_sent[sender] = (builder.local_time(sender), message)
+            # Group echo: membership semantics made true by construction.
+            # The group echoes the member's exact utterance; the
+            # submessage closure then covers unwrapped bodies too.
+            for group, member_list in members.items():
+                if sender in member_list:
+                    builder.send(group, group, message, delay=1)
+        builder.tick()
+    return builder.build()

@@ -1,0 +1,205 @@
+"""Runs, local/global states, and the legality conditions of Appendix C.
+
+A *run* maps each real-time tick to a global state: the environment
+state plus one local state per (simple and compound) principal.  A run
+is **legal** when the monotonicity and consistency conditions (a)-(h)
+hold: clocks don't outrun real time, keysets grow monotonically and
+only through generation or derivation from received messages, and every
+receive is matched by an earlier send.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from ..core.messages import submessages
+from .events import History, TimestampedEvent
+
+__all__ = ["LocalState", "EnvironmentState", "GlobalState", "Run", "LegalityError"]
+
+
+class LegalityError(Exception):
+    """A run violates one of the Appendix C legality conditions."""
+
+
+@dataclass
+class LocalState:
+    """``s_i = (i, t_i, K_i, H_i)``: identity, local time, keys, history."""
+
+    name: str
+    time: int
+    keys: FrozenSet[object]
+    history: History
+
+    def messages_received(self, until: Optional[int] = None) -> List[object]:
+        """Msgs_P: messages received at or before ``until`` (local time)."""
+        bound = self.time if until is None else min(until, self.time)
+        return [
+            te.event.message
+            for te in self.history.receives(until=bound)
+        ]
+
+    def derivable_messages(self, until: Optional[int] = None) -> Set[object]:
+        """submsgs closure of the received messages under held keys."""
+        out: Set[object] = set()
+        for message in self.messages_received(until=until):
+            out |= submessages(message, frozenset(self.keys))
+        return out
+
+
+@dataclass
+class EnvironmentState:
+    """Pe's state: real time, its history, per-principal message buffers."""
+
+    time: int
+    history: History = field(default_factory=History)
+    buffers: Dict[str, List[object]] = field(default_factory=dict)
+
+
+@dataclass
+class GlobalState:
+    """One point of a run: environment plus all local states."""
+
+    environment: EnvironmentState
+    locals: Dict[str, LocalState]
+
+    def local(self, name: str) -> LocalState:
+        return self.locals[name]
+
+
+class Run:
+    """A function from real time to global states, with legality checks."""
+
+    def __init__(self, states: Sequence[GlobalState]):
+        if not states:
+            raise ValueError("a run needs at least one global state")
+        self._states = list(states)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    @property
+    def horizon(self) -> int:
+        return len(self._states) - 1
+
+    def at(self, real_time: int) -> GlobalState:
+        """Global state at ``real_time`` (clamped to the horizon)."""
+        index = max(0, min(real_time, self.horizon))
+        return self._states[index]
+
+    def principals(self) -> List[str]:
+        return list(self._states[0].locals)
+
+    def local_time(self, name: str, real_time: int) -> int:
+        """Time_P(r, t)."""
+        return self.at(real_time).local(name).time
+
+    def start_of_local_time(self, name: str, local_time: int) -> Optional[int]:
+        """Start_P(r, t_i): first real time with that local time."""
+        for real in range(self.horizon + 1):
+            if self.local_time(name, real) == local_time:
+                return real
+        return None
+
+    def end_of_local_time(self, name: str, local_time: int) -> Optional[int]:
+        """End_P(r, t_i): last real time with that local time."""
+        found = None
+        for real in range(self.horizon + 1):
+            if self.local_time(name, real) == local_time:
+                found = real
+        return found
+
+    # ----------------------------------------------------------- legality
+
+    def check_legality(self) -> None:
+        """Raise :class:`LegalityError` on any violated condition (a)-(h)."""
+        self._check_clock_monotonicity()
+        self._check_keyset_monotonicity()
+        self._check_keyset_provenance()
+        self._check_receive_causality()
+
+    def is_legal(self) -> bool:
+        try:
+            self.check_legality()
+        except LegalityError:
+            return False
+        return True
+
+    def _check_clock_monotonicity(self) -> None:
+        # (a)/(e): if t <= t', Time_P(r, t) <= Time_P(r, t'); local clocks
+        # are also bounded by elapsed real time plus their initial offset.
+        for name in self.principals():
+            previous = None
+            for real in range(self.horizon + 1):
+                now = self.local_time(name, real)
+                if previous is not None and now < previous:
+                    raise LegalityError(
+                        f"clock of {name} runs backwards at real time {real}"
+                    )
+                previous = now
+
+    def _check_keyset_monotonicity(self) -> None:
+        # (b)/(f): keysets only grow.
+        for name in self.principals():
+            previous: FrozenSet[object] = frozenset()
+            for real in range(self.horizon + 1):
+                keys = self.at(real).local(name).keys
+                if not previous <= keys:
+                    raise LegalityError(
+                        f"keyset of {name} shrank at real time {real}"
+                    )
+                previous = keys
+
+    def _check_keyset_provenance(self) -> None:
+        # (c)/(g): every key was generated locally or derived from
+        # received messages under previously held keys.
+        for name in self.principals():
+            for real in range(self.horizon + 1):
+                state = self.at(real).local(name)
+                generated = {
+                    te.event.message
+                    for te in state.history.generates(until=state.time)
+                }
+                initial = self.at(0).local(name).keys
+                for key in state.keys:
+                    if key in initial or key in generated:
+                        continue
+                    if key in state.derivable_messages():
+                        continue
+                    raise LegalityError(
+                        f"{name} holds key {key!r} with no provenance "
+                        f"at real time {real}"
+                    )
+
+    def _check_receive_causality(self) -> None:
+        # (d)/(h): every receive is matched by an earlier send to P.
+        final = self.at(self.horizon)
+        for name in self.principals():
+            state = final.local(name)
+            for te in state.history.receives():
+                if not self._matching_send_exists(name, te):
+                    raise LegalityError(
+                        f"{name} received {te.event.message!r} at local "
+                        f"time {te.time} with no matching earlier send"
+                    )
+
+    def _matching_send_exists(
+        self, recipient: str, receive_event: TimestampedEvent
+    ) -> bool:
+        message = receive_event.event.message
+        receive_start = self.start_of_local_time(recipient, receive_event.time)
+        if receive_start is None:
+            receive_start = self.horizon
+        final = self.at(self.horizon)
+        for sender_name, sender_state in final.locals.items():
+            for send_te in sender_state.history.sends():
+                event = send_te.event
+                if event.message != message or event.recipient != recipient:
+                    continue
+                send_end = self.end_of_local_time(sender_name, send_te.time)
+                if send_end is None:
+                    continue
+                if send_end <= receive_start:
+                    return True
+        return False

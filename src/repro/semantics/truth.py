@@ -1,0 +1,405 @@
+"""Truth conditions of Appendix C: evaluating formulas on runs.
+
+The evaluator implements the paper's truth conditions literally, over
+the concrete :class:`~repro.semantics.runs.Run` representation.  Groups
+are modelled as principals whose send histories define what the group
+says, so the speaks-for-group semantics ("P says X at R implies G says
+X at R") is checked as a real implication between histories.
+
+``believes`` quantifies over the points of an interpreted system that
+are locally indistinguishable from the current point, exactly as the
+possibility-relation semantics prescribes; systems used in tests keep
+this quantification tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Set, Tuple
+
+from ..core.formulas import (
+    And,
+    At,
+    Believes,
+    Controls,
+    Fresh,
+    Has,
+    Implies,
+    KeySpeaksFor,
+    Not,
+    Received,
+    Said,
+    Says,
+    SpeaksForGroup,
+    TimeLe,
+    TRUE,
+)
+from ..core.messages import Signed
+from ..core.temporal import Temporal, TemporalKind
+from ..core.terms import (
+    CompoundPrincipal,
+    Group,
+    KeyBoundPrincipal,
+    KeyRef,
+    Principal,
+    ThresholdPrincipal,
+)
+from .runs import Run
+
+__all__ = ["InterpretedSystem", "truth"]
+
+
+@dataclass
+class InterpretedSystem:
+    """``I = (R, pi)``: a set of legal runs plus primitive valuations."""
+
+    runs: List[Run]
+    # Truth of primitive propositions: set of (run_index, time, name).
+    primitives: Set[Tuple[int, int, str]] = field(default_factory=set)
+
+    def points(self) -> Iterable[Tuple[Run, int]]:
+        for run in self.runs:
+            for t in range(run.horizon + 1):
+                yield run, t
+
+
+def _subject_name(subject: object) -> str:
+    """The history key for a principal-like subject."""
+    if isinstance(subject, Principal):
+        return subject.name
+    if isinstance(subject, Group):
+        return subject.name
+    if isinstance(subject, KeyBoundPrincipal):
+        return subject.principal.name
+    if isinstance(subject, CompoundPrincipal):
+        return "+".join(p.name for p in subject.principals())
+    if isinstance(subject, ThresholdPrincipal):
+        return _subject_name(subject.base)
+    raise TypeError(f"no history for subject {subject!r}")
+
+
+def _times_of(temporal: Temporal) -> List[int]:
+    if temporal.kind is TemporalKind.POINT:
+        return [temporal.lo]
+    return list(range(temporal.lo, temporal.hi + 1))
+
+
+def _quantify(temporal: Temporal, checks: Iterable[bool]) -> bool:
+    if temporal.kind is TemporalKind.SOME:
+        return any(checks)
+    return all(checks)
+
+
+def _state_of(run: Run, t: int, name: str):
+    """The local state, or None for a principal absent from the run.
+
+    An absent principal has an empty history: every positive modality
+    about it evaluates false (the truth conditions stay total).
+    """
+    return run.at(t).locals.get(name)
+
+
+def _received_at(run: Run, t: int, name: str, local_time: int, message) -> bool:
+    state = _state_of(run, t, name)
+    if state is None or local_time > state.time:
+        return False
+    return message in state.derivable_messages(until=local_time)
+
+
+def _says_at(run: Run, t: int, name: str, local_time: int, message) -> bool:
+    state = _state_of(run, t, name)
+    if state is None or local_time > state.time:
+        return False
+    end_real = run.end_of_local_time(name, local_time)
+    keyset = (
+        run.at(end_real).local(name).keys if end_real is not None else state.keys
+    )
+    from ..core.messages import submessages
+
+    for te in state.history.sends(until=state.time):
+        if te.time != local_time:
+            continue
+        if message in submessages(te.event.message, frozenset(keyset)):
+            return True
+    return False
+
+
+def _said_at(run: Run, t: int, name: str, local_time: int, message) -> bool:
+    state = _state_of(run, t, name)
+    if state is None or local_time > state.time:
+        return False
+    return any(
+        _says_at(run, t, name, t2, message) for t2 in range(local_time + 1)
+    )
+
+
+def _signed_messages_received(
+    run: Run, t: int, name: str, local_time: int, key: KeyRef
+) -> List[Signed]:
+    """Signed-with-``key`` messages derivable by ``name`` up to local_time."""
+    state = _state_of(run, t, name)
+    if state is None:
+        return []
+    bound = min(local_time, state.time)
+    return [
+        m
+        for m in state.derivable_messages(until=bound)
+        if isinstance(m, Signed) and m.key == key
+    ]
+
+
+def truth(system: InterpretedSystem, run: Run, t: int, formula) -> bool:
+    """``(I, r, t) |= formula``."""
+    # ----- logical connectives ---------------------------------------
+    if formula is TRUE:
+        return True
+    if isinstance(formula, Not):
+        return not truth(system, run, t, formula.body)
+    if isinstance(formula, And):
+        return truth(system, run, t, formula.left) and truth(
+            system, run, t, formula.right
+        )
+    if isinstance(formula, Implies):
+        return (not truth(system, run, t, formula.antecedent)) or truth(
+            system, run, t, formula.consequent
+        )
+    if isinstance(formula, TimeLe):
+        return formula.left <= formula.right
+
+    # ----- modalities --------------------------------------------------
+    if isinstance(formula, Received):
+        name = _subject_name(formula.subject)
+        return _quantify(
+            formula.time,
+            (
+                _received_at(run, t, name, lt, formula.body)
+                for lt in _times_of(formula.time)
+            ),
+        )
+    if isinstance(formula, Says):
+        name = _subject_name(formula.subject)
+        return _quantify(
+            formula.time,
+            (
+                _says_at(run, t, name, lt, formula.body)
+                for lt in _times_of(formula.time)
+            ),
+        )
+    if isinstance(formula, Said):
+        name = _subject_name(formula.subject)
+        return _quantify(
+            formula.time,
+            (
+                _said_at(run, t, name, lt, formula.body)
+                for lt in _times_of(formula.time)
+            ),
+        )
+    if isinstance(formula, Has):
+        name = _subject_name(formula.subject)
+        state = _state_of(run, t, name)
+        if state is None:
+            return False
+        return _quantify(
+            formula.time,
+            (
+                lt <= state.time and formula.key in state.keys
+                for lt in _times_of(formula.time)
+            ),
+        )
+    if isinstance(formula, Fresh):
+        # fresh_{t',P} X: no principal said X at t'.
+        return _quantify(
+            formula.time,
+            (
+                not any(
+                    _said_at(run, t, q, lt, formula.message)
+                    for q in run.principals()
+                )
+                for lt in _times_of(formula.time)
+            ),
+        )
+    if isinstance(formula, At):
+        # phi at_P t': phi true at every real instant of local time t'.
+        name = _subject_name(formula.place)
+        if _state_of(run, t, name) is None:
+            return False
+        results = []
+        for lt in _times_of(formula.time):
+            if lt > run.local_time(name, t):
+                results.append(False)
+                continue
+            start = run.start_of_local_time(name, lt)
+            end = run.end_of_local_time(name, lt)
+            if start is None or end is None:
+                results.append(False)
+                continue
+            results.append(
+                all(
+                    truth(system, run, real, formula.body)
+                    for real in range(start, end + 1)
+                )
+            )
+        return _quantify(formula.time, results)
+    if isinstance(formula, Controls):
+        # (1) t' <= Time_P and (2) says implies at.
+        name = _subject_name(formula.subject)
+        results = []
+        for lt in _times_of(formula.time):
+            if lt > run.local_time(name, t):
+                results.append(False)
+                continue
+            says = Says(formula.subject, Temporal.point(lt), formula.body)
+            located = At(formula.body, formula.subject, Temporal.point(lt))
+            results.append(
+                (not truth(system, run, t, says))
+                or truth(system, run, t, located)
+            )
+        return _quantify(formula.time, results)
+    if isinstance(formula, Believes):
+        # Possibility-relation semantics over the interpreted system.
+        name = _subject_name(formula.subject)
+        here = _state_of(run, t, name)
+        if here is None:
+            return False
+        results = []
+        for lt in _times_of(formula.time):
+            if lt > here.time:
+                results.append(False)
+                continue
+            ok = True
+            for other_run, other_t in system.points():
+                other = _state_of(other_run, other_t, name)
+                if other is None or not _locally_indistinguishable(here, other):
+                    continue
+                located = At(formula.body, formula.subject, Temporal.point(lt))
+                if not truth(system, other_run, other_t, located):
+                    ok = False
+                    break
+            results.append(ok)
+        return _quantify(formula.time, results)
+    if isinstance(formula, KeySpeaksFor):
+        return _key_speaks_for(system, run, t, formula)
+    if isinstance(formula, SpeaksForGroup):
+        return _speaks_for_group(system, run, t, formula)
+
+    raise TypeError(f"no truth condition for {type(formula).__name__}")
+
+
+def _locally_indistinguishable(a, b) -> bool:
+    return (
+        a.name == b.name
+        and a.time == b.time
+        and a.keys == b.keys
+        and list(a.history) == list(b.history)
+    )
+
+
+def _key_speaks_for(
+    system: InterpretedSystem, run: Run, t: int, formula: KeySpeaksFor
+) -> bool:
+    """Good-key semantics: received K-signed messages were said by the owner.
+
+    The observer Q is the clock owner recorded on the temporal
+    annotation; with no recorded observer, *every* principal's received
+    messages are checked (a strictly stronger condition).
+    """
+    subject = formula.subject
+    owner_name = _subject_name(subject)
+    observers = (
+        [_subject_name(formula.time.clock)]
+        if formula.time.clock is not None
+        else run.principals()
+    )
+    results = []
+    for lt in _times_of(formula.time):
+        ok = True
+        for observer in observers:
+            if observer not in run.at(t).locals:
+                continue
+            for signed in _signed_messages_received(
+                run, t, observer, lt, formula.key
+            ):
+                if isinstance(subject, ThresholdPrincipal):
+                    said = any(
+                        _said_at(run, t, p.name, lt, signed.body)
+                        for p in subject.base.principals()
+                    ) or _said_at(run, t, owner_name, lt, signed.body)
+                else:
+                    said = _said_at(run, t, owner_name, lt, signed.body)
+                if not said:
+                    ok = False
+                    break
+            if not ok:
+                break
+        results.append(ok)
+    return _quantify(formula.time, results)
+
+
+def _speaks_for_group(
+    system: InterpretedSystem, run: Run, t: int, formula: SpeaksForGroup
+) -> bool:
+    """Membership semantics: member utterances are echoed by the group.
+
+    For a threshold subject ``CP_{m,n}`` the premise is that ``m``
+    members signed the same request with their bound keys.
+    """
+    group_name = _subject_name(formula.group)
+    subject = formula.subject
+    results = []
+    for lt in _times_of(formula.time):
+        results.append(
+            _membership_holds_at(run, t, subject, group_name, lt)
+        )
+    return _quantify(formula.time, results)
+
+
+def _membership_holds_at(
+    run: Run, t: int, subject: object, group_name: str, lt: int
+) -> bool:
+    if isinstance(subject, ThresholdPrincipal):
+        # Collect messages that >= m members said (signed with bound keys).
+        members = subject.base.members
+        counts = {}
+        for member in members:
+            if not isinstance(member, KeyBoundPrincipal):
+                return False
+            name = member.principal.name
+            if name not in run.at(t).locals:
+                continue
+            state = run.at(t).local(name)
+            for te in state.history.sends(until=min(lt, state.time)):
+                message = te.event.message
+                if isinstance(message, Signed) and message.key == member.key:
+                    core = message.body
+                    # Members sign "P_i says X" (Figure 2); the shared
+                    # request is the quoted X — the same unwrapping
+                    # axiom A38 performs.
+                    from ..core.formulas import Says as _Says
+
+                    if (
+                        isinstance(core, _Says)
+                        and core.subject == member.principal
+                    ):
+                        core = core.body
+                    counts.setdefault(core, set()).add(name)
+        for core, signers in counts.items():
+            if len(signers) >= subject.m:
+                if not _said_at(run, t, group_name, lt, core):
+                    return False
+        return True
+
+    name = _subject_name(subject)
+    if name not in run.at(t).locals:
+        return True  # vacuous: the member never speaks
+    state = run.at(t).local(name)
+    for te in state.history.sends(until=min(lt, state.time)):
+        message = te.event.message
+        if isinstance(subject, KeyBoundPrincipal):
+            if not (isinstance(message, Signed) and message.key == subject.key):
+                continue
+            payload = message.body
+        else:
+            payload = message
+        if not _said_at(run, t, group_name, lt, payload):
+            return False
+    return True

@@ -1,0 +1,16 @@
+"""Discrete message-passing simulation substrate (Appendix C's model).
+
+Per-principal clocks with skew over a global timeline, plus a network
+whose environment principal may delay, drop, or replay messages.
+"""
+
+from .clock import GlobalClock, LocalClock
+from .network import AdversaryPolicy, Envelope, Network
+
+__all__ = [
+    "GlobalClock",
+    "LocalClock",
+    "AdversaryPolicy",
+    "Envelope",
+    "Network",
+]

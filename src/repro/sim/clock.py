@@ -1,0 +1,49 @@
+"""Per-principal clocks over a global simulated timeline.
+
+Appendix C: each principal has a local clock; different principals'
+clocks may disagree; the environment principal Pe's clock is real time.
+A :class:`GlobalClock` is Pe's clock; each :class:`LocalClock` maps real
+time to local time through a fixed skew (the paper assumes clocks within
+a compound principal are synchronized, which callers model by giving the
+members identical skews).
+"""
+
+from __future__ import annotations
+
+
+__all__ = ["GlobalClock", "LocalClock"]
+
+
+class GlobalClock:
+    """The environment's real-time clock: integer ticks, monotone."""
+
+    def __init__(self, start: int = 0):
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def advance(self, ticks: int = 1) -> int:
+        if ticks < 0:
+            raise ValueError("time cannot run backwards")
+        self._now += ticks
+        return self._now
+
+
+class LocalClock:
+    """A principal's local clock: real time plus a fixed skew."""
+
+    def __init__(self, global_clock: GlobalClock, skew: int = 0):
+        self._global = global_clock
+        self.skew = skew
+
+    @property
+    def now(self) -> int:
+        return self._global.now + self.skew
+
+    def local_to_real(self, local_time: int) -> int:
+        return local_time - self.skew
+
+    def real_to_local(self, real_time: int) -> int:
+        return real_time + self.skew

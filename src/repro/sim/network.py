@@ -1,0 +1,148 @@
+"""A simulated message-passing network with an adversarial environment.
+
+The environment principal Pe of Appendix C owns the message buffers and
+may delay, drop, duplicate (replay) or reorder messages.  Nodes send
+into the network; delivery happens when the global clock reaches the
+scheduled arrival tick.  The delivered envelopes keep their original
+sender and send-time so receivers can run freshness checks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from .clock import GlobalClock
+
+__all__ = ["Envelope", "Network", "AdversaryPolicy"]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight: payload plus routing/timing metadata."""
+
+    sender: str
+    recipient: str
+    payload: object
+    sent_at: int  # real time when handed to the network
+    replayed: bool = False
+
+
+@dataclass
+class AdversaryPolicy:
+    """Knobs for the environment's misbehaviour.
+
+    ``drop_rate``/``replay_rate`` are probabilities per message;
+    ``max_extra_delay`` adds uniform random latency on top of the base
+    delay.  A seeded RNG keeps simulations reproducible.
+    """
+
+    drop_rate: float = 0.0
+    replay_rate: float = 0.0
+    max_extra_delay: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for rate in (self.drop_rate, self.replay_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("rates must be probabilities")
+        self._rng = random.Random(self.seed)
+
+    def extra_delay(self) -> int:
+        if self.max_extra_delay <= 0:
+            return 0
+        return self._rng.randint(0, self.max_extra_delay)
+
+    def drops(self) -> bool:
+        return self._rng.random() < self.drop_rate
+
+    def replays(self) -> bool:
+        return self._rng.random() < self.replay_rate
+
+
+class Network:
+    """Delivers envelopes by arrival tick; the adversary may interfere."""
+
+    def __init__(
+        self,
+        clock: GlobalClock,
+        base_delay: int = 1,
+        adversary: Optional[AdversaryPolicy] = None,
+        record_trace: bool = False,
+    ):
+        self.clock = clock
+        self.base_delay = base_delay
+        self.adversary = adversary or AdversaryPolicy()
+        self._queue: List[Tuple[int, int, Envelope]] = []
+        self._tiebreak = itertools.count()
+        self.sent_count = 0
+        self.dropped_count = 0
+        self.replayed_count = 0
+        # Optional full trace: ("send"|"deliver", tick, envelope) tuples,
+        # consumed by repro.semantics.bridge to reconstruct a Run.
+        self.record_trace = record_trace
+        self.trace: List[Tuple[str, int, Envelope]] = []
+
+    def send(self, sender: str, recipient: str, payload: object) -> None:
+        """Hand a message to the network at the current tick."""
+        self.sent_count += 1
+        envelope = Envelope(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            sent_at=self.clock.now,
+        )
+        if self.record_trace:
+            self.trace.append(("send", self.clock.now, envelope))
+        if self.adversary.drops():
+            self.dropped_count += 1
+            return
+        arrival = self.clock.now + self.base_delay + self.adversary.extra_delay()
+        heapq.heappush(self._queue, (arrival, next(self._tiebreak), envelope))
+        if self.adversary.replays():
+            self.replayed_count += 1
+            replay = Envelope(
+                sender=sender,
+                recipient=recipient,
+                payload=payload,
+                sent_at=self.clock.now,
+                replayed=True,
+            )
+            late = arrival + 1 + self.adversary.extra_delay()
+            heapq.heappush(self._queue, (late, next(self._tiebreak), replay))
+
+    def deliverable(self) -> List[Envelope]:
+        """Pop every envelope whose arrival tick has passed."""
+        out: List[Envelope] = []
+        now = self.clock.now
+        while self._queue and self._queue[0][0] <= now:
+            _, _, envelope = heapq.heappop(self._queue)
+            if self.record_trace:
+                self.trace.append(("deliver", now, envelope))
+            out.append(envelope)
+        return out
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def run_until_quiet(
+        self,
+        dispatch: Callable[[Envelope], None],
+        max_ticks: int = 10_000,
+    ) -> int:
+        """Advance time, dispatching deliveries, until the queue drains.
+
+        Returns the number of ticks advanced.  ``dispatch`` may send new
+        messages (they get queued and delivered in later ticks).
+        """
+        start = self.clock.now
+        for _ in range(max_ticks):
+            if not self._queue:
+                break
+            self.clock.advance(1)
+            for envelope in self.deliverable():
+                dispatch(envelope)
+        return self.clock.now - start

@@ -1,0 +1,137 @@
+"""Tests for collusion and availability analyses."""
+
+import pytest
+
+from repro.analysis.availability import (
+    m_of_n_availability,
+    n_of_n_availability,
+    simulate_signing_availability,
+)
+from repro.analysis.collusion import (
+    subset_recovers_key,
+    sweep_collusion,
+    transcript_collusion_threshold,
+)
+from repro.analysis.dynamics_cost import (
+    DynamicsCostModel,
+    predict_event_cost,
+    refresh_cost,
+)
+
+
+class TestCollusion:
+    def test_proper_subsets_fail(self, shared_key_3):
+        assert not subset_recovers_key(
+            shared_key_3.shares, [1], shared_key_3.public_key
+        )
+        assert not subset_recovers_key(
+            shared_key_3.shares, [1, 2], shared_key_3.public_key
+        )
+
+    def test_full_set_succeeds(self, shared_key_3):
+        assert subset_recovers_key(
+            shared_key_3.shares, [1, 2, 3], shared_key_3.public_key
+        )
+
+    def test_empty_subset(self, shared_key_3):
+        assert not subset_recovers_key(
+            shared_key_3.shares, [], shared_key_3.public_key
+        )
+
+    @pytest.mark.parametrize(
+        "n,expected", [(3, 2), (4, 3), (5, 3), (7, 4), (9, 5)]
+    )
+    def test_transcript_threshold(self, n, expected):
+        assert transcript_collusion_threshold(n) == expected
+
+    def test_sweep_shape(self, shared_key_3):
+        rows = sweep_collusion(shared_key_3.shares, shared_key_3.public_key)
+        assert len(rows) == 3
+        # Share recovery only at k = n; transcript at ceil((n+1)/2) = 2.
+        assert [r.share_recovery for r in rows] == [False, False, True]
+        assert [r.transcript_recovery for r in rows] == [False, True, True]
+
+
+class TestAvailability:
+    def test_n_of_n(self):
+        assert n_of_n_availability(3, 0.9) == pytest.approx(0.729)
+
+    def test_m_of_n_tail(self):
+        # 2-of-3 at q=0.9: 3*0.81*0.1 + 0.729 = 0.972
+        assert m_of_n_availability(3, 2, 0.9) == pytest.approx(0.972)
+
+    def test_m_of_n_equals_n_of_n_at_threshold_n(self):
+        assert m_of_n_availability(4, 4, 0.8) == pytest.approx(
+            n_of_n_availability(4, 0.8)
+        )
+
+    def test_lower_threshold_more_available(self):
+        for q in (0.5, 0.8, 0.95):
+            assert m_of_n_availability(5, 3, q) >= m_of_n_availability(5, 5, q)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            m_of_n_availability(3, 4, 0.9)
+
+    def test_simulation_tracks_analytic(self, shoup_key_3_of_5):
+        point = simulate_signing_availability(
+            5, 3, 0.8, trials=150, key=shoup_key_3_of_5, seed=2
+        )
+        assert point.simulated == pytest.approx(point.analytic, abs=0.12)
+
+    def test_simulation_q_one_always_signs(self, shoup_key_3_of_5):
+        point = simulate_signing_availability(
+            5, 3, 1.0, trials=20, key=shoup_key_3_of_5
+        )
+        assert point.simulated == 1.0
+
+
+class TestDynamicsCost:
+    def test_prediction_structure(self):
+        model = DynamicsCostModel(
+            n_domains=4, live_certificates=10, eligible_certificates=7
+        )
+        cost = predict_event_cost(model)
+        assert cost.revocations == 10
+        assert cost.reissues == 7
+        assert cost.joint_signatures == 7
+        assert cost.keygen_messages == 4 * 3 * 4
+        assert cost.total == 10 + 7 + 7 + 48
+
+    def test_cost_grows_with_certificates(self):
+        small = predict_event_cost(
+            DynamicsCostModel(n_domains=3, live_certificates=5, eligible_certificates=5)
+        )
+        large = predict_event_cost(
+            DynamicsCostModel(n_domains=3, live_certificates=50, eligible_certificates=50)
+        )
+        assert large.total > small.total
+
+    def test_refresh_constant_in_certificates(self):
+        assert refresh_cost(3) == 6
+        assert refresh_cost(5) == 20
+
+    def test_refresh_cheaper_than_rekey(self):
+        rekey = predict_event_cost(
+            DynamicsCostModel(n_domains=5, live_certificates=20, eligible_certificates=20)
+        )
+        assert refresh_cost(5) < rekey.total
+
+    def test_prediction_matches_actual_coalition(self, formed_coalition, write_certificate, read_certificate):
+        """The analytic model agrees with a real join event."""
+        coalition, _server, _domains, _users = formed_coalition
+        from repro.coalition import Domain
+
+        live = len(coalition.authority.live_certificates(5))
+        report = coalition.join(Domain("D4", key_bits=256), now=5)
+        assert report.certificates_revoked == live
+        assert report.certificates_reissued == live  # all subjects remain
+        model = DynamicsCostModel(
+            n_domains=4,
+            live_certificates=live,
+            eligible_certificates=live,
+            keygen_messages_per_round=report.keygen_messages,
+        )
+        cost = predict_event_cost(model)
+        assert cost.revocations == report.certificates_revoked
+        assert cost.reissues == report.certificates_reissued

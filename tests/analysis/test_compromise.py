@@ -1,0 +1,80 @@
+"""Tests for the trust-liability (compromise) model."""
+
+import pytest
+
+from repro.analysis.compromise import (
+    CompromiseModel,
+    case1_compromise_probability,
+    case2_compromise_probability,
+    simulate_compromise,
+    sweep_coalition_size,
+)
+
+
+class TestAnalytic:
+    def test_case1_formula(self):
+        model = CompromiseModel(n_domains=3, p_lockbox=0.1, p_insider=0.0)
+        assert case1_compromise_probability(model) == pytest.approx(0.1)
+
+    def test_case1_insiders_accumulate(self):
+        low = CompromiseModel(n_domains=1, p_lockbox=0.0, p_insider=0.01)
+        high = CompromiseModel(n_domains=10, p_lockbox=0.0, p_insider=0.01)
+        assert case1_compromise_probability(high) > case1_compromise_probability(low)
+
+    def test_case1_replication_amplifies(self):
+        base = CompromiseModel(n_domains=3, p_lockbox=0.05, replicas=1)
+        replicated = CompromiseModel(n_domains=3, p_lockbox=0.05, replicas=3)
+        assert case1_compromise_probability(replicated) > case1_compromise_probability(base)
+
+    def test_case2_shrinks_with_n(self):
+        p3 = case2_compromise_probability(CompromiseModel(n_domains=3, p_domain=0.1))
+        p5 = case2_compromise_probability(CompromiseModel(n_domains=5, p_domain=0.1))
+        assert p3 == pytest.approx(1e-3)
+        assert p5 == pytest.approx(1e-5)
+
+    def test_case2_dominates_case1(self):
+        """The paper's headline claim: shared keys minimize liability."""
+        for n in (2, 3, 5, 8):
+            model = CompromiseModel(n_domains=n)
+            assert case2_compromise_probability(model) < case1_compromise_probability(model)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompromiseModel(n_domains=0)
+        with pytest.raises(ValueError):
+            CompromiseModel(n_domains=3, p_lockbox=1.5)
+        with pytest.raises(ValueError):
+            CompromiseModel(n_domains=3, replicas=0)
+
+
+class TestMonteCarlo:
+    def test_estimates_near_analytic(self):
+        model = CompromiseModel(
+            n_domains=3, p_lockbox=0.2, p_insider=0.05, p_domain=0.5
+        )
+        result = simulate_compromise(model, trials=20_000, seed=7)
+        assert result.case1_estimate == pytest.approx(result.case1_analytic, abs=0.02)
+        assert result.case2_estimate == pytest.approx(result.case2_analytic, abs=0.02)
+
+    def test_deterministic_with_seed(self):
+        model = CompromiseModel(n_domains=3)
+        r1 = simulate_compromise(model, trials=1000, seed=5)
+        r2 = simulate_compromise(model, trials=1000, seed=5)
+        assert r1.case1_estimate == r2.case1_estimate
+
+    def test_liability_ratio(self):
+        model = CompromiseModel(n_domains=4, p_domain=0.1)
+        result = simulate_compromise(model, trials=100, seed=1)
+        assert result.liability_ratio > 1.0
+
+    def test_ratio_infinite_when_case2_impossible(self):
+        model = CompromiseModel(n_domains=3, p_domain=0.0)
+        result = simulate_compromise(model, trials=100, seed=1)
+        assert result.liability_ratio == float("inf")
+
+
+class TestSweep:
+    def test_gap_grows_with_coalition_size(self):
+        results = sweep_coalition_size([2, 4, 6], trials=500, seed=0)
+        ratios = [r.case1_analytic / r.case2_analytic for r in results]
+        assert ratios[0] < ratios[1] < ratios[2]

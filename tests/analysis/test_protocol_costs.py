@@ -1,0 +1,74 @@
+"""Cross-checks of the analytic protocol-cost model against real runs."""
+
+import pytest
+
+from repro.analysis.protocol_costs import (
+    IssuanceCost,
+    issuance_cost,
+    joint_request_messages,
+    joint_signature_messages,
+    verification_operations,
+)
+from repro.coalition import build_joint_request
+from repro.crypto.joint_signature import CoSigner, JointSignatureSession
+
+
+class TestFormulas:
+    def test_joint_signature_messages(self):
+        assert joint_signature_messages(1) == 0
+        assert joint_signature_messages(3) == 4
+        assert joint_signature_messages(8) == 14
+        with pytest.raises(ValueError):
+            joint_signature_messages(0)
+
+    def test_joint_request_messages(self):
+        assert joint_request_messages(0) == 1
+        assert joint_request_messages(2) == 5
+        with pytest.raises(ValueError):
+            joint_request_messages(-1)
+
+    def test_verification_operations(self):
+        assert verification_operations(2, 2) == 5
+
+    def test_issuance_cost_n_of_n(self):
+        cost = issuance_cost(3)
+        assert cost.messages == 4
+        assert cost.partial_signatures == 3
+        assert cost.total_operations == 4 + 3 + 1 + 1
+
+    def test_issuance_cost_m_of_n(self):
+        cost = issuance_cost(5, threshold=3)
+        assert cost.messages == 4
+        assert cost.partial_signatures == 3
+
+    def test_issuance_threshold_range(self):
+        with pytest.raises(ValueError):
+            issuance_cost(3, threshold=7)
+
+
+class TestCrossChecks:
+    def test_signature_session_matches_model(self, shared_key_3):
+        co_signers = [
+            CoSigner(s, shared_key_3.public_key)
+            for s in shared_key_3.shares[1:]
+        ]
+        session = JointSignatureSession(
+            shared_key_3.shares[0], co_signers, shared_key_3.public_key
+        )
+        session.sign(b"cost-check")
+        assert session.messages_sent == joint_signature_messages(3)
+
+    def test_request_matches_model(self, formed_coalition, write_certificate):
+        _c, _server, _d, users = formed_coalition
+        for co_signer_count in (0, 1, 2):
+            request = build_joint_request(
+                users[0],
+                users[1 : 1 + co_signer_count],
+                "write",
+                "ObjectO",
+                write_certificate,
+                now=5,
+            )
+            assert request.message_count() == joint_request_messages(
+                co_signer_count
+            )

@@ -1,0 +1,98 @@
+"""Tests for the Case I hardware-lockbox baseline and its attacks."""
+
+import pytest
+
+from repro.baselines.lockbox import CaseIAuthority, HardwareLockbox
+from repro.crypto.rsa import generate_keypair
+from repro.pki.certificates import ValidityPeriod
+
+BITS = 256
+DOMAINS = ["D1", "D2", "D3"]
+
+
+@pytest.fixture()
+def authority():
+    return CaseIAuthority("AA_c1", DOMAINS, key_bits=BITS, seed=1)
+
+
+def _passwords(authority):
+    return {d: authority.password_of(d) for d in DOMAINS}
+
+
+class TestHonestPath:
+    def test_consensus_issuance(self, authority):
+        cert = authority.issue_with_consensus(
+            [("u1", "k1")], 1, "G", 0, ValidityPeriod(0, 10), _passwords(authority)
+        )
+        assert authority.public_key.verify(cert.payload_bytes(), cert.signature)
+
+    def test_missing_password_blocks(self, authority):
+        passwords = _passwords(authority)
+        del passwords["D2"]
+        with pytest.raises(PermissionError, match="D2"):
+            authority.issue_with_consensus(
+                [("u1", "k1")], 1, "G", 0, ValidityPeriod(0, 10), passwords
+            )
+
+    def test_wrong_password_blocks(self, authority):
+        passwords = _passwords(authority)
+        passwords["D3"] = "guess"
+        with pytest.raises(PermissionError):
+            authority.issue_with_consensus(
+                [("u1", "k1")], 1, "G", 0, ValidityPeriod(0, 10), passwords
+            )
+
+
+class TestAttacks:
+    def test_no_extraction_no_forgery(self, authority):
+        assert (
+            authority.issue_unilaterally(
+                "mallory", [("m", "km")], 1, "G", 0, ValidityPeriod(0, 10)
+            )
+            is None
+        )
+
+    def test_api_attack_with_flaw(self):
+        authority = CaseIAuthority(
+            "AA_flawed", DOMAINS, key_bits=BITS, api_flaw_probability=1.0, seed=2
+        )
+        assert authority.lockbox.attempt_api_attack("mallory")
+        forged = authority.issue_unilaterally(
+            "mallory", [("m", "km")], 1, "G", 0, ValidityPeriod(0, 10)
+        )
+        assert forged is not None
+        # The forged certificate is indistinguishable from an honest one.
+        assert authority.public_key.verify(forged.payload_bytes(), forged.signature)
+
+    def test_api_attack_without_flaw(self):
+        authority = CaseIAuthority(
+            "AA_solid", DOMAINS, key_bits=BITS, api_flaw_probability=0.0, seed=3
+        )
+        assert not authority.lockbox.attempt_api_attack("mallory")
+        assert authority.lockbox.stolen_private_key("mallory") is None
+
+    def test_insider_always_succeeds(self, authority):
+        assert authority.lockbox.insider_extract("D1-admin")
+        forged = authority.issue_unilaterally(
+            "D1-admin", [("crony", "kc")], 1, "G", 0, ValidityPeriod(0, 10)
+        )
+        assert forged is not None
+        assert authority.public_key.verify(forged.payload_bytes(), forged.signature)
+
+    def test_attack_log_recorded(self, authority):
+        authority.lockbox.insider_extract("D1-admin")
+        authority.lockbox.attempt_api_attack("mallory")
+        vectors = [a.vector for a in authority.lockbox.attack_log]
+        assert vectors == ["insider", "api"]
+
+    def test_extraction_is_per_attacker(self, authority):
+        authority.lockbox.insider_extract("D1-admin")
+        assert authority.lockbox.stolen_private_key("someone-else") is None
+
+
+class TestLockboxDirect:
+    def test_joint_sign(self):
+        pair = generate_keypair(bits=BITS)
+        box = HardwareLockbox(pair, {"D1": "p1"})
+        sig = box.joint_sign(b"payload", {"D1": "p1"})
+        assert pair.public.verify(b"payload", sig)

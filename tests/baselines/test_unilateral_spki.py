@@ -1,0 +1,90 @@
+"""Tests for the unilateral and SPKI-style baselines."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.spki import SPKIDomainAuthority, SPKIVerifier
+from repro.baselines.unilateral import UnilateralAuthority
+from repro.pki.certificates import ValidityPeriod
+
+BITS = 256
+
+
+class TestUnilateral:
+    def test_issues_without_consent(self):
+        aa = UnilateralAuthority("D1", key_bits=BITS)
+        cert = aa.issue_attribute("anyone", "k", "G", 0, ValidityPeriod(0, 10))
+        assert aa.public_key.verify(cert.payload_bytes(), cert.signature)
+
+    def test_threshold_also_unilateral(self):
+        aa = UnilateralAuthority("D1", key_bits=BITS)
+        cert = aa.issue_threshold_attribute(
+            [("u1", "k1"), ("u2", "k2")], 2, "G", 0, ValidityPeriod(0, 10)
+        )
+        assert aa.public_key.verify(cert.payload_bytes(), cert.signature)
+
+    def test_serials_unique(self):
+        aa = UnilateralAuthority("D1", key_bits=BITS)
+        c1 = aa.issue_attribute("a", "k", "G", 0, ValidityPeriod(0, 10))
+        c2 = aa.issue_attribute("b", "k", "G", 0, ValidityPeriod(0, 10))
+        assert c1.serial != c2.serial
+
+
+@pytest.fixture(scope="module")
+def spki_setup():
+    authorities = [SPKIDomainAuthority(d, key_bits=BITS) for d in ("D1", "D2", "D3")]
+    verifier = SPKIVerifier({a.name: a.public_key for a in authorities})
+    certs = [
+        a.issue([("u1", "k1")], 1, "G", 0, ValidityPeriod(0, 100))
+        for a in authorities
+    ]
+    return authorities, verifier, certs
+
+
+class TestSPKI:
+    def test_full_conjunction_accepted(self, spki_setup):
+        _a, verifier, certs = spki_setup
+        assert verifier.accepts(certs, "G", now=5)
+
+    def test_partial_conjunction_rejected(self, spki_setup):
+        _a, verifier, certs = spki_setup
+        assert not verifier.accepts(certs[:2], "G", now=5)
+
+    def test_single_domain_cannot_authorize(self, spki_setup):
+        authorities, verifier, _certs = spki_setup
+        lone = authorities[0].issue([("u9", "k9")], 1, "G", 0, ValidityPeriod(0, 100))
+        assert not verifier.accepts([lone], "G", now=5)
+
+    def test_tampered_certificate_rejected(self, spki_setup):
+        _a, verifier, certs = spki_setup
+        forged = dataclasses.replace(certs[0], group="G_evil")
+        assert not verifier.accepts([forged, *certs[1:]], "G_evil", now=5)
+
+    def test_divergent_grants_rejected(self, spki_setup):
+        authorities, verifier, certs = spki_setup
+        different = authorities[2].issue(
+            [("other", "ko")], 1, "G", 0, ValidityPeriod(0, 100)
+        )
+        assert not verifier.accepts([certs[0], certs[1], different], "G", now=5)
+
+    def test_expired_rejected(self, spki_setup):
+        _a, verifier, certs = spki_setup
+        assert not verifier.accepts(certs, "G", now=500)
+
+    def test_verification_cost_linear_in_domains(self, spki_setup):
+        """E12's point: n signature verifications per decision vs 1."""
+        _a, verifier, certs = spki_setup
+        before = verifier.verifications_performed
+        verifier.accepts(certs, "G", now=5)
+        assert verifier.verifications_performed - before == 3
+        assert verifier.certificates_required() == 3
+
+    def test_misconfigured_policy_reenables_unilateralism(self, spki_setup):
+        """Dropping one required issuer silently weakens the policy —
+        the soft spot the shared-key design removes."""
+        authorities, _v, certs = spki_setup
+        weak = SPKIVerifier(
+            {a.name: a.public_key for a in authorities[:2]}
+        )
+        assert weak.accepts(certs[:2], "G", now=5)

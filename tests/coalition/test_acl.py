@@ -1,0 +1,66 @@
+"""Tests for ACLs and policy objects."""
+
+from repro.coalition.acl import ACL, ACLEntry, CoalitionObject, PolicyObject
+
+
+class TestACLEntry:
+    def test_allows(self):
+        entry = ACLEntry.of("G_write", ["write", "append"])
+        assert entry.allows("G_write", "write")
+        assert not entry.allows("G_write", "read")
+        assert not entry.allows("G_read", "write")
+
+
+class TestACL:
+    def _acl(self):
+        return ACL(
+            [
+                ACLEntry.of("G_write", ["write"]),
+                ACLEntry.of("G_read", ["read"]),
+            ]
+        )
+
+    def test_disjunction(self):
+        acl = self._acl()
+        assert acl.allows("G_write", "write")
+        assert acl.allows("G_read", "read")
+        assert not acl.allows("G_read", "write")
+
+    def test_groups_allowing(self):
+        assert self._acl().groups_allowing("read") == ["G_read"]
+
+    def test_add_entry(self):
+        acl = self._acl()
+        acl.add(ACLEntry.of("G_admin", ["write", "read"]))
+        assert acl.allows("G_admin", "write")
+
+    def test_remove_group(self):
+        acl = self._acl()
+        removed = acl.remove_group("G_write")
+        assert removed == 1
+        assert not acl.allows("G_write", "write")
+
+    def test_empty_allows_nothing(self):
+        assert not ACL().allows("G", "read")
+
+
+class TestPolicyObject:
+    def test_update_bumps_version(self):
+        policy = PolicyObject(acl=ACL(), admin_group="G_admin")
+        policy.update([ACLEntry.of("G_new", ["read"])])
+        assert policy.version == 1
+        assert policy.acl.allows("G_new", "read")
+
+
+class TestCoalitionObject:
+    def test_read_write_counters(self):
+        obj = CoalitionObject(
+            name="O",
+            content=b"v1",
+            policy=PolicyObject(acl=ACL(), admin_group="G_admin"),
+        )
+        assert obj.read() == b"v1"
+        obj.write(b"v2")
+        assert obj.read() == b"v2"
+        assert obj.write_count == 1
+        assert obj.read_count == 2

@@ -1,0 +1,110 @@
+"""Tests for the hash-chained audit log."""
+
+import dataclasses
+
+import pytest
+
+from repro.coalition import build_joint_request
+from repro.coalition.audit import AuditLog, AuditVerificationError
+
+
+def _decisions(formed_coalition, write_certificate, count=3):
+    _c, server, _d, users = formed_coalition
+    decisions = []
+    for k in range(count):
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate,
+            now=5 + k, nonce=f"audit-{k}",
+        )
+        decisions.append(
+            server.protocol.authorize(request, server.object_acl("ObjectO"), now=6 + k)
+        )
+    return decisions
+
+
+class TestAppendAndVerify:
+    def test_chain_verifies(self, formed_coalition, write_certificate):
+        log = AuditLog()
+        for decision in _decisions(formed_coalition, write_certificate):
+            log.append(decision)
+        log.verify()
+        assert len(log) == 3
+
+    def test_denied_decisions_logged_too(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        log = AuditLog()
+        request = build_joint_request(
+            users[0], [], "write", "ObjectO", write_certificate, now=5
+        )
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        entry = log.append(decision)
+        assert not entry.granted
+        log.verify()
+
+    def test_sequence_numbers(self, formed_coalition, write_certificate):
+        log = AuditLog()
+        for decision in _decisions(formed_coalition, write_certificate):
+            log.append(decision)
+        assert [e.sequence for e in log.entries()] == [0, 1, 2]
+
+    def test_proof_digest_differs_per_decision(
+        self, formed_coalition, write_certificate
+    ):
+        log = AuditLog()
+        entries = [
+            log.append(d)
+            for d in _decisions(formed_coalition, write_certificate, count=2)
+        ]
+        assert entries[0].proof_digest != entries[1].proof_digest
+
+
+class TestTamperEvidence:
+    def _populated(self, formed_coalition, write_certificate):
+        log = AuditLog()
+        for decision in _decisions(formed_coalition, write_certificate):
+            log.append(decision)
+        return log
+
+    def test_modified_entry_detected(self, formed_coalition, write_certificate):
+        log = self._populated(formed_coalition, write_certificate)
+        entries = log.entries()
+        entries[1] = dataclasses.replace(entries[1], granted=False)
+        with pytest.raises(AuditVerificationError, match="signature|chain"):
+            AuditLog.verify_chain(entries, log.public_key)
+
+    def test_removed_entry_detected(self, formed_coalition, write_certificate):
+        log = self._populated(formed_coalition, write_certificate)
+        entries = log.entries()
+        del entries[1]
+        with pytest.raises(AuditVerificationError):
+            AuditLog.verify_chain(entries, log.public_key)
+
+    def test_reordered_entries_detected(self, formed_coalition, write_certificate):
+        log = self._populated(formed_coalition, write_certificate)
+        entries = log.entries()
+        entries[0], entries[1] = entries[1], entries[0]
+        with pytest.raises(AuditVerificationError):
+            AuditLog.verify_chain(entries, log.public_key)
+
+    def test_wrong_key_detected(self, formed_coalition, write_certificate):
+        from repro.crypto.rsa import generate_keypair
+
+        log = self._populated(formed_coalition, write_certificate)
+        other = generate_keypair(bits=256).public
+        with pytest.raises(AuditVerificationError, match="signature"):
+            AuditLog.verify_chain(log.entries(), other)
+
+    def test_forged_appendix_detected(self, formed_coalition, write_certificate):
+        """An attacker cannot extend the chain without the signing key."""
+        log = self._populated(formed_coalition, write_certificate)
+        entries = log.entries()
+        forged = dataclasses.replace(
+            entries[-1],
+            sequence=len(entries),
+            previous_digest=entries[-1].digest(),
+            reason="forged",
+        )
+        with pytest.raises(AuditVerificationError, match="signature"):
+            AuditLog.verify_chain([*entries, forged], log.public_key)

@@ -1,0 +1,118 @@
+"""Tests for the jointly controlled coalition attribute authority."""
+
+import pytest
+
+from repro.coalition.authority import (
+    CoalitionAttributeAuthority,
+    ConsensusError,
+)
+from repro.coalition.domain import Domain
+from repro.pki.certificates import ValidityPeriod
+
+BITS = 256
+
+
+class TestEstablish:
+    def test_installs_shares(self, three_domains):
+        domains, _users = three_domains
+        authority = CoalitionAttributeAuthority.establish(
+            domains, key_bits=BITS
+        )
+        assert all(d.key_share is not None for d in domains)
+        assert authority.public_key.n_parties == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CoalitionAttributeAuthority.establish([])
+
+    def test_member_names(self, three_domains):
+        domains, _users = three_domains
+        authority = CoalitionAttributeAuthority.establish(domains, key_bits=BITS)
+        assert authority.member_names() == ["D1", "D2", "D3"]
+
+
+class TestIssuance:
+    def test_joint_issuance_verifies(self, formed_coalition):
+        coalition, _server, _domains, users = formed_coalition
+        cert = coalition.authority.issue_threshold_certificate(
+            users, 2, "G_write", 0, ValidityPeriod(0, 100)
+        )
+        assert coalition.authority.public_key.verify(
+            cert.payload_bytes(), cert.signature
+        )
+        assert cert.threshold == 2
+        assert len(cert.subjects) == 3
+
+    def test_published_to_directory(self, formed_coalition):
+        coalition, _server, _domains, users = formed_coalition
+        cert = coalition.authority.issue_threshold_certificate(
+            users, 1, "G_read", 0, ValidityPeriod(0, 100)
+        )
+        assert coalition.authority.directory.get(cert.serial) is cert
+
+    def test_dissent_blocks_issuance(self, formed_coalition):
+        coalition, _server, domains, users = formed_coalition
+        domains[1].cooperative = False
+        with pytest.raises(ConsensusError, match="refuses"):
+            coalition.authority.issue_threshold_certificate(
+                users, 2, "G_write", 0, ValidityPeriod(0, 100)
+            )
+        assert coalition.authority.issuance_failures == 1
+
+    def test_lost_share_blocks_issuance(self, formed_coalition):
+        coalition, _server, domains, users = formed_coalition
+        domains[2].clear_key_share()
+        with pytest.raises(ConsensusError, match="no coalition key share"):
+            coalition.authority.issue_threshold_certificate(
+                users, 2, "G_write", 0, ValidityPeriod(0, 100)
+            )
+
+    def test_outsider_cannot_request(self, formed_coalition):
+        coalition, _server, _domains, users = formed_coalition
+        outsider = Domain("DX", key_bits=BITS)
+        with pytest.raises(ConsensusError, match="not a member"):
+            coalition.authority.issue_threshold_certificate(
+                users, 2, "G_write", 0, ValidityPeriod(0, 100),
+                requesting_domain=outsider,
+            )
+
+    def test_any_member_can_request(self, formed_coalition):
+        coalition, _server, domains, users = formed_coalition
+        cert = coalition.authority.issue_threshold_certificate(
+            users, 2, "G_write", 0, ValidityPeriod(0, 100),
+            requesting_domain=domains[2],
+        )
+        assert coalition.authority.public_key.verify(
+            cert.payload_bytes(), cert.signature
+        )
+
+
+class TestRevocation:
+    def test_revoke_certificate(self, formed_coalition, write_certificate):
+        coalition, _server, _domains, _users = formed_coalition
+        revocation = coalition.authority.revoke_certificate(
+            write_certificate, now=5
+        )
+        assert revocation.revoked_serial == write_certificate.serial
+        assert coalition.authority.directory.is_revoked(
+            write_certificate.serial, now=5
+        )
+
+    def test_live_certificates(self, formed_coalition, write_certificate):
+        coalition, _server, _domains, _users = formed_coalition
+        assert write_certificate in coalition.authority.live_certificates(5)
+        coalition.authority.revoke_certificate(write_certificate, now=6)
+        assert write_certificate not in coalition.authority.live_certificates(7)
+
+    def test_revoke_all(self, formed_coalition, write_certificate, read_certificate):
+        coalition, _server, _domains, _users = formed_coalition
+        revocations = coalition.authority.revoke_all(now=10)
+        assert len(revocations) == 2
+        assert coalition.authority.live_certificates(11) == []
+
+    def test_revoke_all_skips_already_revoked(
+        self, formed_coalition, write_certificate
+    ):
+        coalition, _server, _domains, _users = formed_coalition
+        coalition.authority.revoke_certificate(write_certificate, now=5)
+        assert coalition.authority.revoke_all(now=6) == []

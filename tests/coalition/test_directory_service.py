@@ -1,0 +1,116 @@
+"""Tests for the pull-based CRL directory service."""
+
+import pytest
+
+from repro.coalition import build_joint_request
+from repro.coalition.directory_service import DirectoryNode, DirectorySyncClient
+from repro.sim.clock import GlobalClock
+from repro.sim.network import Network
+
+
+@pytest.fixture()
+def directory_setup(formed_coalition):
+    coalition, server, domains, users = formed_coalition
+    clock = GlobalClock()
+    network = Network(clock, base_delay=1)
+    directory = DirectoryNode(
+        "Directory", coalition.authority.directory, network
+    )
+    client = DirectorySyncClient(server, "Directory", network)
+
+    def dispatch(envelope):
+        if envelope.recipient == "Directory":
+            directory.handle(envelope)
+        elif envelope.recipient == server.name:
+            client.handle(envelope)
+
+    return coalition, server, users, network, directory, client, dispatch
+
+
+class TestSync:
+    def test_pull_applies_revocations(
+        self, directory_setup, write_certificate
+    ):
+        coalition, server, users, network, directory, client, dispatch = (
+            directory_setup
+        )
+        # The AA revokes; the server has NOT been pushed the revocation.
+        coalition.authority.revoke_certificate(write_certificate, now=5)
+
+        # Stale server wrongly grants.
+        stale = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate,
+            now=6, nonce="pre-sync",
+        )
+        assert server.protocol.authorize(
+            stale, server.object_acl("ObjectO"), now=6
+        ).granted
+
+        # Pull a CRL sync over the network.
+        client.request_sync()
+        network.run_until_quiet(dispatch)
+        assert client.revocations_applied == 1
+        assert directory.queries_served == 1
+
+        # The same certificate is now refused.
+        fresh = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate,
+            now=8, nonce="post-sync",
+        )
+        denied = server.protocol.authorize(
+            fresh, server.object_acl("ObjectO"), now=8
+        )
+        assert not denied.granted
+        assert "revoked" in denied.reason
+
+    def test_watermark_avoids_refetch(self, directory_setup, write_certificate):
+        coalition, _server, _users, network, directory, client, dispatch = (
+            directory_setup
+        )
+        coalition.authority.revoke_certificate(write_certificate, now=5)
+        client.request_sync()
+        network.run_until_quiet(dispatch)
+        applied_first = client.revocations_applied
+
+        client.request_sync()
+        network.run_until_quiet(dispatch)
+        assert client.revocations_applied == applied_first  # nothing new
+
+    def test_staleness_tracking(self, directory_setup):
+        _c, _s, _u, network, _d, client, dispatch = directory_setup
+        assert client.staleness() is None
+        client.request_sync()
+        network.run_until_quiet(dispatch)
+        assert client.staleness() == 0
+        network.clock.advance(7)
+        assert client.staleness() == 7
+
+    def test_multiple_revocations_in_one_sync(self, formed_coalition):
+        from repro.pki.certificates import ValidityPeriod
+
+        coalition, server, _domains, users = formed_coalition
+        certs = [
+            coalition.authority.issue_threshold_certificate(
+                users, 2, f"Gd{k}", 0, ValidityPeriod(0, 100)
+            )
+            for k in range(3)
+        ]
+        for cert in certs:
+            coalition.authority.revoke_certificate(cert, now=4)
+
+        clock = GlobalClock()
+        network = Network(clock, base_delay=1)
+        directory = DirectoryNode(
+            "Directory", coalition.authority.directory, network
+        )
+        client = DirectorySyncClient(server, "Directory", network)
+
+        def dispatch(envelope):
+            if envelope.recipient == "Directory":
+                directory.handle(envelope)
+            else:
+                client.handle(envelope)
+
+        client.request_sync()
+        network.run_until_quiet(dispatch)
+        assert client.revocations_applied == 3

@@ -1,0 +1,69 @@
+"""Tests for domains and users."""
+
+import pytest
+
+from repro.coalition.domain import Domain
+from repro.crypto.boneh_franklin import dealer_shared_rsa
+
+BITS = 256
+
+
+class TestUserRegistration:
+    def test_register_creates_identity(self):
+        domain = Domain("D1", key_bits=BITS)
+        user = domain.register_user("alice", now=5)
+        cert = user.identity_certificate
+        assert cert.subject == "alice"
+        assert cert.issuer == "CA_D1"
+        assert domain.ca.public_key.verify(cert.payload_bytes(), cert.signature)
+        assert cert.subject_key.modulus == user.keypair.public.modulus
+
+    def test_duplicate_rejected(self):
+        domain = Domain("D1", key_bits=BITS)
+        domain.register_user("alice", now=0)
+        with pytest.raises(ValueError):
+            domain.register_user("alice", now=1)
+
+    def test_user_signs(self):
+        domain = Domain("D1", key_bits=BITS)
+        user = domain.register_user("alice", now=0)
+        sig = user.sign(b"payload")
+        assert user.keypair.public.verify(b"payload", sig)
+
+    def test_reissue_identity(self):
+        domain = Domain("D1", key_bits=BITS)
+        user = domain.register_user("alice", now=0)
+        old_serial = user.identity_certificate.serial
+        new_cert = domain.reissue_identity(user, now=10)
+        assert new_cert.serial != old_serial
+        assert user.identity_certificate is new_cert
+
+
+class TestKeyShares:
+    def test_install_and_clear(self):
+        domain = Domain("D1", key_bits=BITS)
+        result = dealer_shared_rsa(3, bits=BITS)
+        domain.install_key_share(result.shares[0], result.public_key)
+        assert domain.key_share is result.shares[0]
+        domain.clear_key_share()
+        assert domain.key_share is None
+
+    def test_co_signer_requires_share(self):
+        domain = Domain("D1", key_bits=BITS)
+        with pytest.raises(RuntimeError, match="no coalition key share"):
+            domain.co_signer()
+
+    def test_co_signer_respects_cooperation(self):
+        domain = Domain("D1", key_bits=BITS)
+        result = dealer_shared_rsa(3, bits=BITS)
+        domain.install_key_share(result.shares[0], result.public_key)
+        domain.cooperative = False
+        with pytest.raises(RuntimeError, match="refuses"):
+            domain.co_signer()
+
+    def test_co_signer_works(self):
+        domain = Domain("D1", key_bits=BITS)
+        result = dealer_shared_rsa(3, bits=BITS)
+        domain.install_key_share(result.shares[1], result.public_key)
+        signer = domain.co_signer()
+        assert signer.index == result.shares[1].index

@@ -1,0 +1,155 @@
+"""Tests for coalition dynamics: form, join, leave, refresh."""
+
+import pytest
+
+from repro.coalition import (
+    ACLEntry,
+    Coalition,
+    CoalitionServer,
+    Domain,
+    build_joint_request,
+)
+from repro.pki.certificates import ValidityPeriod
+
+BITS = 256
+
+
+class TestFormation:
+    def test_form_installs_shares(self, three_domains):
+        domains, _users = three_domains
+        coalition = Coalition("c", key_bits=BITS)
+        report = coalition.form(domains)
+        assert report.event == "form"
+        assert all(d.key_share is not None for d in domains)
+
+    def test_double_form_rejected(self, three_domains):
+        domains, _users = three_domains
+        coalition = Coalition("c", key_bits=BITS)
+        coalition.form(domains)
+        with pytest.raises(RuntimeError):
+            coalition.form(domains)
+
+    def test_attach_before_form_rejected(self):
+        coalition = Coalition("c", key_bits=BITS)
+        with pytest.raises(RuntimeError):
+            coalition.attach_server(CoalitionServer("S"))
+
+
+class TestJoin:
+    def test_join_rekeys(self, formed_coalition, write_certificate):
+        coalition, server, domains, users = formed_coalition
+        old_key = coalition.authority.public_key.fingerprint()
+        d4 = Domain("D4", key_bits=BITS)
+        report = coalition.join(d4, now=10)
+        assert report.event == "join"
+        assert coalition.authority.public_key.fingerprint() != old_key
+        assert d4.key_share is not None
+        assert report.certificates_revoked == 1
+        assert report.certificates_reissued == 1
+
+    def test_join_existing_member_rejected(self, formed_coalition):
+        coalition, _server, domains, _users = formed_coalition
+        with pytest.raises(ValueError):
+            coalition.join(domains[0], now=10)
+
+    def test_reissued_certificate_usable(self, formed_coalition, write_certificate):
+        coalition, server, domains, users = formed_coalition
+        d4 = Domain("D4", key_bits=BITS)
+        coalition.join(d4, now=10)
+        # Find the re-issued write certificate in the new epoch.
+        live = coalition.authority.live_certificates(now=11)
+        assert len(live) == 1
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", live[0], now=12
+        )
+        result = server.handle_request(request, now=13, write_content=b"post-join")
+        assert result.granted
+
+    def test_old_certificate_rejected_after_join(
+        self, formed_coalition, write_certificate
+    ):
+        coalition, server, _domains, users = formed_coalition
+        coalition.join(Domain("D4", key_bits=BITS), now=10)
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate, now=12
+        )
+        result = server.handle_request(request, now=13, write_content=b"x")
+        assert not result.granted
+
+
+class TestLeave:
+    def test_leave_rekeys_and_drops(self, formed_coalition, write_certificate):
+        coalition, _server, domains, _users = formed_coalition
+        leaver = domains[1]
+        report = coalition.leave(leaver, now=10)
+        assert report.event == "leave"
+        assert leaver.key_share is None
+        # The write certificate names User_D2 whose domain left: dropped.
+        assert report.certificates_dropped == 1
+        assert report.certificates_reissued == 0
+
+    def test_leave_non_member_rejected(self, formed_coalition):
+        coalition, _server, _domains, _users = formed_coalition
+        with pytest.raises(ValueError):
+            coalition.leave(Domain("DX", key_bits=BITS), now=10)
+
+    def test_cannot_dissolve(self, three_domains):
+        domains, _users = three_domains
+        coalition = Coalition("c", key_bits=BITS)
+        coalition.form(domains[:1])
+        with pytest.raises(ValueError):
+            coalition.leave(domains[0], now=5)
+
+    def test_leaver_cannot_cosign_new_certs(self, formed_coalition):
+        coalition, _server, domains, users = formed_coalition
+        coalition.leave(domains[2], now=10)
+        cert = coalition.authority.issue_threshold_certificate(
+            users[:2], 2, "G_write", 11, ValidityPeriod(11, 100)
+        )
+        # New certs are signed by exactly the remaining members.
+        assert coalition.authority.public_key.n_parties == 2
+        assert coalition.authority.public_key.verify(
+            cert.payload_bytes(), cert.signature
+        )
+
+
+class TestRefresh:
+    def test_refresh_keeps_key(self, formed_coalition, write_certificate):
+        coalition, server, _domains, users = formed_coalition
+        old_fingerprint = coalition.authority.public_key.fingerprint()
+        report = coalition.refresh(now=10)
+        assert report.event == "refresh"
+        assert coalition.authority.public_key.fingerprint() == old_fingerprint
+        # Old certificates stay valid (no revocation storm).
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate, now=11
+        )
+        result = server.handle_request(request, now=12, write_content=b"ok")
+        assert result.granted
+
+    def test_refresh_changes_shares(self, formed_coalition):
+        coalition, _server, domains, _users = formed_coalition
+        old_values = [d.key_share.value for d in domains]
+        coalition.refresh(now=10)
+        new_values = [d.key_share.value for d in domains]
+        assert old_values != new_values
+        assert sum(old_values) == sum(new_values)
+
+    def test_refresh_then_issue(self, formed_coalition):
+        coalition, _server, _domains, users = formed_coalition
+        coalition.refresh(now=10)
+        cert = coalition.authority.issue_threshold_certificate(
+            users, 2, "G_write", 11, ValidityPeriod(11, 100)
+        )
+        assert coalition.authority.public_key.verify(
+            cert.payload_bytes(), cert.signature
+        )
+
+
+class TestHistory:
+    def test_events_recorded(self, formed_coalition):
+        coalition, _server, _domains, _users = formed_coalition
+        coalition.refresh(now=5)
+        coalition.join(Domain("D4", key_bits=BITS), now=10)
+        events = [r.event for r in coalition.history]
+        assert events == ["form", "refresh", "join"]

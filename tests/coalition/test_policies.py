@@ -1,0 +1,170 @@
+"""Tests for time-constrained access and privilege inheritance."""
+
+import pytest
+
+from repro.coalition.acl import ACLEntry
+from repro.coalition.policies import (
+    ExtendedACL,
+    GroupHierarchy,
+    TimeConstrainedEntry,
+    TimeWindow,
+)
+
+
+class TestTimeWindow:
+    def test_absolute_window(self):
+        window = TimeWindow(10, 20)
+        assert window.contains(10) and window.contains(19)
+        assert not window.contains(9) and not window.contains(20)
+
+    def test_recurring_window(self):
+        # "business hours": ticks 9-17 of every 24-tick day.
+        window = TimeWindow(9, 17, period=24)
+        assert window.contains(9) and window.contains(16)
+        assert not window.contains(17) and not window.contains(3)
+        assert window.contains(24 + 10)
+        assert not window.contains(24 + 20)
+
+    def test_wrapping_recurring_window(self):
+        # "night shift": 22:00 to 06:00.
+        window = TimeWindow(22, 6, period=24)
+        assert window.contains(23) and window.contains(2)
+        assert not window.contains(12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeWindow(5, 5)  # empty absolute
+        with pytest.raises(ValueError):
+            TimeWindow(30, 5, period=24)  # start outside period
+        with pytest.raises(ValueError):
+            TimeWindow(1, 2, period=-1)
+
+
+class TestTimeConstrainedEntry:
+    def test_allows_inside_window(self):
+        entry = TimeConstrainedEntry.of(
+            "G_ops", ["write"], [TimeWindow(9, 17, period=24)]
+        )
+        assert entry.allows("G_ops", "write", now=10)
+        assert not entry.allows("G_ops", "write", now=20)
+        assert not entry.allows("G_ops", "read", now=10)
+        assert not entry.allows("G_other", "write", now=10)
+
+    def test_multiple_windows(self):
+        entry = TimeConstrainedEntry.of(
+            "G", ["read"], [TimeWindow(0, 5), TimeWindow(100, 105)]
+        )
+        assert entry.allows("G", "read", 3)
+        assert entry.allows("G", "read", 102)
+        assert not entry.allows("G", "read", 50)
+
+
+class TestGroupHierarchy:
+    def test_inheritance(self):
+        h = GroupHierarchy()
+        h.add("G_admin", "G_write")
+        h.add("G_write", "G_read")
+        assert h.effective_groups("G_admin") == {"G_admin", "G_write", "G_read"}
+        assert h.effective_groups("G_write") == {"G_write", "G_read"}
+        assert h.effective_groups("G_read") == {"G_read"}
+
+    def test_self_loop_rejected(self):
+        h = GroupHierarchy()
+        with pytest.raises(ValueError):
+            h.add("G", "G")
+
+    def test_cycle_rejected(self):
+        h = GroupHierarchy()
+        h.add("A", "B")
+        h.add("B", "C")
+        with pytest.raises(ValueError, match="cycle"):
+            h.add("C", "A")
+
+    def test_diamond(self):
+        h = GroupHierarchy()
+        h.add("top", "left")
+        h.add("top", "right")
+        h.add("left", "bottom")
+        h.add("right", "bottom")
+        assert h.effective_groups("top") == {"top", "left", "right", "bottom"}
+
+
+class TestExtendedACL:
+    def _acl(self):
+        hierarchy = GroupHierarchy()
+        hierarchy.add("G_admin", "G_write")
+        return ExtendedACL(
+            entries=[ACLEntry.of("G_write", ["write"])],
+            timed_entries=[
+                TimeConstrainedEntry.of(
+                    "G_night", ["write"], [TimeWindow(22, 6, period=24)]
+                )
+            ],
+            hierarchy=hierarchy,
+        )
+
+    def test_plain_entry(self):
+        assert self._acl().allows("G_write", "write", now=12)
+
+    def test_inherited_privilege(self):
+        acl = self._acl()
+        assert acl.allows("G_admin", "write", now=12)
+        assert not acl.allows("G_read", "write", now=12)
+
+    def test_time_constrained(self):
+        acl = self._acl()
+        assert acl.allows("G_night", "write", now=23)
+        assert not acl.allows("G_night", "write", now=12)
+
+    def test_default_now(self):
+        acl = ExtendedACL(entries=[ACLEntry.of("G", ["read"])])
+        assert acl.allows("G", "read")
+
+
+class TestProtocolIntegration:
+    def test_time_constrained_object(self, formed_coalition, write_certificate):
+        """A server object whose ACL only allows writes in a window."""
+        from repro.coalition import build_joint_request
+
+        _c, server, _d, users = formed_coalition
+        obj = server.objects["ObjectO"]
+        obj.policy.acl = ExtendedACL(
+            timed_entries=[
+                TimeConstrainedEntry.of(
+                    "G_write", ["write"], [TimeWindow(0, 50)]
+                )
+            ]
+        )
+        inside = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate, now=10
+        )
+        assert server.handle_request(inside, now=10, write_content=b"in").granted
+
+        outside = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate, now=60
+        )
+        denied = server.handle_request(outside, now=60, write_content=b"out")
+        assert not denied.granted
+        assert "ACL grants no" in denied.decision.reason
+
+    def test_inherited_group_object(self, formed_coalition):
+        """An admin certificate exercises an inherited write privilege."""
+        from repro.coalition import build_joint_request
+        from repro.pki import ValidityPeriod
+
+        coalition, server, _d, users = formed_coalition
+        hierarchy = GroupHierarchy()
+        hierarchy.add("G_admin", "G_write")
+        server.objects["ObjectO"].policy.acl = ExtendedACL(
+            entries=[ACLEntry.of("G_write", ["write"])],
+            hierarchy=hierarchy,
+        )
+        admin_cert = coalition.authority.issue_threshold_certificate(
+            users, 2, "G_admin", 0, ValidityPeriod(0, 1000)
+        )
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", admin_cert, now=5
+        )
+        assert server.handle_request(
+            request, now=5, write_content=b"as admin"
+        ).granted

@@ -1,0 +1,263 @@
+"""Tests for the Section 4.3 authorization protocol (grant + deny paths)."""
+
+import dataclasses
+
+import pytest
+
+from repro.coalition import build_joint_request
+from repro.coalition.requests import SignedRequestPart
+from repro.pki.certificates import ValidityPeriod
+
+
+def _request(users, cert, signers=2, operation="write", now=5, nonce=""):
+    return build_joint_request(
+        users[0],
+        users[1:signers],
+        operation,
+        "ObjectO",
+        cert,
+        now=now,
+        nonce=nonce,
+    )
+
+
+class TestGrant:
+    def test_write_granted_with_threshold(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = _request(users, write_certificate)
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        assert decision.granted
+        assert decision.group == "G_write"
+        assert decision.proof is not None
+
+    def test_proof_cites_a38(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = _request(users, write_certificate)
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        axioms = decision.proof.axioms_used()
+        for expected in ("A38", "A10", "A19", "A23", "A9", "A28"):
+            assert expected in axioms, expected
+
+    def test_read_granted_with_one_signer(self, formed_coalition, read_certificate):
+        _c, server, _d, users = formed_coalition
+        request = _request(users, read_certificate, signers=1, operation="read")
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        assert decision.granted
+
+    def test_all_three_signers(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = _request(users, write_certificate, signers=3)
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        assert decision.granted
+
+
+class TestStepZeroDenials:
+    def test_below_threshold_denied(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = _request(users, write_certificate, signers=1)
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        assert not decision.granted
+        assert "derivation failed" in decision.reason
+
+    def test_expired_certificate_denied(self, formed_coalition):
+        coalition, server, _d, users = formed_coalition
+        short = coalition.authority.issue_threshold_certificate(
+            users, 2, "G_write", 0, ValidityPeriod(0, 3)
+        )
+        request = _request(users, short, now=5)
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=10
+        )
+        assert not decision.granted
+        assert "rejected" in decision.reason
+
+    def test_forged_certificate_denied(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        forged = dataclasses.replace(write_certificate, group="G_admin")
+        request = _request(users, forged)
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        assert not decision.granted
+        assert "rejected" in decision.reason
+
+    def test_bad_request_signature_denied(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = _request(users, write_certificate)
+        bad_part = dataclasses.replace(
+            request.parts[0], signature=request.parts[0].signature ^ 1
+        )
+        request.parts[0] = bad_part
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        assert not decision.granted
+        assert "bad request signature" in decision.reason
+
+    def test_stale_request_denied(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = _request(users, write_certificate, now=5)
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=500
+        )
+        assert not decision.granted
+        assert "stale" in decision.reason
+
+    def test_replay_denied(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = _request(users, write_certificate)
+        first = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        assert first.granted
+        replay = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=7
+        )
+        assert not replay.granted
+        assert "replayed" in replay.reason
+
+    def test_non_subject_signer_denied(self, formed_coalition, write_certificate):
+        coalition, server, domains, users = formed_coalition
+        outsider = domains[0].register_user("Mallory", now=0)
+        request = build_joint_request(
+            users[0], [outsider], "write", "ObjectO", write_certificate, now=5
+        )
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        assert not decision.granted
+        assert "not a subject" in decision.reason
+
+    def test_missing_identity_cert_denied(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = _request(users, write_certificate)
+        request.identity_certificates = request.identity_certificates[:1]
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        assert not decision.granted
+        assert "no identity certificate" in decision.reason
+
+    def test_untrusted_ca_denied(self, formed_coalition, write_certificate):
+        from repro.coalition.domain import Domain
+
+        _c, server, _d, users = formed_coalition
+        foreign = Domain("DX", key_bits=256)
+        mallory = foreign.register_user("User_D1", now=0)  # impersonation
+        request = _request(users, write_certificate)
+        request.identity_certificates[0] = mallory.identity_certificate
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        assert not decision.granted
+        assert "untrusted identity CA" in decision.reason
+
+    def test_selective_distribution_enforced(self, formed_coalition):
+        """A certificate binding U1 to a *different* key is refused even
+        if U1 signs with its real (certified) key — the paper's
+        unauthorized-privilege-retention countermeasure."""
+        coalition, server, domains, users = formed_coalition
+        import dataclasses as dc
+
+        cert = coalition.authority.issue_threshold_certificate(
+            users, 2, "G_write", 0, ValidityPeriod(0, 1000)
+        )
+        # Swap U1's bound key in the TAC for a stranger key id (this also
+        # invalidates the joint signature; either check must refuse).
+        subjects = list(cert.subjects)
+        subjects[0] = (subjects[0][0], "0000000000000000")
+        forged = dc.replace(cert, subjects=tuple(subjects))
+        request = _request(users, forged)
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        assert not decision.granted
+
+    def test_operation_mismatch_denied(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = _request(users, write_certificate)
+        sneaky = SignedRequestPart(
+            user=request.parts[1].user,
+            user_key_id=request.parts[1].user_key_id,
+            operation="read",
+            object_name="ObjectO",
+            stated_at=request.parts[1].stated_at,
+            nonce=request.parts[1].nonce,
+            signature=0,
+        )
+        request.parts[1] = dataclasses.replace(
+            sneaky,
+            signature=_resign(users[1], sneaky),
+        )
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        assert not decision.granted
+        assert "different request" in decision.reason
+
+    def test_acl_mismatch_denied(self, formed_coalition, read_certificate):
+        """A valid G_read certificate cannot authorize a write."""
+        _c, server, _d, users = formed_coalition
+        request = _request(users, read_certificate, signers=1, operation="write")
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        assert not decision.granted
+
+
+def _resign(user, part: SignedRequestPart) -> int:
+    return user.sign(part.payload_bytes())
+
+
+class TestRevocationPath:
+    def test_revocation_denies_future_requests(
+        self, formed_coalition, write_certificate
+    ):
+        coalition, server, _d, users = formed_coalition
+        revocation = coalition.authority.revoke_certificate(
+            write_certificate, now=10
+        )
+        server.receive_revocation(revocation, now=11)
+        request = _request(users, write_certificate, now=12)
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=12
+        )
+        assert not decision.granted
+        assert "revoked" in decision.reason
+
+    def test_untrusted_revoker_rejected(self, formed_coalition, write_certificate):
+        from repro.pki.authorities import RevocationAuthority
+        from repro.pki.validation import CertificateError
+
+        _c, server, _d, _users = formed_coalition
+        rogue = RevocationAuthority("RogueRA", key_bits=256)
+        revocation = rogue.revoke(write_certificate, now=10)
+        with pytest.raises(CertificateError):
+            server.receive_revocation(revocation, now=11)
+
+
+class TestDecision:
+    def test_bool_protocol(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = _request(users, write_certificate)
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=6
+        )
+        assert bool(decision) is True
+
+    def test_decision_count(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = _request(users, write_certificate)
+        before = server.protocol.decisions_made
+        server.protocol.authorize(request, server.object_acl("ObjectO"), now=6)
+        assert server.protocol.decisions_made == before + 1

@@ -1,0 +1,76 @@
+"""Tests for joint access requests and signed request parts."""
+
+from repro.coalition.requests import (
+    SignedRequestPart,
+    build_joint_request,
+    make_request_part,
+)
+from repro.core.formulas import Says
+from repro.core.messages import Data, Signed
+
+
+class TestSignedRequestPart:
+    def test_signature_verifies(self, three_domains):
+        _domains, users = three_domains
+        part = make_request_part(users[0], "write", "O", stated_at=5, nonce="n1")
+        assert users[0].keypair.public.verify(part.payload_bytes(), part.signature)
+
+    def test_payload_binds_all_fields(self, three_domains):
+        _domains, users = three_domains
+        base = make_request_part(users[0], "write", "O", 5, "n1")
+        variants = [
+            SignedRequestPart.payload_for("other", "write", "O", 5, "n1"),
+            SignedRequestPart.payload_for(users[0].name, "read", "O", 5, "n1"),
+            SignedRequestPart.payload_for(users[0].name, "write", "P", 5, "n1"),
+            SignedRequestPart.payload_for(users[0].name, "write", "O", 6, "n1"),
+            SignedRequestPart.payload_for(users[0].name, "write", "O", 5, "n2"),
+        ]
+        assert all(v != base.payload_bytes() for v in variants)
+
+    def test_idealize_shape(self, three_domains):
+        _domains, users = three_domains
+        part = make_request_part(users[0], "write", "ObjectO", 5, "n")
+        ideal = part.idealize()
+        assert isinstance(ideal, Signed)
+        says = ideal.body
+        assert isinstance(says, Says)
+        assert says.time.lo == 5
+        assert says.body == Data('"write" ObjectO')
+        assert ideal.key.key_id == users[0].keypair.public.fingerprint()
+
+
+class TestBuildJointRequest:
+    def test_requestor_plus_cosigners(self, three_domains, write_certificate):
+        _domains, users = three_domains
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate, now=5
+        )
+        assert request.requestor == users[0].name
+        assert request.signer_names() == [users[0].name, users[1].name]
+        assert len(request.identity_certificates) == 2
+
+    def test_shared_nonce(self, three_domains, write_certificate):
+        _domains, users = three_domains
+        request = build_joint_request(
+            users[0], [users[1], users[2]], "write", "ObjectO",
+            write_certificate, now=5,
+        )
+        nonces = {part.nonce for part in request.parts}
+        assert len(nonces) == 1
+
+    def test_message_count(self, three_domains, write_certificate):
+        _domains, users = three_domains
+        request = build_joint_request(
+            users[0], [users[1], users[2]], "write", "ObjectO",
+            write_certificate, now=5,
+        )
+        # 2 co-signers: 2 round trips + 1 message to the server.
+        assert request.message_count() == 5
+
+    def test_solo_request(self, three_domains, read_certificate):
+        _domains, users = three_domains
+        request = build_joint_request(
+            users[2], [], "read", "ObjectO", read_certificate, now=5
+        )
+        assert request.message_count() == 1
+        assert len(request.parts) == 1

@@ -1,0 +1,141 @@
+"""Tests for the coalition server: object management and execution."""
+
+import pytest
+
+from repro.coalition import ACLEntry, build_joint_request
+from repro.crypto.rsa import hybrid_decrypt
+from repro.pki.certificates import ValidityPeriod
+
+
+class TestObjectManagement:
+    def test_create_object(self, formed_coalition):
+        _c, server, _d, _u = formed_coalition
+        assert "ObjectO" in server.objects
+        with pytest.raises(ValueError):
+            server.create_object("ObjectO", b"", [], admin_group="G")
+
+    def test_object_acl(self, formed_coalition):
+        _c, server, _d, _u = formed_coalition
+        acl = server.object_acl("ObjectO")
+        assert acl.allows("G_write", "write")
+
+
+class TestWriteExecution:
+    def test_granted_write_applies(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate, now=5
+        )
+        result = server.handle_request(request, now=6, write_content=b"v2")
+        assert result.granted
+        assert server.objects["ObjectO"].content == b"v2"
+
+    def test_denied_write_does_not_apply(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = build_joint_request(
+            users[0], [], "write", "ObjectO", write_certificate, now=5
+        )
+        result = server.handle_request(request, now=6, write_content=b"evil")
+        assert not result.granted
+        assert server.objects["ObjectO"].content == b"initial-content"
+
+    def test_write_without_content_rejected(
+        self, formed_coalition, write_certificate
+    ):
+        _c, server, _d, users = formed_coalition
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate, now=5
+        )
+        with pytest.raises(ValueError):
+            server.handle_request(request, now=6)
+
+    def test_unknown_object(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = build_joint_request(
+            users[0], [users[1]], "write", "Ghost", write_certificate, now=5
+        )
+        result = server.handle_request(request, now=6, write_content=b"x")
+        assert not result.granted
+        assert "no such object" in result.decision.reason
+
+
+class TestReadExecution:
+    def test_encrypted_response(self, formed_coalition, read_certificate):
+        _c, server, _d, users = formed_coalition
+        request = build_joint_request(
+            users[2], [], "read", "ObjectO", read_certificate, now=5
+        )
+        result = server.handle_request(
+            request, now=6, responder_key=users[2].keypair.public
+        )
+        assert result.granted
+        wrapped, ciphertext = result.encrypted_response
+        plain = hybrid_decrypt(users[2].keypair.private, wrapped, ciphertext)
+        assert plain == b"initial-content"
+
+    def test_read_without_responder_key(self, formed_coalition, read_certificate):
+        _c, server, _d, users = formed_coalition
+        request = build_joint_request(
+            users[1], [], "read", "ObjectO", read_certificate, now=5
+        )
+        result = server.handle_request(request, now=6)
+        assert result.granted
+        assert result.encrypted_response is None
+
+
+class TestPolicyUpdate:
+    def test_admin_group_updates_acl(self, formed_coalition):
+        coalition, server, _d, users = formed_coalition
+        admin_cert = coalition.authority.issue_threshold_certificate(
+            users, 3, "G_admin", 0, ValidityPeriod(0, 1000)
+        )
+        request = build_joint_request(
+            users[0], users[1:], "set_policy", "ObjectO", admin_cert, now=5
+        )
+        decision = server.update_policy(
+            request,
+            [ACLEntry.of("G_write", ["write", "read"])],
+            now=6,
+        )
+        assert decision.granted
+        acl = server.object_acl("ObjectO")
+        assert acl.allows("G_write", "read")
+        assert not acl.allows("G_read", "read")
+        assert server.objects["ObjectO"].policy.version == 1
+
+    def test_non_admin_cannot_update(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = build_joint_request(
+            users[0], [users[1]], "set_policy", "ObjectO",
+            write_certificate, now=5,
+        )
+        decision = server.update_policy(
+            request, [ACLEntry.of("G_evil", ["write"])], now=6
+        )
+        assert not decision.granted
+        assert not server.object_acl("ObjectO").allows("G_evil", "write")
+
+    def test_update_unknown_object(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = build_joint_request(
+            users[0], [users[1]], "set_policy", "Ghost",
+            write_certificate, now=5,
+        )
+        decision = server.update_policy(request, [], now=6)
+        assert not decision.granted
+
+
+class TestMetrics:
+    def test_grant_rate(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        assert server.grant_rate() == 0.0
+        ok = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate, now=5
+        )
+        server.handle_request(ok, now=6, write_content=b"v")
+        bad = build_joint_request(
+            users[0], [], "write", "ObjectO", write_certificate, now=7
+        )
+        server.handle_request(bad, now=8, write_content=b"v")
+        assert server.grant_rate() == 0.5
+        assert len(server.access_log) == 2

@@ -1,0 +1,172 @@
+"""Tests for the m-of-n threshold coalition authority (Section 3.3)."""
+
+import pytest
+
+from repro.coalition import (
+    ACLEntry,
+    CoalitionServer,
+    ConsensusError,
+    ThresholdCoalitionAuthority,
+    build_joint_request,
+)
+from repro.pki.certificates import ValidityPeriod
+
+
+@pytest.fixture()
+def threshold_setup(three_domains):
+    """A 2-of-3 threshold AA with an attached server."""
+    domains, users = three_domains
+    authority = ThresholdCoalitionAuthority.establish(
+        domains, threshold=2, name="AA_thr", key_bits=96
+    )
+    server = CoalitionServer("ServerP")
+    server.protocol.trust_coalition_aa(
+        authority.name,
+        authority.public_key,
+        authority.member_names(),
+        threshold=2,
+    )
+    server.protocol.trust_revocation_authority(
+        authority.revocation_authority.name,
+        authority.revocation_authority.public_key,
+    )
+    for domain in domains:
+        server.protocol.trust_domain_ca(domain.ca.name, domain.ca.public_key)
+    server.create_object(
+        "ObjectO", b"content", [ACLEntry.of("G_write", ["write"])], "G_admin"
+    )
+    return authority, server, domains, users
+
+
+class TestEstablish:
+    def test_share_per_domain(self, threshold_setup):
+        authority, _s, domains, _u = threshold_setup
+        assert set(authority._shares_by_domain) == {d.name for d in domains}
+
+    def test_bad_threshold_rejected(self, three_domains):
+        domains, _users = three_domains
+        with pytest.raises(ValueError):
+            ThresholdCoalitionAuthority.establish(domains, threshold=4)
+
+
+class TestIssuance:
+    def test_all_cooperative(self, threshold_setup):
+        authority, _s, _d, users = threshold_setup
+        cert = authority.issue_threshold_certificate(
+            users, 2, "G_write", 0, ValidityPeriod(0, 100)
+        )
+        assert authority.public_key.verify(cert.payload_bytes(), cert.signature)
+
+    def test_one_domain_down_still_issues(self, threshold_setup):
+        """The availability win: m=2 of n=3 suffices."""
+        authority, _s, domains, users = threshold_setup
+        domains[1].cooperative = False
+        cert = authority.issue_threshold_certificate(
+            users, 2, "G_write", 0, ValidityPeriod(0, 100)
+        )
+        assert authority.public_key.verify(cert.payload_bytes(), cert.signature)
+
+    def test_two_domains_down_blocks(self, threshold_setup):
+        """...but below m the authority stalls (consent floor)."""
+        authority, _s, domains, users = threshold_setup
+        domains[0].cooperative = False
+        domains[2].cooperative = False
+        with pytest.raises(ConsensusError, match="required 2"):
+            authority.issue_threshold_certificate(
+                users, 2, "G_write", 0, ValidityPeriod(0, 100)
+            )
+        assert authority.issuance_failures == 1
+
+    def test_certificate_published(self, threshold_setup):
+        authority, _s, _d, users = threshold_setup
+        cert = authority.issue_threshold_certificate(
+            users, 1, "G_write", 0, ValidityPeriod(0, 100)
+        )
+        assert authority.directory.get(cert.serial) is cert
+
+
+class TestServerIntegration:
+    def test_end_to_end_access(self, threshold_setup):
+        authority, server, _d, users = threshold_setup
+        cert = authority.issue_threshold_certificate(
+            users, 2, "G_write", 0, ValidityPeriod(0, 1000)
+        )
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", cert, now=1
+        )
+        result = server.handle_request(request, now=2, write_content=b"ok")
+        assert result.granted
+
+    def test_statement_one_records_m_of_n(self, threshold_setup):
+        """The verifier's statement 1 carries CP_{2,3}, not CP_{3,3}."""
+        from repro.core.formulas import KeySpeaksFor
+        from repro.core.patterns import AnyTime
+        from repro.core.terms import ThresholdPrincipal, Var
+
+        _a, server, _d, _u = threshold_setup
+        schema = KeySpeaksFor(Var("k"), AnyTime(), Var("s"))
+        hits = [
+            f for f, _b, _p in server.protocol.engine.store.query(schema)
+            if isinstance(f.subject, ThresholdPrincipal) and f.subject.n == 3
+        ]
+        assert any(f.subject.m == 2 for f in hits)
+
+    def test_revocation_works(self, threshold_setup):
+        authority, server, _d, users = threshold_setup
+        cert = authority.issue_threshold_certificate(
+            users, 2, "G_write", 0, ValidityPeriod(0, 1000)
+        )
+        revocation = authority.revoke_certificate(cert, now=5)
+        server.receive_revocation(revocation, now=6)
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", cert, now=7
+        )
+        assert not server.handle_request(
+            request, now=7, write_content=b"x"
+        ).granted
+
+
+class TestByzantineDomains:
+    def test_byzantine_share_tolerated_and_identified(self, threshold_setup):
+        """A domain returning a garbled share neither blocks issuance
+        nor goes unnoticed (intrusion tolerance, Wu et al. style)."""
+        from repro.crypto.threshold import ThresholdSignatureShare
+
+        authority, _s, domains, users = threshold_setup
+
+        def tamper(sig_share, public):
+            return ThresholdSignatureShare(
+                index=sig_share.index,
+                value=(sig_share.value * 13) % public.modulus,
+            )
+
+        authority.share_tamperers[domains[1].name] = tamper
+        cert = authority.issue_threshold_certificate(
+            users, 2, "G_write", 0, ValidityPeriod(0, 100)
+        )
+        assert authority.public_key.verify(cert.payload_bytes(), cert.signature)
+        assert authority.byzantine_observations == [domains[1].name]
+
+    def test_too_many_byzantine_blocks(self, threshold_setup):
+        from repro.crypto.threshold import ThresholdSignatureShare
+
+        authority, _s, domains, users = threshold_setup
+
+        def tamper_a(sig_share, public):
+            return ThresholdSignatureShare(
+                index=sig_share.index,
+                value=(sig_share.value * 13) % public.modulus,
+            )
+
+        def tamper_b(sig_share, public):
+            return ThresholdSignatureShare(
+                index=sig_share.index,
+                value=(sig_share.value * 17) % public.modulus,
+            )
+
+        authority.share_tamperers[domains[0].name] = tamper_a
+        authority.share_tamperers[domains[2].name] = tamper_b
+        with pytest.raises(ConsensusError):
+            authority.issue_threshold_certificate(
+                users, 2, "G_write", 0, ValidityPeriod(0, 100)
+            )

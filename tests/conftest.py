@@ -1,0 +1,96 @@
+"""Shared fixtures: expensive key material is generated once per session."""
+
+import pytest
+
+from repro.coalition import ACLEntry, Coalition, CoalitionServer, Domain
+from repro.crypto.boneh_franklin import dealer_shared_rsa
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.threshold import generate_threshold_key
+from repro.pki import ValidityPeriod
+
+TEST_KEY_BITS = 256
+
+
+@pytest.fixture(scope="session")
+def rsa_keypair():
+    """A session-wide conventional RSA key pair."""
+    return generate_keypair(bits=TEST_KEY_BITS)
+
+
+@pytest.fixture(scope="session")
+def rsa_keypair_other():
+    """A second, distinct key pair for mismatch tests."""
+    return generate_keypair(bits=TEST_KEY_BITS)
+
+
+@pytest.fixture(scope="session")
+def shared_key_3():
+    """A dealer-shared 3-party RSA key (shares + public key)."""
+    return dealer_shared_rsa(3, bits=TEST_KEY_BITS)
+
+
+@pytest.fixture(scope="session")
+def shoup_key_3_of_5():
+    """A Shoup 3-of-5 threshold key (small safe primes for speed)."""
+    return generate_threshold_key(5, 3, bits=96)
+
+
+@pytest.fixture()
+def three_domains():
+    """Three fresh domains with one registered user each."""
+    domains = [Domain(f"D{i}", key_bits=TEST_KEY_BITS) for i in (1, 2, 3)]
+    users = [
+        domain.register_user(f"User_D{i}", now=0)
+        for i, domain in enumerate(domains, start=1)
+    ]
+    return domains, users
+
+
+@pytest.fixture()
+def formed_coalition(three_domains):
+    """A formed 3-domain coalition with an attached, configured server.
+
+    Returns (coalition, server, domains, users) with ObjectO created and
+    G_write / G_read / G_admin on its ACL.
+    """
+    domains, users = three_domains
+    coalition = Coalition("test", key_bits=TEST_KEY_BITS)
+    coalition.form(domains)
+    server = CoalitionServer("ServerP")
+    coalition.attach_server(server)
+    server.create_object(
+        "ObjectO",
+        b"initial-content",
+        [
+            ACLEntry.of("G_write", ["write"]),
+            ACLEntry.of("G_read", ["read"]),
+        ],
+        admin_group="G_admin",
+    )
+    return coalition, server, domains, users
+
+
+@pytest.fixture()
+def write_certificate(formed_coalition):
+    """A live 2-of-3 G_write threshold AC for the coalition users."""
+    coalition, _server, _domains, users = formed_coalition
+    return coalition.authority.issue_threshold_certificate(
+        subjects=users,
+        threshold=2,
+        group="G_write",
+        now=0,
+        validity=ValidityPeriod(0, 1_000),
+    )
+
+
+@pytest.fixture()
+def read_certificate(formed_coalition):
+    """A live 1-of-3 G_read threshold AC for the coalition users."""
+    coalition, _server, _domains, users = formed_coalition
+    return coalition.authority.issue_threshold_certificate(
+        subjects=users,
+        threshold=1,
+        group="G_read",
+        now=0,
+        validity=ValidityPeriod(0, 1_000),
+    )

@@ -1,0 +1,114 @@
+"""Tests for A37: membership of a compound principal with a shared key.
+
+Section 2.2's "alternate mechanism": an attribute certificate issued to
+a group of users that own a shared public key; requests are signed
+jointly with the shared key rather than with per-member keys.
+"""
+
+import pytest
+
+from repro.core import axioms
+from repro.core.axioms import AxiomError
+from repro.core.derivation import DerivationEngine
+from repro.core.formulas import KeySpeaksFor, Says, SpeaksForGroup
+from repro.core.messages import Data, Signed
+from repro.core.temporal import FOREVER, at, during
+from repro.core.terms import (
+    CompoundPrincipal,
+    Group,
+    KeyBoundCompound,
+    KeyRef,
+    Principal,
+)
+
+U1, U2 = Principal("U1"), Principal("U2")
+G = Group("G")
+K_CP = KeyRef("kcp", "K_CP")
+CP = CompoundPrincipal.of([U1, U2])
+X = Data('"write" O')
+
+
+def _membership(t=during(0, 100)):
+    return SpeaksForGroup(KeyBoundCompound(CP, K_CP), t, G)
+
+
+class TestA37Axiom:
+    def test_applies(self):
+        speaks = KeySpeaksFor(K_CP, during(0, 100), CP)
+        says = Says(CP, at(5), Signed(X, K_CP))
+        result = axioms.a37_keybound_compound_group_says(
+            _membership(), speaks, says
+        )
+        assert result == Says(G, at(5), X)
+
+    def test_accepts_threshold_binding(self):
+        speaks = KeySpeaksFor(K_CP, during(0, 100), CP.threshold(2))
+        says = Says(CP, at(5), Signed(X, K_CP))
+        result = axioms.a37_keybound_compound_group_says(
+            _membership(), speaks, says
+        )
+        assert result.subject == G
+
+    def test_wrong_key_rejected(self):
+        speaks = KeySpeaksFor(KeyRef("other"), during(0, 100), CP)
+        says = Says(CP, at(5), Signed(X, KeyRef("other")))
+        with pytest.raises(AxiomError, match="different key"):
+            axioms.a37_keybound_compound_group_says(_membership(), speaks, says)
+
+    def test_unsigned_rejected(self):
+        speaks = KeySpeaksFor(K_CP, during(0, 100), CP)
+        says = Says(CP, at(5), X)
+        with pytest.raises(AxiomError, match="signed"):
+            axioms.a37_keybound_compound_group_says(_membership(), speaks, says)
+
+    def test_wrong_compound_rejected(self):
+        other = CompoundPrincipal.of([U1, Principal("U3")])
+        speaks = KeySpeaksFor(K_CP, during(0, 100), other)
+        says = Says(other, at(5), Signed(X, K_CP))
+        with pytest.raises(AxiomError, match="different compound"):
+            axioms.a37_keybound_compound_group_says(_membership(), speaks, says)
+
+    def test_expired_membership_rejected(self):
+        speaks = KeySpeaksFor(K_CP, during(0, 100), CP)
+        says = Says(CP, at(50), Signed(X, K_CP))
+        with pytest.raises(AxiomError, match="membership"):
+            axioms.a37_keybound_compound_group_says(
+                _membership(during(0, 10)), speaks, says
+            )
+
+
+class TestEngineA37:
+    def test_derive_group_says_via_a37(self):
+        engine = DerivationEngine(Principal("ServerP"))
+        engine.believe(KeySpeaksFor(K_CP, during(0, FOREVER), CP))
+        membership = engine.believe(_membership())
+        says = engine.store.add_premise(Says(CP, at(5), Signed(X, K_CP)))
+        result = engine.derive_group_says(membership, [says])
+        assert result.rule == "A37"
+        assert result.conclusion == Says(G, at(5), X)
+
+    def test_a37_without_binding_fails(self):
+        from repro.core.derivation import DerivationError
+
+        engine = DerivationEngine(Principal("ServerP"))
+        membership = engine.believe(_membership())
+        says = engine.store.add_premise(Says(CP, at(5), Signed(X, K_CP)))
+        with pytest.raises(DerivationError):
+            engine.derive_group_says(membership, [says])
+
+    def test_a37_proof_checks(self):
+        from repro.core import check_proof
+
+        engine = DerivationEngine(Principal("ServerP"))
+        engine.believe(KeySpeaksFor(K_CP, during(0, FOREVER), CP))
+        membership = engine.believe(_membership())
+        says = engine.store.add_premise(Says(CP, at(5), Signed(X, K_CP)))
+        result = engine.derive_group_says(membership, [says])
+        assert check_proof(result)
+
+
+class TestMembershipAxiomNaming:
+    def test_a27_for_keybound_compound(self):
+        from repro.core.derivation import _membership_axiom_name
+
+        assert _membership_axiom_name(KeyBoundCompound(CP, K_CP)) == "A27"

@@ -1,0 +1,280 @@
+"""Tests for the derivation engine."""
+
+import pytest
+
+from repro.core.derivation import DerivationEngine, DerivationError
+from repro.core.formulas import (
+    Controls,
+    KeySpeaksFor,
+    Not,
+    Says,
+    SpeaksForGroup,
+)
+from repro.core.messages import Data, Signed
+from repro.core.patterns import AnyTime
+from repro.core.temporal import FOREVER, Temporal, at, during
+from repro.core.terms import (
+    CompoundPrincipal,
+    Group,
+    KeyRef,
+    Principal,
+    Var,
+)
+
+P = Principal("ServerP")
+AA = Principal("AA")
+CA = Principal("CA1")
+U1 = Principal("U1")
+U2 = Principal("U2")
+U3 = Principal("U3")
+G = Group("G_write")
+KAA = KeyRef("kaa", "KAA")
+KCA = KeyRef("kca", "KCA")
+K1, K2, K3 = KeyRef("k1"), KeyRef("k2"), KeyRef("k3")
+
+
+def _engine():
+    """An engine with the standard initial beliefs of Appendix E."""
+    engine = DerivationEngine(P)
+    domains = CompoundPrincipal.of(
+        [Principal("D1"), Principal("D2"), Principal("D3")]
+    )
+    engine.believe(
+        KeySpeaksFor(KAA, during(0, FOREVER, P), domains.threshold(3)), "stmt 1"
+    )
+    engine.register_alias(domains, AA)
+    membership_schema = SpeaksForGroup(Var("cp"), AnyTime("iv"), Var("g"))
+    engine.believe(Controls(AA, during(0, FOREVER), membership_schema), "stmt 2")
+    engine.believe(
+        Controls(AA, during(0, FOREVER, P), Says(AA, AnyTime("t"), membership_schema)),
+        "stmt 3",
+    )
+    id_schema = KeySpeaksFor(Var("k"), AnyTime("iv"), Var("q"))
+    engine.believe(Controls(CA, during(0, FOREVER), id_schema), "stmt 6")
+    engine.believe(
+        Controls(CA, during(0, FOREVER, P), Says(CA, AnyTime("t"), id_schema)),
+        "stmt 7",
+    )
+    engine.believe(KeySpeaksFor(KCA, during(0, FOREVER, P), CA), "CA key")
+    return engine
+
+
+def _identity_cert(user=U1, key=K1, validity=during(0, 100)):
+    return Signed(Says(CA, at(2), KeySpeaksFor(key, validity, user)), KCA)
+
+
+def _threshold_cert(m=2, validity=during(0, 100)):
+    cp = CompoundPrincipal.of(
+        [U1.bound_to(K1), U2.bound_to(K2), U3.bound_to(K3)]
+    )
+    body = SpeaksForGroup(cp.threshold(m), validity, G)
+    return Signed(Says(AA, at(3), body), KAA)
+
+
+class TestReceive:
+    def test_receipt_recorded(self):
+        engine = _engine()
+        proof = engine.receive(Data("x"), at_time=5)
+        assert proof.rule == "premise"
+        assert proof.conclusion in engine.store
+
+
+class TestKeyBindingLookup:
+    def test_find_installed_binding(self):
+        engine = _engine()
+        binding, _proof = engine.find_key_binding(KCA, at_time=5)
+        assert binding.subject == CA
+
+    def test_missing_binding(self):
+        engine = _engine()
+        with pytest.raises(DerivationError, match="no key binding"):
+            engine.find_key_binding(KeyRef("unknown"), at_time=5)
+
+    def test_expired_binding_skipped(self):
+        engine = DerivationEngine(P)
+        engine.believe(KeySpeaksFor(K1, during(0, 3), U1))
+        with pytest.raises(DerivationError):
+            engine.find_key_binding(K1, at_time=9)
+
+
+class TestAdmitCertificate:
+    def test_identity_certificate(self):
+        engine = _engine()
+        proof = engine.admit_certificate(_identity_cert(), received_at=10)
+        assert proof.conclusion == KeySpeaksFor(K1, during(0, 100), U1)
+        assert "A10" in proof.axioms_used()
+        assert "A22" in proof.axioms_used()
+
+    def test_threshold_certificate(self):
+        engine = _engine()
+        proof = engine.admit_certificate(_threshold_cert(), received_at=10)
+        membership = proof.conclusion
+        assert isinstance(membership, SpeaksForGroup)
+        assert membership.group == G
+        assert membership.subject.m == 2
+        assert "A28" in proof.axioms_used()
+
+    def test_unknown_signer_rejected(self):
+        engine = _engine()
+        rogue = Signed(Says(AA, at(3), Data("x")), KeyRef("rogue"))
+        with pytest.raises(DerivationError, match="no key binding"):
+            engine.admit_certificate(rogue, received_at=10)
+
+    def test_issuer_signer_mismatch(self):
+        engine = _engine()
+        # Signed with CA's key but body claims AA said it.
+        forged = Signed(
+            Says(AA, at(3), SpeaksForGroup(U1, during(0, 9), G)), KCA
+        )
+        with pytest.raises(DerivationError, match="claims issuer"):
+            engine.admit_certificate(forged, received_at=10)
+
+    def test_missing_jurisdiction(self):
+        engine = DerivationEngine(P)
+        engine.believe(KeySpeaksFor(KCA, during(0, FOREVER, P), CA))
+        with pytest.raises(DerivationError, match="jurisdiction"):
+            engine.admit_certificate(_identity_cert(), received_at=10)
+
+    def test_non_says_body_rejected(self):
+        engine = _engine()
+        with pytest.raises(DerivationError, match="idealized"):
+            engine.admit_certificate(Signed(Data("x"), KCA), received_at=10)
+
+    def test_alias_rewrites_compound_to_authority(self):
+        engine = _engine()
+        proof = engine.admit_certificate(_threshold_cert(), received_at=10)
+        # The chain must pass through "AA says", not the raw compound.
+        says_steps = [
+            s for s in proof.walk() if isinstance(s.conclusion, Says)
+        ]
+        assert any(s.conclusion.subject == AA for s in says_steps)
+
+
+class TestSignedUtterances:
+    def test_admit_signed_utterance(self):
+        engine = _engine()
+        engine.admit_certificate(_identity_cert(), received_at=10)
+        request = Signed(Says(U1, at(11), Data('"write" O')), K1)
+        says_body, says_signed = engine.admit_signed_utterance(
+            request, received_at=12
+        )
+        assert says_body.conclusion.subject == U1
+        assert isinstance(says_signed.conclusion.body, Signed)
+
+    def test_unknown_key_rejected(self):
+        engine = _engine()
+        request = Signed(Says(U1, at(11), Data("x")), K1)
+        with pytest.raises(DerivationError):
+            engine.admit_signed_utterance(request, received_at=12)
+
+
+class TestGroupSaysDerivation:
+    def _prepared(self):
+        engine = _engine()
+        engine.admit_certificate(_identity_cert(U1, K1), received_at=10)
+        engine.admit_certificate(_identity_cert(U2, K2), received_at=10)
+        membership = engine.admit_certificate(_threshold_cert(2), received_at=10)
+        return engine, membership
+
+    def _request(self, engine, user, key, t=12):
+        signed = Signed(Says(user, at(11), Data('"write" O')), key)
+        _body, says_signed = engine.admit_signed_utterance(signed, received_at=t)
+        return says_signed
+
+    def test_a38_grants(self):
+        engine, membership = self._prepared()
+        says1 = self._request(engine, U1, K1)
+        says2 = self._request(engine, U2, K2)
+        result = engine.derive_group_says(membership, [says1, says2])
+        assert result.conclusion == Says(G, at(12), Data('"write" O'))
+        assert result.rule == "A38"
+
+    def test_a38_insufficient(self):
+        engine, membership = self._prepared()
+        says1 = self._request(engine, U1, K1)
+        with pytest.raises(DerivationError):
+            engine.derive_group_says(membership, [says1])
+
+    def test_a34_simple_membership(self):
+        engine = _engine()
+        membership = engine.believe(SpeaksForGroup(U1, during(0, 100), G))
+        says = engine.store.add_premise(Says(U1, at(5), Data("x")))
+        result = engine.derive_group_says(membership, [says])
+        assert result.rule == "A34"
+
+    def test_a36_compound_membership(self):
+        engine = _engine()
+        cp = CompoundPrincipal.of([U1, U2])
+        membership = engine.believe(SpeaksForGroup(cp, during(0, 100), G))
+        says = engine.store.add_premise(Says(cp, at(5), Data("x")))
+        result = engine.derive_group_says(membership, [says])
+        assert result.rule == "A36"
+
+    def test_a35_keybound_membership(self):
+        engine = _engine()
+        engine.believe(KeySpeaksFor(K1, during(0, 100), U1))
+        membership = engine.believe(
+            SpeaksForGroup(U1.bound_to(K1), during(0, 100), G)
+        )
+        says = engine.store.add_premise(
+            Says(U1, at(5), Signed(Data("x"), K1))
+        )
+        result = engine.derive_group_says(membership, [says])
+        assert result.rule == "A35"
+        assert result.conclusion == Says(G, at(5), Data("x"))
+
+    def test_non_membership_proof_rejected(self):
+        engine = _engine()
+        bogus = engine.store.add_premise(Says(U1, at(1), Data("x")))
+        with pytest.raises(DerivationError):
+            engine.derive_group_says(bogus, [bogus])
+
+
+class TestRevocation:
+    def test_revocation_defeats_membership(self):
+        engine = _engine()
+        # Give the RA jurisdiction over negated memberships.
+        RA = Principal("RA")
+        KRA = KeyRef("kra")
+        engine.believe(KeySpeaksFor(KRA, during(0, FOREVER, P), RA))
+        neg_schema = Not(SpeaksForGroup(Var("cp"), AnyTime("iv"), Var("g")))
+        engine.believe(Controls(RA, during(0, FOREVER), neg_schema))
+        engine.believe(
+            Controls(RA, during(0, FOREVER, P), Says(RA, AnyTime("t"), neg_schema))
+        )
+
+        membership_proof = engine.admit_certificate(
+            _threshold_cert(2), received_at=10
+        )
+        membership = membership_proof.conclusion
+        assert engine.membership_revoked(membership, at_time=11) is None
+
+        cp = membership.subject
+        revocation = Signed(
+            Says(RA, at(12), Not(SpeaksForGroup(cp, during(15, FOREVER), G))),
+            KRA,
+        )
+        engine.admit_revocation(revocation, received_at=13)
+        assert engine.membership_revoked(membership, at_time=20) is not None
+        # Before the effective time the certificate is still good.
+        assert engine.membership_revoked(membership, at_time=14) is None
+
+    def test_malformed_revocation_rejected(self):
+        engine = _engine()
+        not_a_revocation = Signed(Says(AA, at(1), Data("x")), KAA)
+        with pytest.raises(DerivationError):
+            engine.admit_revocation(not_a_revocation, received_at=2)
+
+
+class TestFreshness:
+    def test_within_window(self):
+        engine = _engine()
+        assert engine.check_freshness(stated_at=10, received_at=12, window=5)
+
+    def test_outside_window(self):
+        engine = _engine()
+        assert not engine.check_freshness(stated_at=1, received_at=12, window=5)
+
+    def test_future_within_window(self):
+        engine = _engine()
+        assert engine.check_freshness(stated_at=14, received_at=12, window=5)

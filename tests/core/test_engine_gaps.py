@@ -1,0 +1,128 @@
+"""Tests for engine paths not covered elsewhere: membership queries,
+interval beliefs, and larger compositions."""
+
+import pytest
+
+from repro.core.derivation import DerivationEngine, DerivationError
+from repro.core.formulas import KeySpeaksFor, Not, SpeaksForGroup
+from repro.core.temporal import FOREVER, at, during
+from repro.core.terms import Group, KeyRef, Principal
+
+P = Principal("ServerP")
+G = Group("G_write")
+
+
+class TestFindMembership:
+    def _engine(self):
+        engine = DerivationEngine(P)
+        engine.believe(SpeaksForGroup(Principal("U1"), during(0, 100), G))
+        engine.believe(SpeaksForGroup(Principal("U2"), during(50, 150), G))
+        engine.believe(
+            SpeaksForGroup(Principal("U3"), during(0, 100), Group("G_read"))
+        )
+        return engine
+
+    def test_finds_valid_memberships(self):
+        engine = self._engine()
+        hits = engine.find_membership(G, at_time=75)
+        subjects = {m.subject for m, _p in hits}
+        assert subjects == {Principal("U1"), Principal("U2")}
+
+    def test_respects_validity(self):
+        engine = self._engine()
+        hits = engine.find_membership(G, at_time=10)
+        subjects = {m.subject for m, _p in hits}
+        assert subjects == {Principal("U1")}
+
+    def test_respects_group(self):
+        engine = self._engine()
+        hits = engine.find_membership(Group("G_read"), at_time=10)
+        assert len(hits) == 1
+
+    def test_skips_revoked(self):
+        engine = self._engine()
+        engine.store.add_premise(
+            Not(SpeaksForGroup(Principal("U1"), during(20, FOREVER), G))
+        )
+        hits = engine.find_membership(G, at_time=75)
+        subjects = {m.subject for m, _p in hits}
+        assert Principal("U1") not in subjects
+
+    def test_empty_when_nothing_valid(self):
+        engine = self._engine()
+        assert engine.find_membership(G, at_time=500) == []
+
+
+class TestScale:
+    def test_many_domains_many_signers(self):
+        """A 10-of-10 certificate with all ten signers derives cleanly."""
+        from repro.core.formulas import Says
+        from repro.core.messages import Data, Signed
+        from repro.core.patterns import AnyTime
+        from repro.core.formulas import Controls
+        from repro.core.terms import CompoundPrincipal, Var
+
+        engine = DerivationEngine(P)
+        AA = Principal("AA")
+        KAA = KeyRef("kaa")
+        domains = CompoundPrincipal.of(
+            [Principal(f"D{i}") for i in range(10)]
+        )
+        engine.believe(
+            KeySpeaksFor(KAA, during(0, FOREVER, P), domains.threshold(10))
+        )
+        engine.register_alias(domains, AA)
+        schema = SpeaksForGroup(Var("s"), AnyTime("iv"), Var("g"))
+        engine.believe(Controls(AA, during(0, FOREVER), schema))
+        engine.believe(
+            Controls(AA, during(0, FOREVER, P), Says(AA, AnyTime("t"), schema))
+        )
+
+        users = [Principal(f"U{i}") for i in range(10)]
+        keys = [KeyRef(f"k{i}") for i in range(10)]
+        cp = CompoundPrincipal.of(
+            [u.bound_to(k) for u, k in zip(users, keys)]
+        )
+        tac = Signed(
+            Says(AA, at(1), SpeaksForGroup(cp.threshold(10), during(0, 100), G)),
+            KAA,
+        )
+        membership = engine.admit_certificate(tac, received_at=2)
+
+        says_proofs = []
+        for u, k in zip(users, keys):
+            engine.believe(KeySpeaksFor(k, during(0, 100), u))
+            request = Signed(Says(u, at(3), Data('"write" O')), k)
+            _b, signed = engine.admit_signed_utterance(request, received_at=4)
+            says_proofs.append(signed)
+        conclusion = engine.derive_group_says(membership, says_proofs)
+        assert conclusion.rule == "A38"
+        assert conclusion.conclusion.subject == G
+        # The proof tree is large but still audits.
+        from repro.core import check_proof
+
+        assert check_proof(conclusion, aliases=engine.alias_map())
+
+    def test_nine_of_ten_insufficient(self):
+        """One signature short of a 10-of-10 threshold is denied."""
+        from repro.core.formulas import Says
+        from repro.core.messages import Data, Signed
+        from repro.core.terms import CompoundPrincipal
+
+        engine = DerivationEngine(P)
+        users = [Principal(f"U{i}") for i in range(10)]
+        keys = [KeyRef(f"k{i}") for i in range(10)]
+        cp = CompoundPrincipal.of(
+            [u.bound_to(k) for u, k in zip(users, keys)]
+        )
+        membership = engine.believe(
+            SpeaksForGroup(cp.threshold(10), during(0, 100), G)
+        )
+        says_proofs = []
+        for u, k in zip(users[:9], keys[:9]):
+            engine.believe(KeySpeaksFor(k, during(0, 100), u))
+            request = Signed(Says(u, at(3), Data('"write" O')), k)
+            _b, signed = engine.admit_signed_utterance(request, received_at=4)
+            says_proofs.append(signed)
+        with pytest.raises(DerivationError, match="need 10"):
+            engine.derive_group_says(membership, says_proofs)

@@ -1,0 +1,75 @@
+"""Tests for messages and the submessage closure."""
+
+from repro.core.formulas import At, Says
+from repro.core.messages import Data, Encrypted, MessageTuple, Signed, submessages
+from repro.core.temporal import at
+from repro.core.terms import KeyRef, Principal
+
+
+class TestMessageTypes:
+    def test_data_equality(self):
+        assert Data("x") == Data("x")
+        assert Data("x") != Data("y")
+
+    def test_signed_structure(self):
+        s = Signed(Data("x"), KeyRef("k"))
+        assert s.body == Data("x")
+        assert s.key == KeyRef("k")
+
+    def test_tuple_str(self):
+        t = MessageTuple((Data("a"), Data("b")))
+        assert "a" in str(t) and "b" in str(t)
+
+    def test_hashable(self):
+        msgs = {
+            Data("x"),
+            Signed(Data("x"), KeyRef("k")),
+            Encrypted(Data("x"), KeyRef("k")),
+            MessageTuple((Data("x"),)),
+        }
+        assert len(msgs) == 4
+
+
+class TestSubmessages:
+    def test_plain_data(self):
+        assert submessages(Data("x")) == {Data("x")}
+
+    def test_tuple_components(self):
+        t = MessageTuple((Data("a"), Data("b")))
+        subs = submessages(t)
+        assert Data("a") in subs and Data("b") in subs and t in subs
+
+    def test_signed_readable_without_key(self):
+        s = Signed(Data("x"), KeyRef("k"))
+        subs = submessages(s)
+        assert Data("x") in subs
+
+    def test_encrypted_needs_key(self):
+        e = Encrypted(Data("x"), KeyRef("k"))
+        assert Data("x") not in submessages(e)
+        assert Data("x") in submessages(e, frozenset({KeyRef("k")}))
+
+    def test_wrong_key_does_not_open(self):
+        e = Encrypted(Data("x"), KeyRef("k"))
+        assert Data("x") not in submessages(e, frozenset({KeyRef("other")}))
+
+    def test_nested(self):
+        inner = Encrypted(Data("secret"), KeyRef("k"))
+        outer = MessageTuple((Signed(inner, KeyRef("sig")), Data("pub")))
+        no_key = submessages(outer)
+        assert Data("pub") in no_key
+        assert inner in no_key
+        assert Data("secret") not in no_key
+        with_key = submessages(outer, frozenset({KeyRef("k")}))
+        assert Data("secret") in with_key
+
+    def test_at_formula_body_included(self):
+        phi = Says(Principal("P"), at(1), Data("x"))
+        located = At(phi, Principal("P"), at(2))
+        subs = submessages(located)
+        assert phi in subs
+
+    def test_formula_as_message(self):
+        phi = Says(Principal("P"), at(1), Data("x"))
+        signed = Signed(phi, KeyRef("k"))
+        assert phi in submessages(signed)

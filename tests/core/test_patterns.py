@@ -1,0 +1,123 @@
+"""Tests for schema unification (pattern matching)."""
+
+from repro.core.formulas import Controls, KeySpeaksFor, Says, SpeaksForGroup
+from repro.core.patterns import AnyTime, AnyTimeFrom, match, substitute
+from repro.core.temporal import at, during
+from repro.core.terms import (
+    CompoundPrincipal,
+    Group,
+    KeyRef,
+    Principal,
+    Var,
+)
+
+
+class TestBasicMatching:
+    def test_var_binds(self):
+        bindings = match(Var("x"), Principal("P"))
+        assert bindings == {"x": Principal("P")}
+
+    def test_var_consistency(self):
+        schema = SpeaksForGroup(Var("s"), AnyTime(), Var("s"))
+        # subject and group must be equal for double-binding to succeed.
+        concrete = SpeaksForGroup(Principal("P"), at(1), Group("P"))
+        assert match(schema, concrete) is None  # Principal != Group
+
+    def test_literal_match(self):
+        assert match(Principal("P"), Principal("P")) == {}
+        assert match(Principal("P"), Principal("Q")) is None
+
+    def test_type_mismatch(self):
+        assert match(Principal("P"), Group("P")) is None
+
+    def test_tuple_matching(self):
+        assert match((Var("a"), Var("b")), (1, 2)) == {"a": 1, "b": 2}
+        assert match((Var("a"),), (1, 2)) is None
+
+
+class TestTemporalWildcards:
+    def test_anytime_matches_any(self):
+        assert match(AnyTime(), at(5)) == {}
+        assert match(AnyTime(), during(0, 100)) == {}
+
+    def test_anytime_named_binds(self):
+        assert match(AnyTime("t"), at(5)) == {"t": at(5)}
+
+    def test_anytime_rejects_non_temporal(self):
+        assert match(AnyTime(), Principal("P")) is None
+
+    def test_anytimefrom(self):
+        assert match(AnyTimeFrom(10), at(15)) == {}
+        assert match(AnyTimeFrom(10), at(5)) is None
+        assert match(AnyTimeFrom(10), during(10, 20)) == {}
+        assert match(AnyTimeFrom(10), during(5, 20)) is None
+
+
+class TestFormulaMatching:
+    def test_jurisdiction_schema(self):
+        schema = Controls(
+            Principal("AA"),
+            AnyTime(),
+            SpeaksForGroup(Var("cp"), AnyTime("iv"), Var("g")),
+        )
+        cp = CompoundPrincipal.of([Principal("A"), Principal("B")]).threshold(2)
+        concrete = Controls(
+            Principal("AA"),
+            during(0, 100),
+            SpeaksForGroup(cp, during(1, 50), Group("G")),
+        )
+        bindings = match(schema, concrete)
+        assert bindings is not None
+        assert bindings["cp"] == cp
+        assert bindings["g"] == Group("G")
+        assert bindings["iv"] == during(1, 50)
+
+    def test_nested_says_schema(self):
+        schema = Says(
+            Principal("AA"), AnyTime("t"), SpeaksForGroup(Var("s"), AnyTime(), Var("g"))
+        )
+        concrete = Says(
+            Principal("AA"),
+            at(7),
+            SpeaksForGroup(Principal("U"), during(0, 9), Group("G")),
+        )
+        bindings = match(schema, concrete)
+        assert bindings["t"] == at(7)
+
+    def test_wrong_controller_fails(self):
+        schema = Controls(Principal("AA"), AnyTime(), Var("phi"))
+        concrete = Controls(Principal("CA"), at(0), Group("G"))
+        assert match(schema, concrete) is None
+
+    def test_keyref_label_ignored(self):
+        schema = KeySpeaksFor(KeyRef("abc", "L1"), AnyTime(), Var("p"))
+        concrete = KeySpeaksFor(KeyRef("abc", "L2"), at(3), Principal("P"))
+        assert match(schema, concrete) is not None
+
+
+class TestSubstitute:
+    def test_var_substitution(self):
+        schema = SpeaksForGroup(Var("s"), at(1), Var("g"))
+        result = substitute(schema, {"s": Principal("P"), "g": Group("G")})
+        assert result == SpeaksForGroup(Principal("P"), at(1), Group("G"))
+
+    def test_unbound_var_left(self):
+        result = substitute(Var("x"), {})
+        assert result == Var("x")
+
+    def test_named_anytime_substitution(self):
+        schema = Says(Principal("P"), AnyTime("t"), Var("m"))
+        result = substitute(schema, {"t": at(9), "m": Group("G")})
+        assert result == Says(Principal("P"), at(9), Group("G"))
+
+    def test_roundtrip_with_match(self):
+        schema = Controls(
+            Principal("AA"),
+            AnyTime("jt"),
+            SpeaksForGroup(Var("cp"), AnyTime("iv"), Var("g")),
+        )
+        concrete_body = SpeaksForGroup(Principal("U"), during(3, 8), Group("G"))
+        concrete = Controls(Principal("AA"), during(0, 10), concrete_body)
+        bindings = match(schema, concrete)
+        rebuilt = substitute(schema, bindings)
+        assert rebuilt == concrete

@@ -1,0 +1,49 @@
+"""Tests for proof trees."""
+
+from repro.core.formulas import Says
+from repro.core.messages import Data
+from repro.core.proofs import ProofStep, render_proof
+from repro.core.temporal import at
+from repro.core.terms import Principal
+
+
+def _tree():
+    leaf1 = ProofStep(Data("p1"), "premise", note="initial belief")
+    leaf2 = ProofStep(Data("p2"), "premise")
+    mid = ProofStep(Data("mid"), "A10", (leaf1, leaf2))
+    return ProofStep(Says(Principal("G"), at(3), Data("x")), "A38", (mid,))
+
+
+class TestProofStep:
+    def test_walk_preorder(self):
+        root = _tree()
+        rules = [step.rule for step in root.walk()]
+        assert rules == ["A38", "A10", "premise", "premise"]
+
+    def test_axioms_used_dedup(self):
+        assert _tree().axioms_used() == ["A38", "A10", "premise"]
+
+    def test_depth(self):
+        assert _tree().depth() == 3
+
+    def test_size(self):
+        assert _tree().size() == 4
+
+    def test_leaf(self):
+        leaf = ProofStep(Data("x"), "premise")
+        assert leaf.depth() == 1
+        assert leaf.size() == 1
+
+
+class TestRender:
+    def test_render_contains_rules_and_notes(self):
+        text = render_proof(_tree())
+        assert "[A38]" in text
+        assert "[A10]" in text
+        assert "initial belief" in text
+
+    def test_indentation(self):
+        lines = render_proof(_tree()).splitlines()
+        assert lines[0].startswith("[")
+        assert lines[1].startswith("  [")
+        assert lines[2].startswith("    [")

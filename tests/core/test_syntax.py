@@ -1,0 +1,139 @@
+"""Tests for the concrete formula syntax (render + parse)."""
+
+import pytest
+
+from repro.core.formulas import (
+    And,
+    At,
+    Believes,
+    Controls,
+    Fresh,
+    Has,
+    Implies,
+    KeySpeaksFor,
+    Not,
+    Received,
+    Said,
+    Says,
+    SpeaksForGroup,
+)
+from repro.core.messages import Data, Encrypted, MessageTuple, Signed
+from repro.core.syntax import SyntaxError_, parse_formula, to_text
+from repro.core.temporal import FOREVER, at, during, sometime
+from repro.core.terms import (
+    CompoundPrincipal,
+    Group,
+    KeyBoundCompound,
+    KeyRef,
+    Principal,
+)
+
+P = Principal("User_D1")
+U2 = Principal("U2")
+K = KeyRef("a1b2c3")
+K2 = KeyRef("k2")
+G = Group("G_write")
+
+
+def _roundtrip(node):
+    text = to_text(node)
+    assert parse_formula(text) == node
+    return text
+
+
+class TestRoundTrips:
+    def test_identity_certificate_body(self):
+        node = Says(Principal("CA1"), at(5), KeySpeaksFor(K, during(1, 100), P))
+        text = _roundtrip(node)
+        assert "says:5" in text and "=>:[1,100]" in text
+
+    def test_threshold_membership(self):
+        cp = CompoundPrincipal.of([P.bound_to(K), U2.bound_to(K2)])
+        node = SpeaksForGroup(cp.threshold(2), during(1, FOREVER), G)
+        text = _roundtrip(node)
+        assert "%2" in text and "[1,*]" in text
+
+    def test_keybound_compound(self):
+        node = SpeaksForGroup(
+            KeyBoundCompound(CompoundPrincipal.of([P, U2]), K), during(0, 5), G
+        )
+        _roundtrip(node)
+
+    def test_revocation_body(self):
+        _roundtrip(Not(SpeaksForGroup(P, at(3), G)))
+
+    def test_signed_request(self):
+        node = Received(
+            Principal("ServerP"),
+            at(7, Principal("ServerP")),
+            Signed(Data('"write" O'), K),
+        )
+        text = _roundtrip(node)
+        assert "^ServerP" in text
+
+    def test_all_modalities(self):
+        for cls in (Says, Said, Received, Believes, Controls):
+            _roundtrip(cls(P, at(1), Data("x")))
+        _roundtrip(Has(P, during(0, 10), K))
+
+    def test_connectives(self):
+        _roundtrip(And(Data("a"), Data("b")))
+        _roundtrip(Implies(Data("a"), Data("b")))
+        _roundtrip(Not(Data("a")))
+
+    def test_at_and_fresh(self):
+        _roundtrip(At(Says(P, at(1), Data("x")), Principal("SP"), sometime(0, 9)))
+        _roundtrip(Fresh(Data("n"), at(2)))
+
+    def test_messages(self):
+        _roundtrip(MessageTuple((Data("x"), Encrypted(Data("y"), K))))
+        _roundtrip(Signed(Says(P, at(1), Data("m")), K))
+
+    def test_string_escaping(self):
+        _roundtrip(Data('quote " and backslash \\'))
+
+    def test_nested_belief(self):
+        node = Believes(
+            Principal("SP"), at(4),
+            Controls(Principal("AA"), during(0, FOREVER), Data("phi")),
+        )
+        _roundtrip(node)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "P says:5",  # missing body parens
+            "P says:(x)",  # missing time
+            "#k =>:5",  # missing subject
+            "{P,}",  # trailing comma
+            "P =>:5 Q",  # membership target must be a group
+            '"unterminated',
+            "P ??",
+            "sig(x)",  # missing key
+            "{P}%9",  # threshold out of range
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises((SyntaxError_, ValueError)):
+            parse_formula(text)
+
+
+class TestIntegrationWithEngine:
+    def test_parsed_belief_drives_derivation(self):
+        """A textual initial-belief configuration actually works."""
+        from repro.core.derivation import DerivationEngine
+
+        engine = DerivationEngine(Principal("ServerP"))
+        binding = parse_formula("#ca =>:[0,*]^ServerP CA1")
+        engine.believe(binding)
+        found, _proof = engine.find_key_binding(KeyRef("ca"), at_time=5)
+        assert found == binding
+
+    def test_render_real_certificate_idealization(self, three_domains):
+        _domains, users = three_domains
+        ideal = users[0].identity_certificate.idealize()
+        text = to_text(ideal)
+        assert parse_formula(text) == ideal

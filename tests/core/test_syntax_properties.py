@@ -1,0 +1,143 @@
+"""Property-based round-trip tests for the concrete formula syntax.
+
+Random formulas are generated compositionally with hypothesis and must
+survive ``parse_formula(to_text(f)) == f`` exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formulas import (
+    And,
+    At,
+    Believes,
+    Controls,
+    Fresh,
+    Implies,
+    KeySpeaksFor,
+    Not,
+    Received,
+    Said,
+    Says,
+    SpeaksForGroup,
+)
+from repro.core.messages import Data, Encrypted, MessageTuple, Signed
+from repro.core.syntax import parse_formula, to_text
+from repro.core.temporal import FOREVER, Temporal
+from repro.core.terms import (
+    CompoundPrincipal,
+    Group,
+    KeyBoundCompound,
+    KeyRef,
+    Principal,
+)
+
+_names = st.sampled_from(["P", "Q", "ServerP", "User_D1", "AA", "CA1"])
+_key_ids = st.sampled_from(["k1", "k2", "abc123", "kaa"])
+_group_names = st.sampled_from(["G_write", "G_read", "G"])
+
+principals = st.builds(Principal, _names)
+keys = st.builds(KeyRef, _key_ids)
+groups = st.builds(Group, _group_names)
+
+key_bound = st.builds(
+    lambda p, k: p.bound_to(k), principals, keys
+)
+
+
+@st.composite
+def compounds(draw):
+    members = draw(
+        st.lists(
+            st.one_of(principals, key_bound),
+            min_size=1,
+            max_size=3,
+            unique_by=lambda m: getattr(m, "name", None)
+            or m.principal.name,
+        )
+    )
+    return CompoundPrincipal.of(members)
+
+
+@st.composite
+def subjects(draw):
+    choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return draw(principals)
+    if choice == 1:
+        return draw(key_bound)
+    if choice == 2:
+        return draw(compounds())
+    if choice == 3:
+        compound = draw(compounds())
+        m = draw(st.integers(1, compound.size))
+        return compound.threshold(m)
+    return KeyBoundCompound(draw(compounds()), draw(keys))
+
+
+@st.composite
+def temporals(draw):
+    lo = draw(st.integers(0, 50))
+    hi = draw(st.one_of(st.integers(lo, 100), st.just(FOREVER)))
+    kind = draw(st.integers(0, 2))
+    clock = draw(st.one_of(st.none(), principals))
+    if kind == 0:
+        return Temporal.point(lo, clock)
+    if kind == 1:
+        return Temporal.all(lo, hi, clock)
+    return Temporal.some(lo, hi, clock)
+
+
+@st.composite
+def messages(draw, depth=2):
+    if depth <= 0:
+        return Data(draw(st.text(
+            alphabet=st.characters(
+                whitelist_categories=("L", "N"), whitelist_characters=' _-"\\'
+            ),
+            max_size=12,
+        )))
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return draw(messages(depth=0))
+    if choice == 1:
+        return Signed(draw(messages(depth=depth - 1)), draw(keys))
+    if choice == 2:
+        return Encrypted(draw(messages(depth=depth - 1)), draw(keys))
+    parts = draw(st.lists(messages(depth=depth - 1), min_size=1, max_size=3))
+    return MessageTuple(tuple(parts))
+
+
+@st.composite
+def formulas(draw, depth=2):
+    choice = draw(st.integers(0, 7))
+    if choice == 0:
+        return KeySpeaksFor(draw(keys), draw(temporals()), draw(subjects()))
+    if choice == 1:
+        return SpeaksForGroup(draw(subjects()), draw(temporals()), draw(groups))
+    if choice == 2:
+        cls = draw(st.sampled_from([Says, Said, Received]))
+        return cls(draw(principals), draw(temporals()), draw(messages()))
+    if choice == 3 and depth > 0:
+        return Not(draw(formulas(depth=depth - 1)))
+    if choice == 4 and depth > 0:
+        cls = draw(st.sampled_from([And, Implies]))
+        return cls(draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1)))
+    if choice == 5 and depth > 0:
+        cls = draw(st.sampled_from([Believes, Controls]))
+        return cls(draw(principals), draw(temporals()), draw(formulas(depth=depth - 1)))
+    if choice == 6 and depth > 0:
+        return At(draw(formulas(depth=depth - 1)), draw(principals), draw(temporals()))
+    return Fresh(draw(messages()), draw(temporals()))
+
+
+class TestSyntaxRoundTripProperty:
+    @given(formulas())
+    @settings(max_examples=200, deadline=None)
+    def test_formula_roundtrip(self, formula):
+        assert parse_formula(to_text(formula)) == formula
+
+    @given(messages())
+    @settings(max_examples=100, deadline=None)
+    def test_message_roundtrip(self, message):
+        assert parse_formula(to_text(message)) == message

@@ -1,0 +1,91 @@
+"""Tests for temporal annotations."""
+
+import pytest
+
+from repro.core.temporal import (
+    FOREVER,
+    Temporal,
+    TemporalKind,
+    at,
+    during,
+    sometime,
+)
+from repro.core.terms import Principal
+
+
+class TestConstruction:
+    def test_point(self):
+        t = at(5)
+        assert t.kind is TemporalKind.POINT
+        assert t.lo == t.hi == 5
+        assert t.is_point
+
+    def test_all_interval(self):
+        t = during(1, 9)
+        assert t.kind is TemporalKind.ALL
+        assert (t.lo, t.hi) == (1, 9)
+
+    def test_some_interval(self):
+        t = sometime(1, 9)
+        assert t.kind is TemporalKind.SOME
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            during(5, 4)
+
+    def test_point_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Temporal(TemporalKind.POINT, 1, 2)
+
+    def test_clock_owner(self):
+        p = Principal("P")
+        t = at(5, p)
+        assert t.clock == p
+
+
+class TestCovers:
+    def test_point_covers_itself(self):
+        assert at(5).covers(5)
+        assert not at(5).covers(6)
+
+    def test_all_covers_interval(self):
+        t = during(2, 8)
+        assert t.covers(2) and t.covers(5) and t.covers(8)
+        assert not t.covers(1) and not t.covers(9)
+
+    def test_some_covers_nothing(self):
+        assert not sometime(2, 8).covers(5)
+
+    def test_covers_interval(self):
+        t = during(0, 10)
+        assert t.covers_interval(2, 8)
+        assert not t.covers_interval(5, 11)
+        assert not sometime(0, 10).covers_interval(2, 3)
+
+    def test_forever(self):
+        t = during(0, FOREVER)
+        assert t.covers(10**9)
+
+
+class TestClockManipulation:
+    def test_on_clock(self):
+        p = Principal("P")
+        t = during(1, 5).on_clock(p)
+        assert t.clock == p
+        assert (t.lo, t.hi) == (1, 5)
+
+    def test_without_clock(self):
+        p = Principal("P")
+        t = at(3, p).without_clock()
+        assert t.clock is None
+
+    def test_clock_affects_equality(self):
+        assert at(3) != at(3, Principal("P"))
+
+
+class TestStr:
+    def test_renderings(self):
+        assert str(at(5)) == "5"
+        assert str(during(1, 2)) == "[1,2]"
+        assert str(sometime(1, 2)) == "<1,2>"
+        assert "P" in str(at(5, Principal("P")))

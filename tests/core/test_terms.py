@@ -1,0 +1,129 @@
+"""Tests for the term language: principals, compounds, keys, groups."""
+
+import pytest
+
+from repro.core.terms import (
+    CompoundPrincipal,
+    Group,
+    KeyBoundPrincipal,
+    KeyRef,
+    Principal,
+    ThresholdPrincipal,
+    Var,
+    is_ground,
+)
+
+
+class TestPrincipal:
+    def test_equality(self):
+        assert Principal("P") == Principal("P")
+        assert Principal("P") != Principal("Q")
+
+    def test_hashable(self):
+        assert len({Principal("P"), Principal("P"), Principal("Q")}) == 2
+
+    def test_ordering(self):
+        assert Principal("A") < Principal("B")
+
+    def test_bound_to(self):
+        bound = Principal("P").bound_to(KeyRef("k1"))
+        assert isinstance(bound, KeyBoundPrincipal)
+        assert bound.principal == Principal("P")
+        assert bound.key == KeyRef("k1")
+
+    def test_str(self):
+        assert str(Principal("ServerP")) == "ServerP"
+
+
+class TestKeyRef:
+    def test_label_not_in_identity(self):
+        assert KeyRef("abc", "label1") == KeyRef("abc", "label2")
+        assert hash(KeyRef("abc", "x")) == hash(KeyRef("abc", "y"))
+
+    def test_distinct_ids(self):
+        assert KeyRef("abc") != KeyRef("abd")
+
+    def test_str_prefers_label(self):
+        assert str(KeyRef("deadbeef01", "KAA")) == "KAA"
+        assert "deadbeef" in str(KeyRef("deadbeef01"))
+
+
+class TestCompoundPrincipal:
+    def test_of_sorts_members(self):
+        cp1 = CompoundPrincipal.of([Principal("B"), Principal("A")])
+        cp2 = CompoundPrincipal.of([Principal("A"), Principal("B")])
+        assert cp1 == cp2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompoundPrincipal(members=())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            CompoundPrincipal.of([Principal("A"), Principal("A")])
+
+    def test_size(self):
+        cp = CompoundPrincipal.of([Principal(n) for n in "ABC"])
+        assert cp.size == 3
+
+    def test_contains(self):
+        cp = CompoundPrincipal.of([Principal("A"), Principal("B")])
+        assert Principal("A") in cp
+        assert Principal("C") not in cp
+
+    def test_principals_strips_bindings(self):
+        cp = CompoundPrincipal.of(
+            [Principal("A").bound_to(KeyRef("ka")), Principal("B")]
+        )
+        assert cp.principals() == (Principal("A"), Principal("B"))
+
+    def test_mixed_members(self):
+        cp = CompoundPrincipal.of(
+            [Principal("A").bound_to(KeyRef("ka")), Principal("B")]
+        )
+        assert cp.size == 2
+
+
+class TestThresholdPrincipal:
+    def _cp(self):
+        return CompoundPrincipal.of([Principal(n) for n in "ABC"])
+
+    def test_valid_threshold(self):
+        tp = self._cp().threshold(2)
+        assert tp.m == 2
+        assert tp.n == 3
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            self._cp().threshold(0)
+        with pytest.raises(ValueError):
+            self._cp().threshold(4)
+
+    def test_str(self):
+        assert "{2,3}" in str(self._cp().threshold(2))
+
+    def test_equality(self):
+        assert self._cp().threshold(2) == self._cp().threshold(2)
+        assert self._cp().threshold(2) != self._cp().threshold(3)
+
+
+class TestGround:
+    def test_ground_terms(self):
+        assert is_ground(Principal("P"))
+        assert is_ground(KeyRef("k"))
+        assert is_ground(Group("G"))
+        cp = CompoundPrincipal.of([Principal("A"), Principal("B")])
+        assert is_ground(cp)
+        assert is_ground(cp.threshold(1))
+
+    def test_var_not_ground(self):
+        assert not is_ground(Var("x"))
+
+    def test_var_inside_compound(self):
+        cp = CompoundPrincipal(members=(Var("x"),))
+        # Construction allows vars for schemas; groundness detects them.
+        assert not is_ground(cp)
+
+    def test_var_inside_binding(self):
+        bound = KeyBoundPrincipal(principal=Principal("P"), key=Var("k"))
+        assert not is_ground(bound)

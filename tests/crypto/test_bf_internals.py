@@ -1,0 +1,110 @@
+"""White-box tests of the Boneh-Franklin key-generation internals."""
+
+import math
+
+import pytest
+
+from repro.crypto.boneh_franklin import (
+    _derive_private_shares,
+    _find_correction,
+    _sample_prime_shares,
+)
+from repro.crypto.numtheory import modinv, random_prime
+
+
+class TestShareSampling:
+    @pytest.mark.parametrize("n_parties", [1, 2, 3, 5])
+    def test_congruences(self, n_parties):
+        shares = _sample_prime_shares(n_parties, prime_bits=32)
+        assert shares[0] % 4 == 3
+        assert all(s % 4 == 0 for s in shares[1:])
+        assert sum(shares) % 4 == 3
+
+    def test_candidate_size(self):
+        shares = _sample_prime_shares(3, prime_bits=64)
+        total = sum(shares)
+        assert 63 <= total.bit_length() <= 67
+
+
+def _synthetic_biprime(bits=40):
+    """A known biprime with BF-style shares for derivation tests."""
+    p = random_prime(bits, congruence=(3, 4))
+    q = random_prime(bits, congruence=(3, 4))
+    # Party 1 takes the residue-3 part; party 2 and 3 take multiples of 4.
+    p2 = (p // 3) // 4 * 4
+    p3 = (p // 5) // 4 * 4
+    p1 = p - p2 - p3
+    q2 = (q // 3) // 4 * 4
+    q3 = (q // 7) // 4 * 4
+    q1 = q - q2 - q3
+    assert p1 % 4 == 3 and q1 % 4 == 3
+    return [p1, p2, p3], [q1, q2, q3], p, q
+
+
+class TestPrivateShareDerivation:
+    def test_shares_sum_near_true_d(self):
+        e = 65_537
+        p_shares, q_shares, p, q = _synthetic_biprime()
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if math.gcd(phi, e) != 1:
+            pytest.skip("unlucky phi; regenerate")
+        d_true = modinv(e, phi)
+        d_shares = _derive_private_shares(p_shares, q_shares, n, e)
+        assert d_shares is not None
+        total = sum(d_shares)
+        # Congruent to the true d mod phi, short by the flooring error.
+        error = d_true - (total % phi)
+        assert 0 <= error < len(d_shares)
+
+    def test_correction_found_and_in_range(self):
+        e = 65_537
+        p_shares, q_shares, p, q = _synthetic_biprime()
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if math.gcd(phi, e) != 1:
+            pytest.skip("unlucky phi; regenerate")
+        d_shares = _derive_private_shares(p_shares, q_shares, n, e)
+        correction = _find_correction(d_shares, n, e)
+        assert correction is not None
+        assert 0 <= correction <= len(d_shares)
+
+    def test_corrected_shares_sign(self):
+        from repro.crypto.boneh_franklin import (
+            PrivateKeyShare,
+            SharedRSAPublicKey,
+        )
+        from repro.crypto.joint_signature import joint_sign
+
+        e = 65_537
+        p_shares, q_shares, p, q = _synthetic_biprime(bits=48)
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if math.gcd(phi, e) != 1:
+            pytest.skip("unlucky phi; regenerate")
+        d_shares = _derive_private_shares(p_shares, q_shares, n, e)
+        correction = _find_correction(d_shares, n, e)
+        public = SharedRSAPublicKey(
+            modulus=n, exponent=e, n_parties=3, correction=correction
+        )
+        shares = [
+            PrivateKeyShare(index=i + 1, value=d, modulus=n)
+            for i, d in enumerate(d_shares)
+        ]
+        signature = joint_sign(b"internals", shares, public)
+        assert public.verify(b"internals", signature)
+
+    def test_gcd_failure_returns_none(self):
+        """When e divides phi, derivation must signal a retry."""
+        # Construct p with p-1 divisible by 5 and use e=5.
+        while True:
+            p = random_prime(24)
+            if (p - 1) % 5 == 0 and p % 4 == 3:
+                break
+        q = random_prime(24, congruence=(3, 4))
+        p2 = (p // 3) // 4 * 4
+        p1 = p - p2
+        q2 = (q // 3) // 4 * 4
+        q1 = q - q2
+        result = _derive_private_shares([p1, p2], [q1, q2], p * q, 5)
+        assert result is None

@@ -1,0 +1,82 @@
+"""Tests for BGW multiplication of additively shared secrets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.bgw import BGWParty, bgw_multiply, field_modulus_for
+from repro.crypto.numtheory import is_probable_prime
+
+
+class TestFieldModulus:
+    def test_prime_and_large_enough(self):
+        m = field_modulus_for(10**6)
+        assert m > 10**6
+        assert is_probable_prime(m)
+
+
+class TestBgwMultiply:
+    def test_three_parties(self):
+        a = [10, 20, 30]  # sum 60
+        b = [1, 2, 3]  # sum 6
+        assert bgw_multiply(a, b, max_value=1000) == 360
+
+    def test_five_parties(self):
+        a = [5, 5, 5, 5, 5]
+        b = [2, 2, 2, 2, 2]
+        assert bgw_multiply(a, b, max_value=10**4) == 25 * 10
+
+    def test_negative_contributions(self):
+        a = [100, -40, 10]  # sum 70
+        b = [3, 3, -2]  # sum 4
+        assert bgw_multiply(a, b, max_value=10**4) == 280
+
+    def test_two_parties_rejected(self):
+        with pytest.raises(ValueError):
+            bgw_multiply([1, 2], [3, 4], max_value=100)
+
+    def test_mismatched_lists_rejected(self):
+        with pytest.raises(ValueError):
+            bgw_multiply([1, 2, 3], [4, 5], max_value=100)
+
+    def test_large_values(self):
+        a = [2**100, 2**99, 1]
+        b = [2**100, 0, 5]
+        expected = sum(a) * sum(b)
+        assert bgw_multiply(a, b, max_value=expected + 1) == expected
+
+    @given(
+        st.lists(st.integers(-(10**6), 10**6), min_size=3, max_size=6),
+        st.lists(st.integers(-(10**6), 10**6), min_size=3, max_size=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_integer_product(self, a, b):
+        size = min(len(a), len(b))
+        a, b = a[:size], b[:size]
+        expected = sum(a) * sum(b)
+        bound = max(abs(expected), 1) + 1
+        assert bgw_multiply(a, b, max_value=bound) == expected
+
+
+class TestBgwParty:
+    def test_shares_reconstruct_contribution(self):
+        party = BGWParty(index=1, a_contrib=17, b_contrib=23)
+        out_a, out_b = party.deal_shares(n_parties=3, degree=1, modulus=10007)
+        # Degree-1 poly through points 1..3 has constant = contribution.
+        from repro.crypto.sharing import interpolate_at_zero
+
+        points_a = [(j, out_a[j]) for j in (1, 2)]
+        assert interpolate_at_zero(points_a, 10007) == 17
+        points_b = [(j, out_b[j]) for j in (2, 3)]
+        assert interpolate_at_zero(points_b, 10007) == 23
+
+    def test_product_point_requires_all_shares(self):
+        parties = [BGWParty(i + 1, 10, 20) for i in range(3)]
+        for sender in parties:
+            out_a, out_b = sender.deal_shares(3, 1, 10007)
+            for receiver in parties:
+                receiver.accept_share(
+                    sender.index, out_a[receiver.index], out_b[receiver.index]
+                )
+        point = parties[0].product_point(10007)
+        assert 0 <= point < 10007

@@ -1,0 +1,70 @@
+"""Tests for the distributed Fermat biprimality test."""
+
+import pytest
+
+from repro.crypto.biprimality import biprimality_test, party_exponents
+from repro.crypto.numtheory import random_prime
+
+
+def _share_prime(p: int, parties: int):
+    """Split p (== 3 mod 4) into BF-style shares: p1 == 3, rest == 0 mod 4."""
+    shares = []
+    remaining = p
+    for _ in range(parties - 1):
+        chunk = (remaining // (2 * parties)) // 4 * 4
+        shares.append(chunk)
+        remaining -= chunk
+    assert remaining % 4 == 3
+    return [remaining] + shares
+
+
+def _biprime_shares(bits: int = 48, parties: int = 3):
+    p = random_prime(bits, congruence=(3, 4))
+    q = random_prime(bits, congruence=(3, 4))
+    return _share_prime(p, parties), _share_prime(q, parties), p * q
+
+
+class TestPartyExponents:
+    def test_integrality_enforced(self):
+        # Party 2's shares must be 0 mod 4; -(2 + 4) is not divisible by 4.
+        with pytest.raises(ValueError):
+            party_exponents([5, 2], [3, 4], 99)
+
+    def test_mismatched_lists(self):
+        with pytest.raises(ValueError):
+            party_exponents([3], [3, 4], 21)
+
+    def test_exponents_sum_to_phi_over_4(self):
+        p_shares, q_shares, n = _biprime_shares()
+        p, q = sum(p_shares), sum(q_shares)
+        exponents = party_exponents(p_shares, q_shares, n)
+        assert sum(exponents) == (n - p - q + 1) // 4
+
+
+class TestBiprimalityTest:
+    def test_accepts_biprime(self):
+        p_shares, q_shares, n = _biprime_shares()
+        assert biprimality_test(p_shares, q_shares, n)
+
+    def test_rejects_wrong_modulus(self):
+        p_shares, q_shares, n = _biprime_shares()
+        with pytest.raises(ValueError):
+            biprimality_test(p_shares, q_shares, n + 4)
+
+    def test_rejects_composite_factor(self):
+        # p composite (product of two primes), q prime: N has 3 factors.
+        p1 = random_prime(24, congruence=(3, 4))
+        p2 = random_prime(24, congruence=(1, 4))
+        p = p1 * p2
+        assert p % 4 == 3
+        q = random_prime(24, congruence=(3, 4))
+        p_shares = _share_prime(p, 3)
+        q_shares = _share_prime(q, 3)
+        assert not biprimality_test(p_shares, q_shares, p * q, rounds=40)
+
+    def test_rejects_modulus_not_1_mod_4(self):
+        assert not biprimality_test([3], [2], 6)
+
+    def test_two_party(self):
+        p_shares, q_shares, n = _biprime_shares(parties=2)
+        assert biprimality_test(p_shares, q_shares, n)

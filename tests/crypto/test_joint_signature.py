@@ -1,0 +1,131 @@
+"""Tests for the n-of-n joint signature protocol of Section 3.2."""
+
+import pytest
+
+from repro.crypto.joint_signature import (
+    CoSigner,
+    JointSignatureError,
+    JointSignatureSession,
+    PartialSignature,
+    SigningRequest,
+    combine_partials,
+    joint_sign,
+    partials_by_index,
+    sign_share,
+)
+
+
+class TestOneShot:
+    def test_joint_sign(self, shared_key_3):
+        sig = joint_sign(b"m", shared_key_3.shares, shared_key_3.public_key)
+        assert shared_key_3.public_key.verify(b"m", sig)
+
+    def test_signature_deterministic(self, shared_key_3):
+        s1 = joint_sign(b"m", shared_key_3.shares, shared_key_3.public_key)
+        s2 = joint_sign(b"m", shared_key_3.shares, shared_key_3.public_key)
+        assert s1 == s2
+
+    def test_message_sensitivity(self, shared_key_3):
+        s1 = joint_sign(b"m1", shared_key_3.shares, shared_key_3.public_key)
+        assert not shared_key_3.public_key.verify(b"m2", s1)
+
+
+class TestCombine:
+    def test_missing_share(self, shared_key_3):
+        partials = [
+            sign_share(b"m", s, shared_key_3.public_key)
+            for s in shared_key_3.shares[:2]
+        ]
+        with pytest.raises(JointSignatureError, match="needs all 3"):
+            combine_partials(b"m", partials, shared_key_3.public_key)
+
+    def test_duplicate_share(self, shared_key_3):
+        partial = sign_share(b"m", shared_key_3.shares[0], shared_key_3.public_key)
+        with pytest.raises(JointSignatureError, match="duplicate"):
+            combine_partials(
+                b"m", [partial, partial, partial], shared_key_3.public_key
+            )
+
+    def test_corrupted_partial(self, shared_key_3):
+        partials = [
+            sign_share(b"m", s, shared_key_3.public_key)
+            for s in shared_key_3.shares
+        ]
+        bad = PartialSignature(index=partials[0].index, value=partials[0].value ^ 1)
+        with pytest.raises(JointSignatureError, match="failed verification"):
+            combine_partials(
+                b"m", [bad, *partials[1:]], shared_key_3.public_key
+            )
+
+    def test_partial_for_wrong_message(self, shared_key_3):
+        partials = [
+            sign_share(b"m", s, shared_key_3.public_key)
+            for s in shared_key_3.shares[:2]
+        ]
+        partials.append(
+            sign_share(b"other", shared_key_3.shares[2], shared_key_3.public_key)
+        )
+        with pytest.raises(JointSignatureError):
+            combine_partials(b"m", partials, shared_key_3.public_key)
+
+
+class TestCoSigner:
+    def test_responds_to_valid_request(self, shared_key_3):
+        signer = CoSigner(shared_key_3.shares[1], shared_key_3.public_key)
+        request = SigningRequest(
+            message=b"m", key_id=shared_key_3.public_key.fingerprint()
+        )
+        partial = signer.respond(request)
+        assert partial.index == shared_key_3.shares[1].index
+        assert signer.requests_served == 1
+
+    def test_rejects_unknown_key_id(self, shared_key_3):
+        signer = CoSigner(shared_key_3.shares[1], shared_key_3.public_key)
+        request = SigningRequest(message=b"m", key_id="bogus")
+        with pytest.raises(JointSignatureError, match="unknown key"):
+            signer.respond(request)
+        assert signer.requests_served == 0
+
+
+class TestSession:
+    def test_full_flow(self, shared_key_3):
+        requestor_share = shared_key_3.shares[0]
+        co_signers = [
+            CoSigner(s, shared_key_3.public_key) for s in shared_key_3.shares[1:]
+        ]
+        session = JointSignatureSession(
+            requestor_share, co_signers, shared_key_3.public_key
+        )
+        sig = session.sign(b"joint message")
+        assert shared_key_3.public_key.verify(b"joint message", sig)
+
+    def test_message_count(self, shared_key_3):
+        """The §3.2 flow costs 2(n-1) messages per signature."""
+        co_signers = [
+            CoSigner(s, shared_key_3.public_key) for s in shared_key_3.shares[1:]
+        ]
+        session = JointSignatureSession(
+            shared_key_3.shares[0], co_signers, shared_key_3.public_key
+        )
+        session.sign(b"m")
+        assert session.messages_sent == 2 * (len(shared_key_3.shares) - 1)
+
+    def test_uncooperative_cosigner_blocks(self, shared_key_3):
+        co_signers = [
+            CoSigner(s, shared_key_3.public_key) for s in shared_key_3.shares[1:2]
+        ]  # one co-signer missing entirely
+        session = JointSignatureSession(
+            shared_key_3.shares[0], co_signers, shared_key_3.public_key
+        )
+        with pytest.raises(JointSignatureError):
+            session.sign(b"m")
+
+
+class TestHelpers:
+    def test_partials_by_index(self, shared_key_3):
+        partials = [
+            sign_share(b"m", s, shared_key_3.public_key)
+            for s in shared_key_3.shares
+        ]
+        indexed = partials_by_index(partials)
+        assert set(indexed) == {1, 2, 3}

@@ -1,0 +1,246 @@
+"""Unit and property tests for the number-theory primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.numtheory import (
+    crt,
+    egcd,
+    integer_sqrt,
+    is_probable_prime,
+    jacobi,
+    lagrange_coefficients_at_zero,
+    miller_rabin,
+    modinv,
+    next_prime,
+    product,
+    random_in_range,
+    random_odd,
+    random_prime,
+    random_safe_prime,
+    small_primes,
+)
+
+
+class TestEgcd:
+    def test_basic(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == 2
+
+    def test_coprime(self):
+        g, x, y = egcd(17, 31)
+        assert g == 1
+        assert 17 * x + 31 * y == 1
+
+    def test_zero(self):
+        g, x, y = egcd(0, 5)
+        assert g == 5
+
+    @given(st.integers(1, 10**12), st.integers(1, 10**12))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+
+class TestModinv:
+    def test_known(self):
+        assert modinv(3, 11) == 4
+
+    def test_identity(self):
+        assert (7 * modinv(7, 31)) % 31 == 1
+
+    def test_not_invertible(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    @given(st.integers(2, 10**9))
+    def test_inverse_mod_prime(self, a):
+        p = 1_000_000_007
+        if a % p == 0:
+            return
+        inv = modinv(a, p)
+        assert (a * inv) % p == 1
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("p", [2, 3, 5, 7, 101, 7919, 104729, 2**31 - 1])
+    def test_primes_accepted(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize(
+        "n", [0, 1, 4, 100, 561, 1105, 1729, 2821, 6601, 2**31 - 2]
+    )
+    def test_composites_rejected(self, n):
+        # Includes Carmichael numbers (561, 1105, 1729, 2821, 6601).
+        assert not is_probable_prime(n)
+
+    def test_miller_rabin_large_prime(self):
+        # 2^61 - 1 is a Mersenne prime.
+        assert miller_rabin(2**61 - 1)
+
+    def test_miller_rabin_large_composite(self):
+        assert not miller_rabin((2**61 - 1) * 7)
+
+
+class TestJacobi:
+    def test_qr_example(self):
+        # 2 is a QR mod 7 (3^2 = 2).
+        assert jacobi(2, 7) == 1
+
+    def test_non_residue(self):
+        assert jacobi(3, 7) == -1
+
+    def test_shared_factor(self):
+        assert jacobi(21, 7) == 0
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            jacobi(3, 8)
+
+    @given(st.integers(1, 10**6), st.integers(1, 10**6))
+    @settings(max_examples=50)
+    def test_multiplicative_in_numerator(self, a, b):
+        n = 1009  # odd prime
+        assert jacobi(a * b, n) == jacobi(a, n) * jacobi(b, n)
+
+    def test_euler_criterion_on_prime(self):
+        p = 10007
+        for a in range(2, 50):
+            euler = pow(a, (p - 1) // 2, p)
+            expected = 1 if euler == 1 else -1
+            assert jacobi(a, p) == expected
+
+
+class TestCrt:
+    def test_basic(self):
+        x = crt([2, 3, 2], [3, 5, 7])
+        assert x % 3 == 2 and x % 5 == 3 and x % 7 == 2
+
+    def test_single(self):
+        assert crt([4], [9]) == 4
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ValueError):
+            crt([1, 2], [4, 6])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crt([1], [3, 5])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            crt([], [])
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=50)
+    def test_roundtrip(self, x):
+        moduli = [101, 103, 107, 109]
+        m = 101 * 103 * 107 * 109
+        residues = [x % p for p in moduli]
+        assert crt(residues, moduli) == x % m
+
+
+class TestSmallPrimes:
+    def test_cached_table(self):
+        primes = small_primes(100)
+        assert primes == [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+            59, 61, 67, 71, 73, 79, 83, 89, 97,
+        ]
+
+    def test_larger_bound(self):
+        primes = small_primes(20_000)
+        assert 19997 in primes or not is_probable_prime(19997)
+        assert all(is_probable_prime(p) for p in primes[-5:])
+
+
+class TestSampling:
+    def test_random_prime_bits(self):
+        p = random_prime(64)
+        assert p.bit_length() == 64
+        assert is_probable_prime(p)
+
+    def test_random_prime_congruence(self):
+        p = random_prime(48, congruence=(3, 4))
+        assert p % 4 == 3
+        assert is_probable_prime(p)
+
+    def test_random_odd(self):
+        n = random_odd(32)
+        assert n % 2 == 1
+        assert n.bit_length() == 32
+
+    def test_random_in_range(self):
+        for _ in range(20):
+            assert 10 <= random_in_range(10, 20) < 20
+
+    def test_random_in_range_empty(self):
+        with pytest.raises(ValueError):
+            random_in_range(5, 5)
+
+    def test_next_prime(self):
+        assert next_prime(10) == 11
+        assert next_prime(13) == 17
+        assert next_prime(0) == 2
+
+    def test_safe_prime(self):
+        p = random_safe_prime(24)
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) // 2)
+
+
+class TestIntegerSqrt:
+    @pytest.mark.parametrize("n,expected", [(0, 0), (1, 1), (4, 2), (15, 3), (16, 4)])
+    def test_known(self, n, expected):
+        assert integer_sqrt(n) == expected
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            integer_sqrt(-1)
+
+    @given(st.integers(0, 10**30))
+    @settings(max_examples=100)
+    def test_floor_property(self, n):
+        r = integer_sqrt(n)
+        assert r * r <= n < (r + 1) * (r + 1)
+
+
+class TestProduct:
+    def test_empty(self):
+        assert product([]) == 1
+
+    def test_values(self):
+        assert product([2, 3, 7]) == 42
+
+
+class TestLagrange:
+    def test_reconstructs_constant(self):
+        p = 10007
+        # f(x) = 5 + 3x + 2x^2
+        f = lambda x: (5 + 3 * x + 2 * x * x) % p  # noqa: E731
+        xs = [1, 4, 9]
+        lams = lagrange_coefficients_at_zero(xs, p)
+        value = sum(lam * f(x) for lam, x in zip(lams, xs)) % p
+        assert value == 5
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            lagrange_coefficients_at_zero([1, 1, 2], 10007)
+
+    @given(st.lists(st.integers(0, 10006), min_size=3, max_size=3))
+    @settings(max_examples=30)
+    def test_random_quadratics(self, coeffs):
+        p = 10007
+        c0, c1, c2 = coeffs
+
+        def f(x):
+            return (c0 + c1 * x + c2 * x * x) % p
+
+        xs = [2, 5, 11]
+        lams = lagrange_coefficients_at_zero(xs, p)
+        assert sum(lam * f(x) for lam, x in zip(lams, xs)) % p == c0

@@ -1,0 +1,77 @@
+"""Tests for proactive share refresh."""
+
+import pytest
+
+from repro.crypto.boneh_franklin import PrivateKeyShare, dealer_shared_rsa
+from repro.crypto.joint_signature import (
+    JointSignatureError,
+    combine_partials,
+    joint_sign,
+    sign_share,
+)
+from repro.crypto.refresh import RefreshTranscript, refresh_shares
+
+
+class TestRefresh:
+    def test_sum_preserved(self, shared_key_3):
+        old = shared_key_3.shares
+        new = refresh_shares(old)
+        assert sum(s.value for s in new) == sum(s.value for s in old)
+
+    def test_new_shares_still_sign(self, shared_key_3):
+        new = refresh_shares(shared_key_3.shares)
+        sig = joint_sign(b"refreshed", new, shared_key_3.public_key)
+        assert shared_key_3.public_key.verify(b"refreshed", sig)
+
+    def test_shares_actually_change(self, shared_key_3):
+        new = refresh_shares(shared_key_3.shares)
+        assert any(
+            n.value != o.value for n, o in zip(new, shared_key_3.shares)
+        )
+
+    def test_indices_preserved(self, shared_key_3):
+        new = refresh_shares(shared_key_3.shares)
+        assert [s.index for s in new] == [s.index for s in shared_key_3.shares]
+
+    def test_mixed_old_new_fails(self, shared_key_3):
+        """Combining one stale share with fresh ones breaks the signature
+        — the security property proactive refresh provides."""
+        new = refresh_shares(shared_key_3.shares)
+        mixed = [shared_key_3.shares[0], *new[1:]]
+        partials = [
+            sign_share(b"m", s, shared_key_3.public_key) for s in mixed
+        ]
+        with pytest.raises(JointSignatureError):
+            combine_partials(b"m", partials, shared_key_3.public_key)
+
+    def test_repeated_refresh(self, shared_key_3):
+        shares = shared_key_3.shares
+        for _ in range(3):
+            shares = refresh_shares(shares)
+        sig = joint_sign(b"thrice", shares, shared_key_3.public_key)
+        assert shared_key_3.public_key.verify(b"thrice", sig)
+
+    def test_single_party(self):
+        result = dealer_shared_rsa(1, bits=256)
+        new = refresh_shares(result.shares)
+        assert new[0].value == result.shares[0].value  # zero-share of zero
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            refresh_shares([])
+
+    def test_mismatched_moduli_rejected(self, shared_key_3):
+        alien = PrivateKeyShare(index=9, value=1, modulus=12345)
+        with pytest.raises(ValueError):
+            refresh_shares([*shared_key_3.shares, alien])
+
+
+class TestTranscript:
+    def test_message_count(self):
+        transcript = RefreshTranscript(n_parties=4)
+        assert transcript.messages_exchanged() == 12
+
+    def test_record(self):
+        transcript = RefreshTranscript(n_parties=2)
+        transcript.record(1, {1: 5, 2: -5})
+        assert transcript.dealt[1] == {1: 5, 2: -5}

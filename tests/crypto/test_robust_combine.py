@@ -1,0 +1,97 @@
+"""Tests for intrusion-tolerant threshold combination."""
+
+import pytest
+
+from repro.crypto.threshold import (
+    ThresholdCombineError,
+    ThresholdSignatureShare,
+    combine_threshold_shares,
+    robust_combine,
+    threshold_sign_share,
+)
+
+
+def _shares(key, message, indices):
+    by_index = {s.index: s for s in key.shares}
+    return [
+        threshold_sign_share(message, by_index[i], key.public) for i in indices
+    ]
+
+
+def _corrupt(share, modulus, factor=7):
+    return ThresholdSignatureShare(
+        index=share.index, value=(share.value * factor) % modulus
+    )
+
+
+class TestRobustCombine:
+    def test_all_honest(self, shoup_key_3_of_5):
+        key = shoup_key_3_of_5
+        shares = _shares(key, b"m", [1, 2, 3, 4])
+        signature, bad = robust_combine(b"m", shares, key.public)
+        assert key.public.verify(b"m", signature)
+        assert bad == []
+
+    def test_one_corrupted_identified(self, shoup_key_3_of_5):
+        key = shoup_key_3_of_5
+        shares = _shares(key, b"m", [1, 2, 3, 4])
+        shares[1] = _corrupt(shares[1], key.public.modulus)
+        signature, bad = robust_combine(b"m", shares, key.public)
+        assert key.public.verify(b"m", signature)
+        assert bad == [shares[1].index]
+
+    def test_two_corrupted_with_enough_honest(self, shoup_key_3_of_5):
+        # Distinct corruption factors: identical factors on multiple
+        # shares can cancel in the Lagrange combination, harmlessly
+        # yielding the (unique) valid signature anyway.
+        key = shoup_key_3_of_5
+        shares = _shares(key, b"m", [1, 2, 3, 4, 5])
+        shares[0] = _corrupt(shares[0], key.public.modulus, factor=7)
+        shares[4] = _corrupt(shares[4], key.public.modulus, factor=11)
+        signature, bad = robust_combine(b"m", shares, key.public)
+        assert key.public.verify(b"m", signature)
+        assert sorted(bad) == sorted([shares[0].index, shares[4].index])
+
+    def test_too_many_corrupted(self, shoup_key_3_of_5):
+        key = shoup_key_3_of_5
+        shares = _shares(key, b"m", [1, 2, 3, 4])
+        shares[0] = _corrupt(shares[0], key.public.modulus, factor=7)
+        shares[1] = _corrupt(shares[1], key.public.modulus, factor=11)
+        # Only 2 honest shares remain; threshold is 3.
+        with pytest.raises(ThresholdCombineError, match="too few honest"):
+            robust_combine(b"m", shares, key.public)
+
+    def test_colluding_equal_corruption_is_harmless(self, shoup_key_3_of_5):
+        """Equal-factor corruption across shares may cancel — but the
+        only thing it can produce is the one valid signature of the
+        unchanged message, so nothing is gained."""
+        key = shoup_key_3_of_5
+        shares = _shares(key, b"m", [1, 2, 3])
+        corrupted = [
+            _corrupt(s, key.public.modulus, factor=7) for s in shares[:2]
+        ] + [shares[2]]
+        honest_sig = combine_threshold_shares(b"m", shares, key.public)
+        try:
+            colluded = combine_threshold_shares(b"m", corrupted, key.public)
+        except ThresholdCombineError:
+            return  # rejected: also fine
+        assert colluded == honest_sig  # uniqueness of the e-th root
+
+    def test_below_threshold(self, shoup_key_3_of_5):
+        key = shoup_key_3_of_5
+        shares = _shares(key, b"m", [1, 2])
+        with pytest.raises(ThresholdCombineError, match="need 3"):
+            robust_combine(b"m", shares, key.public)
+
+    def test_duplicates_rejected(self, shoup_key_3_of_5):
+        key = shoup_key_3_of_5
+        share = _shares(key, b"m", [1])[0]
+        with pytest.raises(ThresholdCombineError, match="duplicate"):
+            robust_combine(b"m", [share] * 3, key.public)
+
+    def test_matches_plain_combination(self, shoup_key_3_of_5):
+        key = shoup_key_3_of_5
+        shares = _shares(key, b"same", [2, 3, 4])
+        plain = combine_threshold_shares(b"same", shares, key.public)
+        robust, bad = robust_combine(b"same", shares, key.public)
+        assert plain == robust and bad == []

@@ -1,0 +1,156 @@
+"""Tests for textbook RSA with FDH signatures and hybrid encryption."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import full_domain_hash, message_digest, sha256_int
+from repro.crypto.rsa import (
+    generate_keypair,
+    generate_safe_keypair,
+    hybrid_decrypt,
+    hybrid_encrypt,
+)
+
+
+class TestKeyGeneration:
+    def test_modulus_bits(self, rsa_keypair):
+        assert rsa_keypair.public.modulus.bit_length() == 256
+
+    def test_factorization_consistent(self, rsa_keypair):
+        private = rsa_keypair.private
+        assert private.prime_p * private.prime_q == private.modulus
+
+    def test_exponent_inverse(self, rsa_keypair):
+        private = rsa_keypair.private
+        phi = (private.prime_p - 1) * (private.prime_q - 1)
+        assert (private.exponent * rsa_keypair.public.exponent) % phi == 1
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(bits=32)
+
+    def test_even_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(bits=128, public_exponent=4)
+
+    def test_distinct_keys(self, rsa_keypair, rsa_keypair_other):
+        assert rsa_keypair.public.modulus != rsa_keypair_other.public.modulus
+
+
+class TestSignatures:
+    def test_roundtrip(self, rsa_keypair):
+        sig = rsa_keypair.private.sign(b"message")
+        assert rsa_keypair.public.verify(b"message", sig)
+
+    def test_wrong_message(self, rsa_keypair):
+        sig = rsa_keypair.private.sign(b"message")
+        assert not rsa_keypair.public.verify(b"other", sig)
+
+    def test_tampered_signature(self, rsa_keypair):
+        sig = rsa_keypair.private.sign(b"message")
+        assert not rsa_keypair.public.verify(b"message", sig ^ 1)
+
+    def test_wrong_key(self, rsa_keypair, rsa_keypair_other):
+        sig = rsa_keypair.private.sign(b"message")
+        assert not rsa_keypair_other.public.verify(b"message", sig)
+
+    def test_out_of_range_signature(self, rsa_keypair):
+        assert not rsa_keypair.public.verify(b"m", 0)
+        assert not rsa_keypair.public.verify(b"m", rsa_keypair.public.modulus)
+
+    def test_crt_matches_plain_pow(self, rsa_keypair):
+        private = rsa_keypair.private
+        h = full_domain_hash(b"crt-check", private.modulus)
+        assert private._power(h) == pow(h, private.exponent, private.modulus)
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=20, deadline=None)
+    def test_any_message_roundtrips(self, rsa_keypair, message):
+        sig = rsa_keypair.private.sign(message)
+        assert rsa_keypair.public.verify(message, sig)
+
+
+class TestRawEncryption:
+    def test_roundtrip(self, rsa_keypair):
+        plaintext = 123_456_789
+        ciphertext = rsa_keypair.public.encrypt_int(plaintext)
+        assert rsa_keypair.private.decrypt_int(ciphertext) == plaintext
+
+    def test_out_of_range(self, rsa_keypair):
+        with pytest.raises(ValueError):
+            rsa_keypair.public.encrypt_int(rsa_keypair.public.modulus)
+        with pytest.raises(ValueError):
+            rsa_keypair.private.decrypt_int(-1)
+
+
+class TestHybridEncryption:
+    def test_roundtrip(self, rsa_keypair):
+        wrapped, ct = hybrid_encrypt(rsa_keypair.public, b"gene sequence data")
+        assert hybrid_decrypt(rsa_keypair.private, wrapped, ct) == b"gene sequence data"
+
+    def test_ciphertext_differs_from_plaintext(self, rsa_keypair):
+        _w, ct = hybrid_encrypt(rsa_keypair.public, b"gene sequence data")
+        assert ct != b"gene sequence data"
+
+    def test_randomized(self, rsa_keypair):
+        w1, c1 = hybrid_encrypt(rsa_keypair.public, b"same plaintext")
+        w2, c2 = hybrid_encrypt(rsa_keypair.public, b"same plaintext")
+        assert (w1, c1) != (w2, c2)
+
+    def test_wrong_key_garbles(self, rsa_keypair, rsa_keypair_other):
+        wrapped, ct = hybrid_encrypt(rsa_keypair.public, b"secret")
+        wrong = hybrid_decrypt(rsa_keypair_other.private, wrapped % rsa_keypair_other.public.modulus, ct)
+        assert wrong != b"secret"
+
+    @given(st.binary(min_size=0, max_size=256))
+    @settings(max_examples=20, deadline=None)
+    def test_arbitrary_bytes(self, rsa_keypair, data):
+        wrapped, ct = hybrid_encrypt(rsa_keypair.public, data)
+        assert hybrid_decrypt(rsa_keypair.private, wrapped, ct) == data
+
+
+class TestFingerprint:
+    def test_stable(self, rsa_keypair):
+        assert rsa_keypair.public.fingerprint() == rsa_keypair.public.fingerprint()
+
+    def test_distinct(self, rsa_keypair, rsa_keypair_other):
+        assert rsa_keypair.public.fingerprint() != rsa_keypair_other.public.fingerprint()
+
+    def test_length(self, rsa_keypair):
+        assert len(rsa_keypair.public.fingerprint()) == 16
+
+
+class TestSafeKeypair:
+    def test_structure(self):
+        pair, p_prime, q_prime = generate_safe_keypair(bits=96)
+        private = pair.private
+        assert private.prime_p == 2 * p_prime + 1
+        assert private.prime_q == 2 * q_prime + 1
+        assert (private.exponent * pair.public.exponent) % (p_prime * q_prime) == 1
+
+
+class TestHashing:
+    def test_digest_length(self):
+        assert len(message_digest(b"x")) == 32
+
+    def test_sha256_int_deterministic(self):
+        assert sha256_int(b"abc") == sha256_int(b"abc")
+
+    def test_fdh_in_range(self, rsa_keypair):
+        n = rsa_keypair.public.modulus
+        for i in range(20):
+            h = full_domain_hash(f"msg{i}".encode(), n)
+            assert 1 < h < n
+
+    def test_fdh_deterministic(self, rsa_keypair):
+        n = rsa_keypair.public.modulus
+        assert full_domain_hash(b"m", n) == full_domain_hash(b"m", n)
+
+    def test_fdh_message_sensitivity(self, rsa_keypair):
+        n = rsa_keypair.public.modulus
+        assert full_domain_hash(b"m1", n) != full_domain_hash(b"m2", n)
+
+    def test_fdh_small_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            full_domain_hash(b"m", 1000)

@@ -1,0 +1,154 @@
+"""Tests for additive and Shamir secret sharing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sharing import (
+    AdditiveShare,
+    Polynomial,
+    additive_reconstruct,
+    additive_share,
+    interpolate_at_zero,
+    shamir_reconstruct,
+    shamir_share,
+    zero_sum_masks,
+)
+
+PRIME = 2_147_483_647  # 2^31 - 1
+
+
+class TestAdditiveSharing:
+    def test_roundtrip(self):
+        shares = additive_share(42, 5, bound=10**6)
+        assert additive_reconstruct(shares) == 42
+
+    def test_single_party(self):
+        shares = additive_share(99, 1, bound=10)
+        assert len(shares) == 1
+        assert shares[0].value == 99
+
+    def test_negative_secret(self):
+        shares = additive_share(-1234, 3, bound=10**6)
+        assert additive_reconstruct(shares) == -1234
+
+    def test_indices_one_based(self):
+        shares = additive_share(0, 4, bound=10)
+        assert [s.index for s in shares] == [1, 2, 3, 4]
+
+    def test_duplicate_indices_rejected(self):
+        shares = [AdditiveShare(1, 5), AdditiveShare(1, 7)]
+        with pytest.raises(ValueError):
+            additive_reconstruct(shares)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            additive_reconstruct([])
+
+    def test_zero_parties_rejected(self):
+        with pytest.raises(ValueError):
+            additive_share(1, 0, bound=10)
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            additive_share(1, 2, bound=0)
+
+    def test_proper_subset_is_uninformative(self):
+        """A missing share makes the sum differ from the secret (whp)."""
+        secret = 7777
+        shares = additive_share(secret, 4, bound=10**9)
+        partial = sum(s.value for s in shares[:-1])
+        assert partial != secret  # probability ~1/(2*10^9) of false failure
+
+    @given(st.integers(-(10**12), 10**12), st.integers(2, 8))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, secret, parties):
+        shares = additive_share(secret, parties, bound=10**15)
+        assert additive_reconstruct(shares) == secret
+
+
+class TestPolynomial:
+    def test_constant_term(self):
+        poly = Polynomial([7, 3, 1], PRIME)
+        assert poly.evaluate(0) == 7
+
+    def test_evaluation(self):
+        poly = Polynomial([1, 2, 3], 97)  # 1 + 2x + 3x^2
+        assert poly.evaluate(2) == (1 + 4 + 12) % 97
+
+    def test_random_has_degree(self):
+        poly = Polynomial.random(5, 3, PRIME)
+        assert poly.degree == 3
+        assert poly.evaluate(0) == 5
+
+    def test_small_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial([1], 1)
+
+
+class TestShamirSharing:
+    def test_roundtrip_exact_threshold(self):
+        shares = shamir_share(12345, 5, 3, PRIME)
+        assert shamir_reconstruct(shares[:3]) == 12345
+
+    def test_roundtrip_extra_shares(self):
+        shares = shamir_share(777, 5, 3, PRIME)
+        assert shamir_reconstruct(shares) == 777
+
+    def test_any_subset_works(self):
+        shares = shamir_share(999, 5, 2, PRIME)
+        assert shamir_reconstruct([shares[4], shares[1]]) == 999
+
+    def test_too_few_shares(self):
+        shares = shamir_share(1, 5, 3, PRIME)
+        with pytest.raises(ValueError):
+            shamir_reconstruct(shares[:2])
+
+    def test_threshold_range_enforced(self):
+        with pytest.raises(ValueError):
+            shamir_share(1, 3, 4, PRIME)
+        with pytest.raises(ValueError):
+            shamir_share(1, 3, 0, PRIME)
+
+    def test_field_too_small(self):
+        with pytest.raises(ValueError):
+            shamir_share(1, 7, 2, 7)
+
+    def test_mixed_sharings_rejected(self):
+        a = shamir_share(1, 3, 2, PRIME)
+        b = shamir_share(2, 3, 2, 97)
+        with pytest.raises(ValueError):
+            shamir_reconstruct([a[0], b[1]])
+
+    def test_duplicate_indices_rejected(self):
+        shares = shamir_share(5, 3, 2, PRIME)
+        with pytest.raises(ValueError):
+            shamir_reconstruct([shares[0], shares[0]])
+
+    @given(st.integers(0, PRIME - 1), st.integers(1, 6))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, secret, threshold):
+        parties = 6
+        shares = shamir_share(secret, parties, threshold, PRIME)
+        assert shamir_reconstruct(shares[:threshold]) == secret
+
+
+class TestInterpolation:
+    def test_product_polynomial(self):
+        # Two degree-1 polys with constants 6 and 7: product constant 42.
+        f = Polynomial([6, 5], PRIME)
+        g = Polynomial([7, 11], PRIME)
+        points = [(x, (f.evaluate(x) * g.evaluate(x)) % PRIME) for x in (1, 2, 3)]
+        assert interpolate_at_zero(points, PRIME) == 42
+
+
+class TestZeroSumMasks:
+    @pytest.mark.parametrize("parties", [1, 2, 3, 7])
+    def test_sums_to_zero(self, parties):
+        masks = zero_sum_masks(parties, 97)
+        assert sum(masks.values()) % 97 == 0
+        assert set(masks) == set(range(1, parties + 1))
+
+    def test_zero_parties_rejected(self):
+        with pytest.raises(ValueError):
+            zero_sum_masks(0, 97)

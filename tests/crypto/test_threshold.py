@@ -1,0 +1,113 @@
+"""Tests for Shoup m-of-n threshold RSA signatures."""
+
+import itertools
+
+import pytest
+
+from repro.crypto.threshold import (
+    ThresholdCombineError,
+    ThresholdSignatureShare,
+    combine_threshold_shares,
+    generate_threshold_key,
+    threshold_sign_share,
+)
+
+
+class TestGeneration:
+    def test_share_count(self, shoup_key_3_of_5):
+        assert len(shoup_key_3_of_5.shares) == 5
+        assert shoup_key_3_of_5.public.threshold == 3
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            generate_threshold_key(3, 4, bits=96)
+        with pytest.raises(ValueError):
+            generate_threshold_key(3, 0, bits=96)
+
+    def test_small_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            generate_threshold_key(5, 3, bits=96, public_exponent=5)
+
+    def test_delta(self, shoup_key_3_of_5):
+        assert shoup_key_3_of_5.public.delta == 120  # 5!
+
+
+class TestSigning:
+    def _sig_shares(self, key, message, indices):
+        by_index = {s.index: s for s in key.shares}
+        return [
+            threshold_sign_share(message, by_index[i], key.public)
+            for i in indices
+        ]
+
+    def test_exact_threshold(self, shoup_key_3_of_5):
+        key = shoup_key_3_of_5
+        shares = self._sig_shares(key, b"m", [1, 2, 3])
+        sig = combine_threshold_shares(b"m", shares, key.public)
+        assert key.public.verify(b"m", sig)
+
+    def test_every_subset_of_size_three(self, shoup_key_3_of_5):
+        key = shoup_key_3_of_5
+        for subset in itertools.combinations(range(1, 6), 3):
+            shares = self._sig_shares(key, b"subset", list(subset))
+            sig = combine_threshold_shares(b"subset", shares, key.public)
+            assert key.public.verify(b"subset", sig), subset
+
+    def test_all_subsets_agree(self, shoup_key_3_of_5):
+        """Shoup signatures are deterministic: every subset yields H^d."""
+        key = shoup_key_3_of_5
+        sigs = set()
+        for subset in [(1, 2, 3), (2, 4, 5), (1, 3, 5)]:
+            shares = self._sig_shares(key, b"agree", list(subset))
+            sigs.add(combine_threshold_shares(b"agree", shares, key.public))
+        assert len(sigs) == 1
+
+    def test_more_than_threshold(self, shoup_key_3_of_5):
+        key = shoup_key_3_of_5
+        shares = self._sig_shares(key, b"m", [1, 2, 3, 4, 5])
+        sig = combine_threshold_shares(b"m", shares, key.public)
+        assert key.public.verify(b"m", sig)
+
+    def test_below_threshold_rejected(self, shoup_key_3_of_5):
+        key = shoup_key_3_of_5
+        shares = self._sig_shares(key, b"m", [1, 2])
+        with pytest.raises(ThresholdCombineError, match="need 3"):
+            combine_threshold_shares(b"m", shares, key.public)
+
+    def test_duplicates_rejected(self, shoup_key_3_of_5):
+        key = shoup_key_3_of_5
+        share = self._sig_shares(key, b"m", [1])[0]
+        with pytest.raises(ThresholdCombineError, match="duplicate"):
+            combine_threshold_shares(b"m", [share, share, share], key.public)
+
+    def test_corrupted_share_detected(self, shoup_key_3_of_5):
+        key = shoup_key_3_of_5
+        shares = self._sig_shares(key, b"m", [1, 2, 3])
+        bad = ThresholdSignatureShare(
+            index=shares[0].index, value=(shares[0].value * 7) % key.public.modulus
+        )
+        with pytest.raises(ThresholdCombineError, match="failed verification"):
+            combine_threshold_shares(b"m", [bad, shares[1], shares[2]], key.public)
+
+    def test_one_of_n(self):
+        key = generate_threshold_key(3, 1, bits=96)
+        share = threshold_sign_share(b"solo", key.shares[2], key.public)
+        sig = combine_threshold_shares(b"solo", [share], key.public)
+        assert key.public.verify(b"solo", sig)
+
+    def test_n_of_n(self):
+        key = generate_threshold_key(3, 3, bits=96)
+        shares = [
+            threshold_sign_share(b"all", s, key.public) for s in key.shares
+        ]
+        sig = combine_threshold_shares(b"all", shares, key.public)
+        assert key.public.verify(b"all", sig)
+
+
+class TestPublicKey:
+    def test_fingerprint_includes_threshold(self):
+        k1 = generate_threshold_key(3, 1, bits=96)
+        assert len(k1.public.fingerprint()) == 16
+
+    def test_verify_range(self, shoup_key_3_of_5):
+        assert not shoup_key_3_of_5.public.verify(b"m", 0)

@@ -1,0 +1,99 @@
+"""E4: the Appendix E derivation chain, statement by statement.
+
+A granted decision's proof tree must reproduce the numbered chain of
+Appendix E: originator identification (A10) on each certificate, the
+timestamp-jurisdiction + reduction dance (A23, A9), the membership
+jurisdiction instance (A28 for threshold subjects), and finally A38.
+"""
+
+from repro.coalition import build_joint_request
+from repro.core.formulas import KeySpeaksFor, Says, SpeaksForGroup
+from repro.core.proofs import render_proof
+from repro.core.terms import Group, Principal, ThresholdPrincipal
+
+
+def _granted_decision(formed_coalition, write_certificate):
+    _c, server, _d, users = formed_coalition
+    request = build_joint_request(
+        users[0], [users[1]], "write", "ObjectO", write_certificate, now=5
+    )
+    decision = server.protocol.authorize(
+        request, server.object_acl("ObjectO"), now=6
+    )
+    assert decision.granted
+    return decision
+
+
+class TestDerivationChain:
+    def test_statement_13_shape(self, formed_coalition, write_certificate):
+        """Final conclusion: G_write says "write" ObjectO (stmt 13/25)."""
+        decision = _granted_decision(formed_coalition, write_certificate)
+        conclusion = decision.proof.conclusion
+        assert isinstance(conclusion, Says)
+        assert conclusion.subject == Group("G_write")
+        assert str(conclusion.body) == '"write" ObjectO'
+
+    def test_axiom_sequence(self, formed_coalition, write_certificate):
+        decision = _granted_decision(formed_coalition, write_certificate)
+        used = decision.proof.axioms_used()
+        for axiom in ("A38", "A28", "A23", "A9", "A19", "A10", "premise"):
+            assert axiom in used, axiom
+
+    def test_statement_10_membership_premise(
+        self, formed_coalition, write_certificate
+    ):
+        """The A38 step's first premise is the believed membership
+        CP'_{2,3} => G_write (statement 10/22)."""
+        decision = _granted_decision(formed_coalition, write_certificate)
+        membership_premise = decision.proof.premises[0].conclusion
+        assert isinstance(membership_premise, SpeaksForGroup)
+        assert isinstance(membership_premise.subject, ThresholdPrincipal)
+        assert membership_premise.subject.m == 2
+        assert membership_premise.subject.n == 3
+        assert membership_premise.group == Group("G_write")
+
+    def test_statement_11_12_user_utterances(
+        self, formed_coalition, write_certificate
+    ):
+        """A38's other premises: U says <U says "write" O>_{K_u^-1}."""
+        decision = _granted_decision(formed_coalition, write_certificate)
+        utterances = decision.proof.premises[1:]
+        speakers = {p.conclusion.subject for p in utterances}
+        assert speakers == {Principal("User_D1"), Principal("User_D2")}
+
+    def test_chain_roots_in_initial_beliefs(
+        self, formed_coalition, write_certificate
+    ):
+        """Every leaf of the proof tree is a premise: an initial belief
+        (statements 1-11) or a message receipt."""
+        decision = _granted_decision(formed_coalition, write_certificate)
+        for step in decision.proof.walk():
+            if not step.premises:
+                assert step.rule == "premise", step.rule
+
+    def test_statement_1_shared_key_belief_used(
+        self, formed_coalition, write_certificate
+    ):
+        """The chain passes through the K_AA => CP_{3,3} premise."""
+        decision = _granted_decision(formed_coalition, write_certificate)
+        shared_key_premises = [
+            step
+            for step in decision.proof.walk()
+            if step.rule == "premise"
+            and isinstance(step.conclusion, KeySpeaksFor)
+            and isinstance(step.conclusion.subject, ThresholdPrincipal)
+            and step.conclusion.subject.m == 3
+        ]
+        assert shared_key_premises, "statement 1 (shared key) not in proof"
+
+    def test_proof_renders(self, formed_coalition, write_certificate):
+        decision = _granted_decision(formed_coalition, write_certificate)
+        text = render_proof(decision.proof)
+        assert "[A38]" in text
+        assert "G_write" in text
+        assert text.count("\n") > 10
+
+    def test_derivation_size_reported(self, formed_coalition, write_certificate):
+        decision = _granted_decision(formed_coalition, write_certificate)
+        assert decision.derivation_steps == decision.proof.size()
+        assert decision.derivation_steps > 15

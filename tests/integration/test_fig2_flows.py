@@ -1,0 +1,112 @@
+"""E2/E3: the Figure 2 protocol flows, end to end.
+
+Figure 2(a)/(b): a 2-of-3 threshold AC for writes; a joint write request
+by User_D1 (requestor) and User_D2 (co-signer) is approved by Server P.
+Figure 2(c)/(d): a 1-of-3 AC for reads; User_D3's solo read request is
+approved and the object is returned encrypted under K_u3.
+"""
+
+import pytest
+
+from repro.coalition import build_joint_request
+from repro.crypto.rsa import hybrid_decrypt
+from repro.pki.certificates import ValidityPeriod
+
+
+class TestFigure2Write:
+    def test_write_two_of_three(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        u1, u2, _u3 = users
+        request = build_joint_request(
+            u1, [u2], "write", "ObjectO", write_certificate, now=5
+        )
+        result = server.handle_request(request, now=6, write_content=b"updated")
+        assert result.granted
+        assert server.objects["ObjectO"].content == b"updated"
+
+    def test_any_pair_works(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        pairs = [(0, 1), (0, 2), (1, 2), (2, 0)]
+        for k, (i, j) in enumerate(pairs):
+            request = build_joint_request(
+                users[i], [users[j]], "write", "ObjectO",
+                write_certificate, now=5 + k,
+            )
+            result = server.handle_request(
+                request, now=6 + k, write_content=b"pair"
+            )
+            assert result.granted, (i, j)
+
+    def test_single_signer_denied(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        request = build_joint_request(
+            users[0], [], "write", "ObjectO", write_certificate, now=5
+        )
+        result = server.handle_request(request, now=6, write_content=b"solo")
+        assert not result.granted
+        assert server.objects["ObjectO"].content == b"initial-content"
+
+
+class TestFigure2Read:
+    def test_read_one_of_three_encrypted(self, formed_coalition, read_certificate):
+        _c, server, _d, users = formed_coalition
+        u3 = users[2]
+        request = build_joint_request(
+            u3, [], "read", "ObjectO", read_certificate, now=5
+        )
+        result = server.handle_request(
+            request, now=6, responder_key=u3.keypair.public
+        )
+        assert result.granted
+        wrapped, ciphertext = result.encrypted_response
+        assert ciphertext != b"initial-content"
+        assert (
+            hybrid_decrypt(u3.keypair.private, wrapped, ciphertext)
+            == b"initial-content"
+        )
+
+    def test_only_intended_recipient_decrypts(
+        self, formed_coalition, read_certificate
+    ):
+        _c, server, _d, users = formed_coalition
+        u3, u1 = users[2], users[0]
+        request = build_joint_request(
+            u3, [], "read", "ObjectO", read_certificate, now=5
+        )
+        result = server.handle_request(
+            request, now=6, responder_key=u3.keypair.public
+        )
+        wrapped, ciphertext = result.encrypted_response
+        wrong = hybrid_decrypt(
+            u1.keypair.private,
+            wrapped % u1.keypair.public.modulus,
+            ciphertext,
+        )
+        assert wrong != b"initial-content"
+
+    def test_read_certificate_does_not_grant_write(
+        self, formed_coalition, read_certificate
+    ):
+        _c, server, _d, users = formed_coalition
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", read_certificate, now=5
+        )
+        result = server.handle_request(request, now=6, write_content=b"x")
+        assert not result.granted
+
+
+class TestMessageEconomy:
+    def test_write_flow_message_count(self, formed_coalition, write_certificate):
+        """Figure 2(b): requestor -> co-signer, reply, then to server."""
+        _c, _server, _d, users = formed_coalition
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate, now=5
+        )
+        assert request.message_count() == 3
+
+    def test_read_flow_message_count(self, formed_coalition, read_certificate):
+        _c, _server, _d, users = formed_coalition
+        request = build_joint_request(
+            users[2], [], "read", "ObjectO", read_certificate, now=5
+        )
+        assert request.message_count() == 1

@@ -1,0 +1,77 @@
+"""Identity-certificate revocation: a CA revokes a user's binding.
+
+The Stubblebine-Wright side of the logic: after the CA publishes a
+revocation of a user's identity certificate, the server's belief in
+``K_u => U`` is defeated and requests signed by that user no longer
+authorize — even though the threshold AC is still live.
+"""
+
+from repro.coalition import build_joint_request
+from repro.pki.certificates import ValidityPeriod
+
+
+class TestIdentityRevocation:
+    def test_revoked_user_cannot_sign(self, formed_coalition, write_certificate):
+        _c, server, domains, users = formed_coalition
+        u1, u2, u3 = users
+
+        # The CA of D1 revokes User_D1's identity certificate.
+        revocation = domains[0].ca.revoke(
+            u1.identity_certificate.serial, now=10
+        )
+        server.receive_revocation(revocation, now=11)
+
+        # u1's signature no longer authorizes...
+        request = build_joint_request(
+            u1, [u2], "write", "ObjectO", write_certificate, now=12
+        )
+        denied = server.handle_request(request, now=12, write_content=b"x")
+        assert not denied.granted
+        assert "derivation failed" in denied.decision.reason
+
+        # ...but the other subjects are unaffected.
+        others = build_joint_request(
+            u2, [u3], "write", "ObjectO", write_certificate, now=13
+        )
+        assert server.handle_request(
+            others, now=13, write_content=b"ok"
+        ).granted
+
+    def test_reissued_identity_restores_access(
+        self, formed_coalition
+    ):
+        coalition, server, domains, users = formed_coalition
+        u1, u2, _u3 = users
+        revocation = domains[0].ca.revoke(
+            u1.identity_certificate.serial, now=10
+        )
+        server.receive_revocation(revocation, now=11)
+
+        # The CA re-issues an identity certificate for the same keypair.
+        domains[0].reissue_identity(u1, now=15)
+        # The threshold AC still binds u1's (unchanged) key, so a fresh
+        # certificate for the same key restores the derivation.
+        fresh_tac = coalition.authority.issue_threshold_certificate(
+            users, 2, "G_write", 16, ValidityPeriod(16, 1000)
+        )
+        request = build_joint_request(
+            u1, [u2], "write", "ObjectO", fresh_tac, now=17
+        )
+        granted = server.handle_request(request, now=17, write_content=b"back")
+        assert granted.granted
+
+    def test_revocation_before_any_use(self, formed_coalition, write_certificate):
+        """Revoking an identity the server never saw still works: the
+        negative belief simply pre-defeats the later admission."""
+        _c, server, domains, users = formed_coalition
+        u1, u2, _u3 = users
+        revocation = domains[1].ca.revoke(
+            u2.identity_certificate.serial, now=5
+        )
+        server.receive_revocation(revocation, now=6)
+        request = build_joint_request(
+            u1, [u2], "write", "ObjectO", write_certificate, now=7
+        )
+        assert not server.handle_request(
+            request, now=7, write_content=b"x"
+        ).granted

@@ -1,0 +1,121 @@
+"""A server participating in two coalitions simultaneously.
+
+Servers may host resources for several alliances; each coalition's AA
+is a distinct trust anchor, and certificates never cross coalition
+boundaries — a certificate from alliance A cannot authorize access to
+alliance B's objects even when the same server hosts both.
+"""
+
+import pytest
+
+from repro.coalition import (
+    ACLEntry,
+    Coalition,
+    CoalitionServer,
+    Domain,
+    build_joint_request,
+)
+from repro.pki import ValidityPeriod
+
+BITS = 256
+
+
+@pytest.fixture()
+def two_coalitions():
+    server = CoalitionServer("SharedServer")
+
+    domains_a = [Domain(f"A{i}", key_bits=BITS) for i in (1, 2)]
+    users_a = [
+        d.register_user(f"ua{i}", now=0)
+        for i, d in enumerate(domains_a, start=1)
+    ]
+    alpha = Coalition("alpha", key_bits=BITS)
+    alpha.form(domains_a)
+    alpha.attach_server(server)
+
+    domains_b = [Domain(f"B{i}", key_bits=BITS) for i in (1, 2)]
+    users_b = [
+        d.register_user(f"ub{i}", now=0)
+        for i, d in enumerate(domains_b, start=1)
+    ]
+    beta = Coalition("beta", key_bits=BITS)
+    beta.form(domains_b)
+    beta.attach_server(server)
+
+    server.create_object(
+        "alpha-data", b"a", [ACLEntry.of("G_alpha", ["write"])], "G_admin"
+    )
+    server.create_object(
+        "beta-data", b"b", [ACLEntry.of("G_beta", ["write"])], "G_admin"
+    )
+    return server, alpha, users_a, beta, users_b
+
+
+class TestTwoCoalitions:
+    def test_each_coalition_accesses_its_object(self, two_coalitions):
+        server, alpha, users_a, beta, users_b = two_coalitions
+        cert_a = alpha.authority.issue_threshold_certificate(
+            users_a, 2, "G_alpha", 0, ValidityPeriod(0, 100)
+        )
+        cert_b = beta.authority.issue_threshold_certificate(
+            users_b, 2, "G_beta", 0, ValidityPeriod(0, 100)
+        )
+        req_a = build_joint_request(
+            users_a[0], [users_a[1]], "write", "alpha-data", cert_a, now=1
+        )
+        assert server.handle_request(req_a, now=2, write_content=b"a2").granted
+        req_b = build_joint_request(
+            users_b[0], [users_b[1]], "write", "beta-data", cert_b, now=1
+        )
+        assert server.handle_request(req_b, now=2, write_content=b"b2").granted
+
+    def test_cross_coalition_group_grab_fails(self, two_coalitions):
+        """Alpha's AA issuing a 'G_beta' certificate does not help:
+        the derivation succeeds (alpha's AA is trusted for *its* own
+        statements) but beta's object ACL is checked against the group
+        that alpha's users claim — and any attempt to write beta's
+        object with alpha-issued G_beta credentials is an inter-alliance
+        policy question the server resolves via the object's ACL.
+
+        With per-coalition group names (the deployment convention) the
+        request is denied because alpha's AA never issues G_beta."""
+        server, alpha, users_a, _beta, _users_b = two_coalitions
+        # Alpha's users present an alpha certificate for alpha's group
+        # against beta's object: ACL mismatch, denied.
+        cert_a = alpha.authority.issue_threshold_certificate(
+            users_a, 2, "G_alpha", 0, ValidityPeriod(0, 100)
+        )
+        request = build_joint_request(
+            users_a[0], [users_a[1]], "write", "beta-data", cert_a, now=1
+        )
+        decision = server.handle_request(request, now=2, write_content=b"x")
+        assert not decision.granted
+        assert "ACL grants no" in decision.decision.reason
+
+    def test_forged_cross_signature_fails(self, two_coalitions):
+        """A beta-keyed certificate claiming alpha's AA name fails the
+        crypto check (key fingerprints disambiguate the authorities)."""
+        import dataclasses
+
+        server, alpha, users_a, beta, users_b = two_coalitions
+        cert_b = beta.authority.issue_threshold_certificate(
+            users_b, 2, "G_alpha", 0, ValidityPeriod(0, 100)
+        )
+        forged = dataclasses.replace(cert_b, issuer=alpha.authority.name)
+        request = build_joint_request(
+            users_b[0], [users_b[1]], "write", "alpha-data", forged, now=1
+        )
+        decision = server.handle_request(request, now=2, write_content=b"x")
+        assert not decision.granted
+
+    def test_identity_cas_scoped(self, two_coalitions):
+        """Both coalitions' CAs are trusted on the shared server; users
+        of either can appear in whichever request names them."""
+        server, _alpha, users_a, beta, users_b = two_coalitions
+        mixed_cert = beta.authority.issue_threshold_certificate(
+            [users_b[0], users_a[0]], 2, "G_beta", 0, ValidityPeriod(0, 100)
+        )
+        request = build_joint_request(
+            users_b[0], [users_a[0]], "write", "beta-data", mixed_cert, now=1
+        )
+        assert server.handle_request(request, now=2, write_content=b"m").granted

@@ -1,0 +1,123 @@
+"""Edge cases of the authorization protocol: clocks, windows, subjects."""
+
+import dataclasses
+
+import pytest
+
+from repro.coalition import (
+    ACLEntry,
+    Coalition,
+    CoalitionServer,
+    Domain,
+    build_joint_request,
+)
+from repro.pki.certificates import ThresholdAttributeCertificate, ValidityPeriod
+
+
+class TestFreshnessBoundaries:
+    def test_exactly_at_window_edge_accepted(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        window = server.protocol.freshness_window
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate, now=5
+        )
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=5 + window
+        )
+        assert decision.granted
+
+    def test_one_past_window_edge_denied(self, formed_coalition, write_certificate):
+        _c, server, _d, users = formed_coalition
+        window = server.protocol.freshness_window
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate, now=5
+        )
+        decision = server.protocol.authorize(
+            request, server.object_acl("ObjectO"), now=5 + window + 1
+        )
+        assert not decision.granted
+        assert "stale" in decision.reason
+
+
+class TestSkewedServer:
+    def test_skewed_server_applies_its_own_clock(self, three_domains):
+        """A server whose clock runs ahead judges freshness locally —
+        requests timestamped by well-synchronized users are denied once
+        the skew exceeds the window (clock discipline matters)."""
+        domains, users = three_domains
+        coalition = Coalition("skew", key_bits=256)
+        coalition.form(domains)
+        server = CoalitionServer("SkewServer", freshness_window=10)
+        coalition.attach_server(server)
+        server.create_object(
+            "O", b"c", [ACLEntry.of("G_write", ["write"])], "G_admin"
+        )
+        cert = coalition.authority.issue_threshold_certificate(
+            users, 2, "G_write", 0, ValidityPeriod(0, 1000)
+        )
+        request = build_joint_request(
+            users[0], [users[1]], "write", "O", cert, now=5
+        )
+        # Server's local time = user time + 40 (skew > window).
+        decision = server.protocol.authorize(
+            request, server.object_acl("O"), now=45
+        )
+        assert not decision.granted
+        assert "stale" in decision.reason
+
+
+class TestCertificateSubjectEdges:
+    def test_duplicate_subjects_rejected_at_idealization(self):
+        cert = ThresholdAttributeCertificate(
+            serial="dup",
+            subjects=(("u1", "k1"), ("u1", "k1")),
+            threshold=1,
+            group="G",
+            issuer="AA",
+            issuer_key_id="k",
+            timestamp=0,
+            validity=ValidityPeriod(0, 9),
+        )
+        with pytest.raises(ValueError, match="distinct"):
+            cert.compound_principal()
+
+    def test_threshold_equal_to_subject_count(self, formed_coalition):
+        """An n-of-n certificate works like unanimity."""
+        coalition, server, _d, users = formed_coalition
+        cert = coalition.authority.issue_threshold_certificate(
+            users, 3, "G_write", 0, ValidityPeriod(0, 1000)
+        )
+        all_three = build_joint_request(
+            users[0], users[1:], "write", "ObjectO", cert, now=5
+        )
+        assert server.handle_request(
+            all_three, now=6, write_content=b"x"
+        ).granted
+        two = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", cert, now=7
+        )
+        assert not server.handle_request(
+            two, now=8, write_content=b"y"
+        ).granted
+
+    def test_validity_boundary_instants(self, formed_coalition):
+        coalition, server, _d, users = formed_coalition
+        cert = coalition.authority.issue_threshold_certificate(
+            users, 2, "G_write", 0, ValidityPeriod(10, 20)
+        )
+        at_start = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", cert, now=10
+        )
+        assert server.handle_request(
+            at_start, now=10, write_content=b"a"
+        ).granted
+        at_end = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", cert, now=20
+        )
+        assert server.handle_request(at_end, now=20, write_content=b"b").granted
+        past_end = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", cert, now=21
+        )
+        assert not server.handle_request(
+            past_end, now=21, write_content=b"c"
+        ).granted

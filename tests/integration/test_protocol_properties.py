@@ -1,0 +1,136 @@
+"""Property-based tests of the authorization protocol's invariants.
+
+The central safety/liveness property of A38 as the server enforces it:
+for a fresh m-of-n certificate over the coalition users, a request is
+granted **iff** the distinct signer set has size >= m and every signer
+is a certificate subject (given valid certs, fresh timestamps, and an
+ACL that grants the operation to the group).
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.coalition import (
+    ACLEntry,
+    Coalition,
+    CoalitionServer,
+    Domain,
+    build_joint_request,
+)
+from repro.pki import ValidityPeriod
+
+_nonce = itertools.count()
+
+
+@pytest.fixture(scope="module")
+def property_setup():
+    domains = [Domain(f"PD{i}", key_bits=256) for i in range(1, 5)]
+    users = [
+        d.register_user(f"pu{i}", now=0)
+        for i, d in enumerate(domains, start=1)
+    ]
+    coalition = Coalition("props", key_bits=256)
+    coalition.form(domains)
+    server = CoalitionServer("PropServer", freshness_window=10**9)
+    coalition.attach_server(server)
+    server.create_object(
+        "O", b"content", [ACLEntry.of("G", ["write"])], "G_admin"
+    )
+    certs = {}
+    for m in (1, 2, 3, 4):
+        certs[m] = coalition.authority.issue_threshold_certificate(
+            users, m, "G", 0, ValidityPeriod(0, 10**9)
+        )
+    return server, users, certs
+
+
+class TestThresholdProperty:
+    @given(
+        threshold=st.integers(1, 4),
+        signer_indices=st.sets(st.integers(0, 3), min_size=1, max_size=4),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_grant_iff_threshold_met(
+        self, property_setup, threshold, signer_indices
+    ):
+        server, users, certs = property_setup
+        signers = [users[i] for i in sorted(signer_indices)]
+        request = build_joint_request(
+            signers[0],
+            signers[1:],
+            "write",
+            "O",
+            certs[threshold],
+            now=1,
+            nonce=f"prop-{next(_nonce)}",
+        )
+        decision = server.protocol.authorize(
+            request, server.object_acl("O"), now=2
+        )
+        expected = len(signers) >= threshold
+        assert decision.granted == expected, decision.reason
+
+    @given(outsider_count=st.integers(1, 2))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_outsiders_never_help(self, property_setup, outsider_count):
+        """Padding a below-threshold request with non-subject signers
+        never yields a grant."""
+        server, users, certs = property_setup
+        outsiders = [
+            users[0].__class__(  # fresh user in the first user's domain
+                name=f"out{next(_nonce)}",
+                domain_name=users[0].domain_name,
+                keypair=users[0].keypair,
+                identity_certificate=users[0].identity_certificate,
+            )
+        ] * outsider_count
+        request = build_joint_request(
+            users[0],
+            outsiders[:outsider_count],
+            "write",
+            "O",
+            certs[2],
+            now=1,
+            nonce=f"prop-out-{next(_nonce)}",
+        )
+        decision = server.protocol.authorize(
+            request, server.object_acl("O"), now=2
+        )
+        assert not decision.granted
+
+
+class TestProofInvariants:
+    @given(threshold=st.integers(1, 3))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_every_grant_is_auditable(self, property_setup, threshold):
+        server, users, certs = property_setup
+        request = build_joint_request(
+            users[0],
+            users[1 : threshold + 1],
+            "write",
+            "O",
+            certs[threshold],
+            now=1,
+            nonce=f"prop-audit-{next(_nonce)}",
+        )
+        decision = server.protocol.authorize(
+            request, server.object_acl("O"), now=2
+        )
+        if decision.granted:
+            assert server.protocol.audit(decision)
+            assert decision.proof.axioms_used()[0] == "A38"

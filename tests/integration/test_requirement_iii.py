@@ -1,0 +1,121 @@
+"""E12: Requirement III (consensus) across designs.
+
+The paper's Section 2.2 argument as executable comparisons:
+
+* **Case II (shared key)** — unilateral issuance is *cryptographically
+  impossible*: no domain, nor any proper subset, can produce a valid
+  joint signature.
+* **Case I (lockbox)** — procedurally safe, but one successful key
+  extraction (API flaw or insider) yields perfectly valid unilateral
+  certificates.
+* **Unilateral baseline** — violates Requirement III by design.
+* **Distributing copies of a conventional key** — makes every domain
+  able to issue unilaterally (the "compounded" failure the paper notes).
+"""
+
+import pytest
+
+from repro.baselines.lockbox import CaseIAuthority
+from repro.baselines.unilateral import UnilateralAuthority
+from repro.coalition import ConsensusError, build_joint_request
+from repro.crypto.hashing import full_domain_hash
+from repro.pki.certificates import ValidityPeriod
+
+
+class TestCaseIIResists:
+    def test_no_single_domain_issues(self, formed_coalition):
+        coalition, _server, domains, users = formed_coalition
+        # D1 tries alone: every other domain refuses.
+        domains[1].cooperative = False
+        domains[2].cooperative = False
+        with pytest.raises(ConsensusError):
+            coalition.authority.issue_threshold_certificate(
+                users, 1, "G_write", 0, ValidityPeriod(0, 100),
+                requesting_domain=domains[0],
+            )
+
+    def test_share_subset_cannot_forge(self, formed_coalition):
+        """Even computing directly with n-1 shares fails verification."""
+        coalition, _server, domains, _users = formed_coalition
+        public = coalition.authority.public_key
+        payload = b"forged certificate payload"
+        h = full_domain_hash(payload, public.modulus)
+        partial_product = 1
+        for domain in domains[:2]:
+            partial_product = (
+                partial_product * domain.key_share.partial_power(h)
+            ) % public.modulus
+        assert not public.verify(payload, partial_product)
+
+    def test_forged_certificate_rejected_by_server(
+        self, formed_coalition, write_certificate
+    ):
+        import dataclasses
+
+        _c, server, _d, users = formed_coalition
+        forged = dataclasses.replace(write_certificate, signature=12345)
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", forged, now=5
+        )
+        assert not server.handle_request(
+            request, now=6, write_content=b"x"
+        ).granted
+
+
+class TestCaseIFails:
+    def test_insider_violates_requirement_iii(self):
+        authority = CaseIAuthority(
+            "AA_c1", ["D1", "D2", "D3"], key_bits=256, seed=4
+        )
+        authority.lockbox.insider_extract("D1-admin")
+        cert = authority.issue_unilaterally(
+            "D1-admin", [("crony", "kc")], 1, "G_write", 0, ValidityPeriod(0, 100)
+        )
+        # The certificate is valid: servers trusting this AA accept it.
+        assert authority.public_key.verify(cert.payload_bytes(), cert.signature)
+
+    def test_api_flaw_violates_requirement_iii(self):
+        authority = CaseIAuthority(
+            "AA_flawed", ["D1", "D2", "D3"], key_bits=256,
+            api_flaw_probability=1.0, seed=5,
+        )
+        authority.lockbox.attempt_api_attack("mallory")
+        cert = authority.issue_unilaterally(
+            "mallory", [("m", "km")], 1, "G_write", 0, ValidityPeriod(0, 100)
+        )
+        assert cert is not None
+
+
+class TestUnilateralBaselineFails:
+    def test_issuance_needs_no_consent(self):
+        aa = UnilateralAuthority("D1", key_bits=256)
+        cert = aa.issue_threshold_attribute(
+            [("anyone", "k")], 1, "G_write", 0, ValidityPeriod(0, 100)
+        )
+        assert aa.public_key.verify(cert.payload_bytes(), cert.signature)
+
+
+class TestDistributedCopiesFail:
+    def test_every_copy_holder_can_issue(self):
+        """Giving each domain a COPY of a conventional private key (the
+        'compounded' variant of Section 2.2) lets each issue alone."""
+        from repro.crypto.rsa import generate_keypair
+        from repro.pki.certificates import ThresholdAttributeCertificate
+        import dataclasses
+
+        pair = generate_keypair(bits=256)  # copied to every domain
+        for domain in ("D1", "D2", "D3"):
+            cert = ThresholdAttributeCertificate(
+                serial=f"copy-{domain}",
+                subjects=(("crony", "k"),),
+                threshold=1,
+                group="G_write",
+                issuer="AA",
+                issuer_key_id=pair.public.fingerprint(),
+                timestamp=0,
+                validity=ValidityPeriod(0, 100),
+            )
+            signed = dataclasses.replace(
+                cert, signature=pair.private.sign(cert.payload_bytes())
+            )
+            assert pair.public.verify(signed.payload_bytes(), signed.signature)

@@ -1,0 +1,91 @@
+"""E5: revocation reasoning ("believe until revoked", Section 4.3).
+
+Timeline reproduction: the belief CP'_{2,3} => G_write obtained at t4 is
+defeated for all t4 >= t8 once the revocation message (Message 2)
+arrives, and unaffected for earlier decision times.
+"""
+
+from repro.coalition import build_joint_request
+from repro.pki.certificates import ValidityPeriod
+
+
+class TestBelieveUntilRevoked:
+    def test_timeline(self, formed_coalition, write_certificate):
+        coalition, server, _d, users = formed_coalition
+
+        # t=6: access works (stmt 10 obtainable).
+        ok = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate, now=5
+        )
+        assert server.handle_request(ok, now=6, write_content=b"v2").granted
+
+        # t=10: RA publishes Message 2; the server receives it at t=11.
+        revocation = coalition.authority.revoke_certificate(
+            write_certificate, now=10
+        )
+        server.receive_revocation(revocation, now=11)
+
+        # t>=12: the same certificate can no longer support the belief.
+        later = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate, now=12
+        )
+        denied = server.handle_request(later, now=12, write_content=b"v3")
+        assert not denied.granted
+        assert "revoked" in denied.decision.reason
+        assert server.objects["ObjectO"].content == b"v2"
+
+    def test_revocation_scoped_to_group(self, formed_coalition):
+        """Revoking the write certificate leaves read access intact."""
+        coalition, server, _d, users = formed_coalition
+        write_cert = coalition.authority.issue_threshold_certificate(
+            users, 2, "G_write", 0, ValidityPeriod(0, 1000)
+        )
+        read_cert = coalition.authority.issue_threshold_certificate(
+            users, 1, "G_read", 0, ValidityPeriod(0, 1000)
+        )
+        revocation = coalition.authority.revoke_certificate(write_cert, now=5)
+        server.receive_revocation(revocation, now=6)
+
+        write_req = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_cert, now=7
+        )
+        assert not server.handle_request(
+            write_req, now=7, write_content=b"x"
+        ).granted
+
+        read_req = build_joint_request(
+            users[2], [], "read", "ObjectO", read_cert, now=7
+        )
+        assert server.handle_request(read_req, now=7).granted
+
+    def test_fresh_certificate_supersedes_revocation(self, formed_coalition):
+        """A certificate issued after the revocation restores access —
+        re-granting requires full consensus again, which is the point."""
+        coalition, server, _d, users = formed_coalition
+        old = coalition.authority.issue_threshold_certificate(
+            users, 2, "G_write", 0, ValidityPeriod(0, 1000)
+        )
+        revocation = coalition.authority.revoke_certificate(old, now=5)
+        server.receive_revocation(revocation, now=6)
+
+        fresh = coalition.authority.issue_threshold_certificate(
+            users, 2, "G_write", 7, ValidityPeriod(7, 1000)
+        )
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", fresh, now=8
+        )
+        assert server.handle_request(request, now=8, write_content=b"v4").granted
+
+    def test_revocation_proof_cites_jurisdiction(self, formed_coalition, write_certificate):
+        """Statement 14/26: the revocation admission itself is a
+        derivation through the RA's jurisdiction beliefs."""
+        coalition, server, _d, _users = formed_coalition
+        revocation = coalition.authority.revoke_certificate(
+            write_certificate, now=10
+        )
+        proof = server.protocol.apply_revocation(revocation, now=11)
+        from repro.core.formulas import Not
+
+        assert isinstance(proof.conclusion, Not)
+        used = proof.axioms_used()
+        assert "A10" in used and "A22" in used

@@ -1,0 +1,100 @@
+"""Tests for certificate authorities with conventional keys."""
+
+import pytest
+
+from repro.pki.authorities import (
+    CertificateAuthority,
+    RevocationAuthority,
+    SingleAttributeAuthority,
+)
+from repro.pki.certificates import ValidityPeriod
+
+BITS = 256
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority("CA_D1", key_bits=BITS)
+
+
+@pytest.fixture(scope="module")
+def aa():
+    return SingleAttributeAuthority("AA_local", key_bits=BITS)
+
+
+@pytest.fixture(scope="module")
+def subject_key():
+    from repro.crypto.rsa import generate_keypair
+
+    return generate_keypair(bits=BITS).public
+
+
+class TestCertificateAuthority:
+    def test_issue_identity_verifies(self, ca, subject_key):
+        cert = ca.issue_identity("alice", subject_key, 5, ValidityPeriod(5, 50))
+        assert ca.public_key.verify(cert.payload_bytes(), cert.signature)
+        assert cert.subject == "alice"
+        assert cert.issuer == "CA_D1"
+        assert cert.subject_key.modulus == subject_key.modulus
+
+    def test_serials_unique(self, ca, subject_key):
+        c1 = ca.issue_identity("bob", subject_key, 5, ValidityPeriod(5, 50))
+        c2 = ca.issue_identity("carol", subject_key, 5, ValidityPeriod(5, 50))
+        assert c1.serial != c2.serial
+
+    def test_revoke_issued(self, ca, subject_key):
+        cert = ca.issue_identity("dave", subject_key, 5, ValidityPeriod(5, 50))
+        revocation = ca.revoke(cert.serial, now=10)
+        assert revocation.revoked_serial == cert.serial
+        assert ca.public_key.verify(
+            revocation.payload_bytes(), revocation.signature
+        )
+
+    def test_revoke_unknown_rejected(self, ca):
+        with pytest.raises(KeyError):
+            ca.revoke("never-issued", now=10)
+
+    def test_issued_certificates_listed(self, subject_key):
+        fresh = CertificateAuthority("CA_tmp", key_bits=BITS)
+        fresh.issue_identity("x", subject_key, 0, ValidityPeriod(0, 9))
+        assert len(fresh.issued_certificates()) == 1
+
+
+class TestSingleAttributeAuthority:
+    def test_issue_attribute(self, aa):
+        cert = aa.issue_attribute("alice", "akey", "G", 5, ValidityPeriod(5, 50))
+        assert aa.public_key.verify(cert.payload_bytes(), cert.signature)
+        assert cert.group == "G"
+
+    def test_issue_threshold(self, aa):
+        cert = aa.issue_threshold_attribute(
+            [("u1", "k1"), ("u2", "k2")], 2, "G", 5, ValidityPeriod(5, 50)
+        )
+        assert aa.public_key.verify(cert.payload_bytes(), cert.signature)
+        assert cert.threshold == 2
+
+    def test_revoke(self, aa):
+        cert = aa.issue_attribute("bob", "bkey", "G", 5, ValidityPeriod(5, 50))
+        revocation = aa.revoke(cert.serial, now=9)
+        assert revocation.effective_time == 9
+
+    def test_revoke_unknown(self, aa):
+        with pytest.raises(KeyError):
+            aa.revoke("missing", now=1)
+
+
+class TestRevocationAuthority:
+    def test_revoke_any_certificate(self, aa):
+        ra = RevocationAuthority("RA", key_bits=BITS)
+        cert = aa.issue_attribute("eve", "ekey", "G", 5, ValidityPeriod(5, 50))
+        revocation = ra.revoke(cert, now=20)
+        assert revocation.issuer == "RA"
+        assert ra.public_key.verify(
+            revocation.payload_bytes(), revocation.signature
+        )
+
+    def test_effective_time_override(self, aa):
+        ra = RevocationAuthority("RA2", key_bits=BITS)
+        cert = aa.issue_attribute("f", "fk", "G", 5, ValidityPeriod(5, 50))
+        revocation = ra.revoke(cert, now=20, effective_time=30)
+        assert revocation.effective_time == 30

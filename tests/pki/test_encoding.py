@@ -1,0 +1,73 @@
+"""Tests for the JSON certificate transport encoding."""
+
+import pytest
+
+from repro.pki.encoding import (
+    EncodingError,
+    decode_certificate,
+    encode_certificate,
+)
+
+
+class TestRoundTrips:
+    def test_identity(self, three_domains):
+        _domains, users = three_domains
+        cert = users[0].identity_certificate
+        decoded = decode_certificate(encode_certificate(cert))
+        assert decoded == cert
+
+    def test_threshold_attribute(self, formed_coalition, write_certificate):
+        decoded = decode_certificate(encode_certificate(write_certificate))
+        assert decoded == write_certificate
+        # The decoded certificate still verifies cryptographically.
+        coalition = formed_coalition[0]
+        assert coalition.authority.public_key.verify(
+            decoded.payload_bytes(), decoded.signature
+        )
+
+    def test_revocation_with_nested_certificate(
+        self, formed_coalition, write_certificate
+    ):
+        coalition = formed_coalition[0]
+        revocation = coalition.authority.revoke_certificate(
+            write_certificate, now=5
+        )
+        decoded = decode_certificate(encode_certificate(revocation))
+        assert decoded == revocation
+        assert decoded.revoked == write_certificate
+
+    def test_attribute(self):
+        from repro.pki.authorities import SingleAttributeAuthority
+        from repro.pki.certificates import ValidityPeriod
+
+        aa = SingleAttributeAuthority("AA_enc", key_bits=256)
+        cert = aa.issue_attribute("u", "k", "G", 0, ValidityPeriod(0, 9))
+        assert decode_certificate(encode_certificate(cert)) == cert
+
+
+class TestErrors:
+    def test_not_json(self):
+        with pytest.raises(EncodingError, match="not JSON"):
+            decode_certificate("{{{")
+
+    def test_not_object(self):
+        with pytest.raises(EncodingError, match="object"):
+            decode_certificate("[1, 2]")
+
+    def test_unknown_kind(self):
+        with pytest.raises(EncodingError):
+            decode_certificate('{"kind": "martian"}')
+
+    def test_missing_fields(self):
+        with pytest.raises(EncodingError, match="malformed"):
+            decode_certificate('{"kind": "identity", "serial": "x"}')
+
+    def test_tampering_breaks_signature(self, three_domains):
+        import json
+
+        domains, users = three_domains
+        doc = json.loads(encode_certificate(users[0].identity_certificate))
+        doc["subject"] = "mallory"
+        forged = decode_certificate(json.dumps(doc))
+        ca_key = domains[0].ca.public_key
+        assert not ca_key.verify(forged.payload_bytes(), forged.signature)

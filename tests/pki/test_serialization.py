@@ -1,0 +1,57 @@
+"""Tests for canonical payload serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pki.serialization import canonical_bytes
+
+
+class TestCanonicalBytes:
+    def test_deterministic(self):
+        payload = {"b": 1, "a": [1, 2], "c": "x"}
+        assert canonical_bytes(payload) == canonical_bytes(payload)
+
+    def test_key_order_irrelevant(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes(
+            {"b": 2, "a": 1}
+        )
+
+    def test_value_sensitivity(self):
+        assert canonical_bytes({"a": 1}) != canonical_bytes({"a": 2})
+
+    def test_large_ints_hex_encoded(self):
+        big = 2**256 + 12345
+        data = canonical_bytes({"n": big})
+        assert hex(big).encode() in data
+
+    def test_bytes_values(self):
+        data = canonical_bytes({"sig": b"\x01\x02"})
+        assert b"0102" in data
+
+    def test_tuples_as_lists(self):
+        assert canonical_bytes({"a": (1, 2)}) == canonical_bytes({"a": [1, 2]})
+
+    def test_nested(self):
+        payload = {"outer": {"z": 1, "a": [True, None, "s"]}}
+        assert canonical_bytes(payload) == canonical_bytes(payload)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_bytes({"x": object()})
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(
+                st.integers(-(2**64), 2**64),
+                st.text(max_size=16),
+                st.booleans(),
+                st.none(),
+            ),
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40)
+    def test_roundtrip_stability(self, payload):
+        assert canonical_bytes(payload) == canonical_bytes(dict(payload))

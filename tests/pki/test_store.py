@@ -1,0 +1,182 @@
+"""Tests for the certificate store/directory."""
+
+import pytest
+
+from repro.pki.certificates import (
+    AttributeCertificate,
+    IdentityCertificate,
+    RevocationCertificate,
+    ThresholdAttributeCertificate,
+    ValidityPeriod,
+)
+from repro.pki.store import CertificateStore
+
+
+def _identity(serial="i1", subject="alice", timestamp=1):
+    return IdentityCertificate(
+        serial=serial,
+        subject=subject,
+        subject_key_modulus=3233,
+        subject_key_exponent=17,
+        issuer="CA",
+        issuer_key_id="ck",
+        timestamp=timestamp,
+        validity=ValidityPeriod(0, 100),
+    )
+
+
+def _attribute(serial="a1", subject="alice", group="G"):
+    return AttributeCertificate(
+        serial=serial,
+        subject=subject,
+        subject_key_id="k",
+        group=group,
+        issuer="AA",
+        issuer_key_id="ak",
+        timestamp=2,
+        validity=ValidityPeriod(0, 100),
+    )
+
+
+def _threshold(serial="t1", group="G"):
+    return ThresholdAttributeCertificate(
+        serial=serial,
+        subjects=(("u1", "k1"), ("u2", "k2")),
+        threshold=2,
+        group=group,
+        issuer="AA",
+        issuer_key_id="ak",
+        timestamp=3,
+        validity=ValidityPeriod(0, 100),
+    )
+
+
+def _revocation(target, serial="r1", effective=10):
+    return RevocationCertificate(
+        serial=serial,
+        revoked_serial=target.serial,
+        revoked=target,
+        issuer="RA",
+        issuer_key_id="rk",
+        timestamp=effective,
+        effective_time=effective,
+    )
+
+
+class TestPublishAndLookup:
+    def test_by_serial(self):
+        store = CertificateStore()
+        cert = _identity()
+        store.publish(cert)
+        assert store.get("i1") is cert
+        assert store.get("missing") is None
+
+    def test_duplicate_serial_rejected(self):
+        store = CertificateStore()
+        store.publish(_identity())
+        with pytest.raises(ValueError):
+            store.publish(_identity())
+
+    def test_by_subject(self):
+        store = CertificateStore()
+        store.publish(_identity())
+        store.publish(_attribute())
+        assert len(store.for_subject("alice")) == 2
+        assert store.for_subject("nobody") == []
+
+    def test_by_group(self):
+        store = CertificateStore()
+        store.publish(_attribute())
+        store.publish(_threshold())
+        assert len(store.for_group("G")) == 2
+
+    def test_threshold_indexed_by_all_subjects(self):
+        store = CertificateStore()
+        store.publish(_threshold())
+        assert store.for_subject("u1") and store.for_subject("u2")
+
+    def test_len(self):
+        store = CertificateStore()
+        store.publish(_identity())
+        assert len(store) == 1
+
+
+class TestRevocation:
+    def test_revocation_indexed(self):
+        store = CertificateStore()
+        cert = _attribute()
+        store.publish(cert)
+        store.publish(_revocation(cert, effective=10))
+        assert store.revocation_of("a1") is not None
+        assert store.is_revoked("a1", now=10)
+        assert store.is_revoked("a1", now=99)
+
+    def test_not_yet_effective(self):
+        store = CertificateStore()
+        cert = _attribute()
+        store.publish(cert)
+        store.publish(_revocation(cert, effective=10))
+        assert not store.is_revoked("a1", now=9)
+
+    def test_unrevoked(self):
+        store = CertificateStore()
+        store.publish(_attribute())
+        assert not store.is_revoked("a1", now=50)
+
+
+class TestIdentityResolution:
+    def test_newest_valid_identity(self):
+        store = CertificateStore()
+        store.publish(_identity("i1", timestamp=1))
+        store.publish(_identity("i2", timestamp=5))
+        best = store.identity_for("alice", now=50)
+        assert best.serial == "i2"
+
+    def test_revoked_identity_skipped(self):
+        store = CertificateStore()
+        old = _identity("i1", timestamp=1)
+        new = _identity("i2", timestamp=5)
+        store.publish(old)
+        store.publish(new)
+        store.publish(_revocation(new, serial="r9", effective=6))
+        best = store.identity_for("alice", now=50)
+        assert best.serial == "i1"
+
+    def test_no_identity(self):
+        assert CertificateStore().identity_for("ghost", now=1) is None
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = CertificateStore()
+        cert = _attribute()
+        threshold = _threshold()
+        store.publish(cert)
+        store.publish(threshold)
+        store.publish(_revocation(cert, effective=10))
+        path = tmp_path / "directory.jsonl"
+        count = store.save(path)
+        assert count == 3
+
+        loaded = CertificateStore.load(path)
+        assert len(loaded) == 3
+        assert loaded.get("a1") == cert
+        assert loaded.get("t1") == threshold
+        assert loaded.is_revoked("a1", now=10)
+        assert not loaded.is_revoked("t1", now=10)
+
+    def test_load_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        loaded = CertificateStore.load(path)
+        assert len(loaded) == 0
+
+    def test_roundtrip_preserves_queries(self, tmp_path):
+        store = CertificateStore()
+        store.publish(_identity())
+        store.publish(_attribute())
+        path = tmp_path / "dir.jsonl"
+        store.save(path)
+        loaded = CertificateStore.load(path)
+        assert len(loaded.for_subject("alice")) == 2
+        assert loaded.identity_for("alice", now=5) is not None

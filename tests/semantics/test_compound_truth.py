@@ -1,0 +1,96 @@
+"""Truth conditions for compound principals (Appendix C's CP states).
+
+A compound principal has its own local state whose history records the
+joint actions of its members (clocks synchronized — Appendix A's
+assumption).  The run builder models the CP as a principal named by the
+'+'-join of its sorted member names, which is exactly how the evaluator
+keys CP histories.
+"""
+
+import pytest
+
+from repro.core.formulas import Believes, Received, Said, Says
+from repro.core.messages import Data, Signed
+from repro.core.temporal import at
+from repro.core.terms import CompoundPrincipal, KeyRef, Principal
+from repro.semantics.generators import RunBuilder
+from repro.semantics.truth import InterpretedSystem, truth
+
+D1, D2 = Principal("D1"), Principal("D2")
+CP = CompoundPrincipal.of([D1, D2])
+KAA = KeyRef("kaa")
+
+
+@pytest.fixture()
+def compound_run():
+    """D1+D2 jointly sign and send a message to P (shared key KAA)."""
+    builder = RunBuilder(["D1", "D2", "D1+D2", "P"])
+    builder.give_key("D1+D2", KAA)
+    builder.send("D1+D2", "P", Signed(Data("joint-cert"), KAA), delay=1)
+    builder.tick()
+    builder.tick()
+    run = builder.build()
+    return InterpretedSystem(runs=[run]), run
+
+
+class TestCompoundModalities:
+    def test_cp_says(self, compound_run):
+        system, run = compound_run
+        t = run.horizon
+        assert truth(system, run, t, Says(CP, at(0), Signed(Data("joint-cert"), KAA)))
+        assert truth(system, run, t, Says(CP, at(0), Data("joint-cert")))
+
+    def test_cp_said_persists(self, compound_run):
+        system, run = compound_run
+        t = run.horizon
+        assert truth(system, run, t, Said(CP, at(1), Data("joint-cert")))
+
+    def test_receiver_gets_joint_message(self, compound_run):
+        system, run = compound_run
+        t = run.horizon
+        received = Received(
+            Principal("P"), at(1), Signed(Data("joint-cert"), KAA)
+        )
+        assert truth(system, run, t, received)
+
+    def test_cp_believes_own_utterance(self, compound_run):
+        system, run = compound_run
+        t = run.horizon
+        lt = run.local_time("D1+D2", t)
+        said = Said(CP, at(0), Data("joint-cert"))
+        assert truth(system, run, t, Believes(CP, at(lt), said))
+
+    def test_individual_member_did_not_say(self, compound_run):
+        """The joint utterance belongs to the CP, not to D1 alone."""
+        system, run = compound_run
+        t = run.horizon
+        assert not truth(system, run, t, Says(D1, at(0), Data("joint-cert")))
+
+
+class TestCompoundKeyGoodness:
+    def test_shared_key_speaks_for_cp(self, compound_run):
+        from repro.core.formulas import KeySpeaksFor
+
+        system, run = compound_run
+        t = run.horizon
+        speaks = KeySpeaksFor(KAA, at(1, Principal("P")), CP)
+        assert truth(system, run, t, speaks)
+
+    def test_threshold_form_also_good(self, compound_run):
+        from repro.core.formulas import KeySpeaksFor
+
+        system, run = compound_run
+        t = run.horizon
+        speaks = KeySpeaksFor(KAA, at(1, Principal("P")), CP.threshold(2))
+        assert truth(system, run, t, speaks)
+
+    def test_a10_for_compound_semantically(self, compound_run):
+        """A10b's shape on this run: good shared key + receipt -> CP said."""
+        system, run = compound_run
+        t = run.horizon
+        received = Received(
+            Principal("P"), at(1), Signed(Data("joint-cert"), KAA)
+        )
+        said = Said(CP, at(1), Data("joint-cert"))
+        assert truth(system, run, t, received)
+        assert truth(system, run, t, said)

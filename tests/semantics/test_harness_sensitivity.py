@@ -1,0 +1,98 @@
+"""Negative controls: the soundness harness must detect unsoundness.
+
+A model checker that can never fail is worthless.  Here we feed the
+truth conditions deliberately *invalid* inferences — conclusions that do
+not follow from true premises — and assert the evaluator rejects them,
+i.e. a counterexample WOULD be produced for a bad axiom encoding.
+"""
+
+import pytest
+
+from repro.core.formulas import (
+    KeySpeaksFor,
+    Received,
+    Said,
+    Says,
+    SpeaksForGroup,
+)
+from repro.core.messages import Data, Signed
+from repro.core.temporal import at
+from repro.core.terms import Group, KeyRef, Principal
+from repro.semantics.generators import RunBuilder
+from repro.semantics.truth import InterpretedSystem, truth
+
+A, B, C = Principal("A"), Principal("B"), Principal("C")
+K = KeyRef("k")
+
+
+@pytest.fixture()
+def signed_run():
+    builder = RunBuilder(["A", "B", "C"])
+    builder.give_key("A", K)
+    builder.send("A", "B", Signed(Data("x"), K), delay=1)
+    builder.tick()
+    run = builder.build()
+    return InterpretedSystem(runs=[run]), run
+
+
+class TestBogusInferencesAreFalse:
+    def test_wrong_originator_rejected(self, signed_run):
+        """A bogus 'A10' attributing the message to a non-signer must
+        evaluate false — this is what a counterexample looks like."""
+        system, run = signed_run
+        t = run.horizon
+        premise = Received(B, at(1), Signed(Data("x"), K))
+        assert truth(system, run, t, premise)  # premise holds...
+        bogus_conclusion = Said(C, at(1), Data("x"))
+        assert not truth(system, run, t, bogus_conclusion)  # ...this doesn't
+
+    def test_backwards_monotonicity_rejected(self, signed_run):
+        """'Received at t implies received at t-1' is invalid."""
+        system, run = signed_run
+        t = run.horizon
+        assert truth(system, run, t, Received(B, at(1), Data("x")))
+        assert not truth(system, run, t, Received(B, at(0), Data("x")))
+
+    def test_unsaid_group_utterance_rejected(self, signed_run):
+        """'Member says X implies G says X' without semantic membership
+        must not hold."""
+        system, run = signed_run
+        t = run.horizon
+        assert truth(system, run, t, Says(A, at(0), Data("x")))
+        assert not truth(system, run, t, Says(Group("G"), at(0), Data("x")))
+
+    def test_key_transfer_rejected(self, signed_run):
+        """A key good for A is not thereby good for C: planting a C-
+        signed claim makes the goodness formula false for C."""
+        system, run = signed_run
+        t = run.horizon
+        assert truth(system, run, t, KeySpeaksFor(K, at(1, B), A))
+        assert not truth(system, run, t, KeySpeaksFor(K, at(1, B), C))
+
+    def test_membership_does_not_come_for_free(self, signed_run):
+        system, run = signed_run
+        t = run.horizon
+        membership = SpeaksForGroup(A, at(0), Group("G"))
+        # A spoke; G never echoed; membership must be false.
+        assert not truth(system, run, t, membership)
+
+
+class TestHarnessWouldRecord:
+    def test_counterexample_machinery(self, signed_run):
+        """Drive the report plumbing with a synthetic failure."""
+        from repro.semantics.soundness import (
+            Counterexample,
+            SoundnessReport,
+        )
+
+        report = SoundnessReport()
+        report.instances_checked = 1
+        report.counterexamples.append(
+            Counterexample(
+                axiom="A10-broken",
+                run_index=0,
+                real_time=1,
+                description="synthetic",
+            )
+        )
+        assert not report.sound

@@ -1,0 +1,164 @@
+"""Tests for runs, histories and the legality conditions."""
+
+import pytest
+
+from repro.core.messages import Data
+from repro.core.terms import KeyRef
+from repro.semantics.events import (
+    Generate,
+    History,
+    Receive,
+    Send,
+    TimestampedEvent,
+)
+from repro.semantics.generators import RunBuilder
+from repro.semantics.runs import (
+    EnvironmentState,
+    GlobalState,
+    LegalityError,
+    LocalState,
+    Run,
+)
+
+
+class TestHistory:
+    def test_append_and_iterate(self):
+        history = History()
+        history.append(Send(Data("x"), "B"), 1)
+        history.append(Receive(Data("y")), 2)
+        assert len(history) == 2
+        assert [te.time for te in history] == [1, 2]
+
+    def test_nondecreasing_enforced(self):
+        history = History()
+        history.append(Send(Data("x"), "B"), 5)
+        with pytest.raises(ValueError):
+            history.append(Send(Data("y"), "B"), 3)
+
+    def test_is_sequential(self):
+        history = History()
+        history.append(Send(Data("x"), "B"), 1)
+        history.append(Send(Data("y"), "B"), 2)
+        assert history.is_sequential()
+        history.append(Send(Data("z"), "B"), 2)  # tie
+        assert not history.is_sequential()
+
+    def test_filters(self):
+        history = History()
+        history.append(Send(Data("x"), "B"), 1)
+        history.append(Receive(Data("y")), 2)
+        history.append(Generate(KeyRef("k")), 3)
+        assert len(history.sends()) == 1
+        assert len(history.receives()) == 1
+        assert len(history.generates()) == 1
+        assert len(history.events_until(2)) == 2
+
+    def test_copy_is_independent(self):
+        history = History()
+        history.append(Send(Data("x"), "B"), 1)
+        copy = history.copy()
+        copy.append(Send(Data("y"), "B"), 2)
+        assert len(history) == 1
+
+
+class TestRunBuilderLegality:
+    def test_built_runs_are_legal(self):
+        builder = RunBuilder(["A", "B"])
+        builder.give_key("A", KeyRef("k"))
+        builder.send("A", "B", Data("hello"))
+        builder.tick()
+        run = builder.build()
+        run.check_legality()  # must not raise
+
+    def test_local_time_queries(self):
+        builder = RunBuilder(["A", "B"], skews={"B": 3})
+        builder.tick()
+        builder.tick()
+        run = builder.build()
+        assert run.local_time("A", 1) == 1
+        assert run.local_time("B", 1) == 4
+        assert run.start_of_local_time("A", 1) == 1
+        assert run.end_of_local_time("A", 1) == 1
+
+
+class TestLegalityViolations:
+    def _single_state_run(self, local: LocalState) -> Run:
+        env = EnvironmentState(time=0)
+        return Run([GlobalState(environment=env, locals={local.name: local})])
+
+    def test_unmatched_receive_detected(self):
+        history = History()
+        history.append(Receive(Data("ghost")), 0)
+        local = LocalState(name="A", time=0, keys=frozenset(), history=history)
+        run = self._single_state_run(local)
+        with pytest.raises(LegalityError, match="no matching"):
+            run.check_legality()
+
+    def test_key_without_provenance_detected(self):
+        # Keys held in the initial state are exempt; a key appearing
+        # later with no generate event and no derivation is illegal.
+        empty = LocalState(name="A", time=0, keys=frozenset(), history=History())
+        with_key = LocalState(
+            name="A", time=1, keys=frozenset({KeyRef("mystery")}),
+            history=History(),
+        )
+        env = EnvironmentState(time=0)
+        run = Run(
+            [
+                GlobalState(environment=env, locals={"A": empty}),
+                GlobalState(environment=env, locals={"A": with_key}),
+            ]
+        )
+        with pytest.raises(LegalityError, match="no provenance"):
+            run.check_legality()
+
+    def test_clock_regression_detected(self):
+        mk = lambda t: LocalState(  # noqa: E731
+            name="A", time=t, keys=frozenset(), history=History()
+        )
+        env = EnvironmentState(time=0)
+        run = Run(
+            [
+                GlobalState(environment=env, locals={"A": mk(5)}),
+                GlobalState(environment=env, locals={"A": mk(3)}),
+            ]
+        )
+        with pytest.raises(LegalityError, match="backwards"):
+            run.check_legality()
+
+    def test_keyset_shrink_detected(self):
+        history = History()
+        history.append(Generate(KeyRef("k")), 0)
+        with_key = LocalState(
+            name="A", time=0, keys=frozenset({KeyRef("k")}), history=history
+        )
+        without = LocalState(
+            name="A", time=1, keys=frozenset(), history=history
+        )
+        env = EnvironmentState(time=0)
+        run = Run(
+            [
+                GlobalState(environment=env, locals={"A": with_key}),
+                GlobalState(environment=env, locals={"A": without}),
+            ]
+        )
+        with pytest.raises(LegalityError, match="shrank"):
+            run.check_legality()
+
+    def test_is_legal_boolean(self):
+        history = History()
+        history.append(Receive(Data("ghost")), 0)
+        local = LocalState(name="A", time=0, keys=frozenset(), history=history)
+        assert not self._single_state_run(local).is_legal()
+
+
+class TestRunQueries:
+    def test_horizon_and_clamping(self):
+        builder = RunBuilder(["A"])
+        builder.tick()
+        run = builder.build()
+        assert run.at(999).local("A").time == run.at(run.horizon).local("A").time
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ValueError):
+            Run([])

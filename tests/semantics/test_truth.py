@@ -1,0 +1,193 @@
+"""Tests for the truth-condition evaluator."""
+
+import pytest
+
+from repro.core.formulas import (
+    And,
+    At,
+    Believes,
+    Controls,
+    Fresh,
+    Has,
+    Implies,
+    Not,
+    Received,
+    Said,
+    Says,
+    SpeaksForGroup,
+    TimeLe,
+    TRUE,
+)
+from repro.core.messages import Data, Encrypted, MessageTuple, Signed
+from repro.core.temporal import at, during, sometime
+from repro.core.terms import Group, KeyRef, Principal
+from repro.semantics.events import Send
+from repro.semantics.generators import RunBuilder
+from repro.semantics.runs import Run
+from repro.semantics.truth import InterpretedSystem, truth
+
+A, B, C = Principal("A"), Principal("B"), Principal("C")
+K = KeyRef("k")
+X = Data("x")
+
+
+@pytest.fixture()
+def simple_system():
+    """A sends <x>_k to B at tick 0; B receives it at tick 1."""
+    builder = RunBuilder(["A", "B", "G"])
+    builder.give_key("A", K)
+    builder.send("A", "B", Signed(X, K), delay=1)
+    builder.send("G", "G", Signed(X, K), delay=1)  # echo: A => G holds
+    builder.tick()
+    builder.tick()
+    run = builder.build()
+    return InterpretedSystem(runs=[run]), run
+
+
+class TestConnectives:
+    def test_true(self, simple_system):
+        system, run = simple_system
+        assert truth(system, run, run.horizon, TRUE)
+
+    def test_negation(self, simple_system):
+        system, run = simple_system
+        said = Said(A, at(0), Data("never"))
+        assert truth(system, run, run.horizon, Not(said))
+
+    def test_conjunction_and_implication(self, simple_system):
+        system, run = simple_system
+        t = run.horizon
+        said = Said(A, at(0), X)
+        assert truth(system, run, t, And(said, TRUE))
+        assert truth(system, run, t, Implies(said, said))
+        assert truth(system, run, t, Implies(Not(said), Not(TRUE)))
+        assert truth(system, run, t, TimeLe(1, 2))
+        assert not truth(system, run, t, TimeLe(3, 2))
+
+
+class TestSaysAndReceived:
+    def test_says_at_send_time(self, simple_system):
+        system, run = simple_system
+        t = run.horizon
+        assert truth(system, run, t, Says(A, at(0), Signed(X, K)))
+        assert truth(system, run, t, Says(A, at(0), X))  # submessage
+
+    def test_says_wrong_time(self, simple_system):
+        system, run = simple_system
+        assert not truth(system, run, run.horizon, Says(A, at(1), X))
+
+    def test_said_persists(self, simple_system):
+        system, run = simple_system
+        t = run.horizon
+        assert truth(system, run, t, Said(A, at(0), X))
+        assert truth(system, run, t, Said(A, at(1), X))
+
+    def test_received_after_delivery(self, simple_system):
+        system, run = simple_system
+        t = run.horizon
+        assert truth(system, run, t, Received(B, at(1), Signed(X, K)))
+        assert truth(system, run, t, Received(B, at(1), X))
+        assert not truth(system, run, t, Received(B, at(0), X))
+
+    def test_some_interval(self, simple_system):
+        system, run = simple_system
+        t = run.horizon
+        assert truth(system, run, t, Received(B, sometime(0, 2), X))
+        assert not truth(system, run, t, Received(B, during(0, 2), X))
+
+
+class TestHasAndFresh:
+    def test_has_key(self, simple_system):
+        system, run = simple_system
+        t = run.horizon
+        assert truth(system, run, t, Has(A, at(0), K))
+        assert not truth(system, run, t, Has(B, at(1), K))
+
+    def test_fresh_unsaid_message(self, simple_system):
+        system, run = simple_system
+        t = run.horizon
+        assert truth(system, run, t, Fresh(Data("unseen"), at(1)))
+        assert not truth(system, run, t, Fresh(X, at(1)))
+
+
+class TestAtAndControls:
+    def test_at_locates_facts(self, simple_system):
+        system, run = simple_system
+        t = run.horizon
+        said = Said(A, at(0), X)
+        assert truth(system, run, t, At(said, A, at(1)))
+
+    def test_controls_vacuous_without_says(self, simple_system):
+        system, run = simple_system
+        t = run.horizon
+        phi = Data("never-uttered")
+        assert truth(system, run, t, Controls(A, at(0), phi))
+
+    def test_controls_future_time_false(self, simple_system):
+        system, run = simple_system
+        t = run.horizon
+        phi = Data("x")
+        future = run.local_time("A", t) + 100
+        assert not truth(system, run, t, Controls(A, at(future), phi))
+
+
+class TestBelieves:
+    def test_believes_own_said(self, simple_system):
+        system, run = simple_system
+        t = run.horizon
+        lt = run.local_time("A", t)
+        said = Said(A, at(0), X)
+        assert truth(system, run, t, Believes(A, at(lt), said))
+
+    def test_believes_future_false(self, simple_system):
+        system, run = simple_system
+        t = run.horizon
+        lt = run.local_time("A", t)
+        assert not truth(system, run, t, Believes(A, at(lt + 10), TRUE))
+
+
+class TestGroupMembership:
+    def test_membership_with_echo(self, simple_system):
+        system, run = simple_system
+        t = run.horizon
+        membership = SpeaksForGroup(A, at(0), Group("G"))
+        assert truth(system, run, t, membership)
+
+    def test_membership_without_echo_fails(self):
+        builder = RunBuilder(["A", "G"])
+        builder.send("A", "G", Data("unechoed"), delay=1)
+        builder.tick()
+        run = builder.build()
+        system = InterpretedSystem(runs=[run])
+        membership = SpeaksForGroup(A, at(0), Group("G"))
+        assert not truth(system, run, run.horizon, membership)
+
+    def test_vacuous_membership_for_silent_member(self, simple_system):
+        system, run = simple_system
+        t = run.horizon
+        membership = SpeaksForGroup(B, at(0), Group("G"))
+        assert truth(system, run, t, membership)  # B never speaks
+
+
+class TestKeySpeaksFor:
+    def test_good_key(self, simple_system):
+        from repro.core.formulas import KeySpeaksFor
+
+        system, run = simple_system
+        t = run.horizon
+        speaks = KeySpeaksFor(K, at(1, B), A)
+        assert truth(system, run, t, speaks)
+
+    def test_bad_key_detected(self):
+        """If C forges A's signature, K => A is semantically false."""
+        from repro.core.formulas import KeySpeaksFor
+
+        builder = RunBuilder(["A", "B", "C"])
+        builder.give_key("C", K)  # the adversary generated/stole the key
+        builder.send("C", "B", Signed(Data("forged"), K), delay=1)
+        builder.tick()
+        run = builder.build()
+        system = InterpretedSystem(runs=[run])
+        t = run.horizon
+        speaks = KeySpeaksFor(K, at(1, Principal("B")), A)
+        assert not truth(system, run, t, speaks)

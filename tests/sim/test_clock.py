@@ -1,0 +1,40 @@
+"""Tests for simulated clocks."""
+
+import pytest
+
+from repro.sim.clock import GlobalClock, LocalClock
+
+
+class TestGlobalClock:
+    def test_starts_at_zero(self):
+        assert GlobalClock().now == 0
+
+    def test_custom_start(self):
+        assert GlobalClock(start=7).now == 7
+
+    def test_advance(self):
+        clock = GlobalClock()
+        assert clock.advance(5) == 5
+        assert clock.now == 5
+
+    def test_no_backwards(self):
+        with pytest.raises(ValueError):
+            GlobalClock().advance(-1)
+
+
+class TestLocalClock:
+    def test_skewed_time(self):
+        global_clock = GlobalClock(start=10)
+        local = LocalClock(global_clock, skew=3)
+        assert local.now == 13
+
+    def test_tracks_global(self):
+        global_clock = GlobalClock()
+        local = LocalClock(global_clock, skew=2)
+        global_clock.advance(5)
+        assert local.now == 7
+
+    def test_conversions(self):
+        local = LocalClock(GlobalClock(), skew=4)
+        assert local.real_to_local(10) == 14
+        assert local.local_to_real(14) == 10

@@ -1,0 +1,88 @@
+"""Tests for the simulated network and its adversary."""
+
+import pytest
+
+from repro.sim.clock import GlobalClock
+from repro.sim.network import AdversaryPolicy, Envelope, Network
+
+
+class TestDelivery:
+    def test_message_arrives_after_delay(self):
+        clock = GlobalClock()
+        net = Network(clock, base_delay=2)
+        net.send("A", "B", "hello")
+        assert net.deliverable() == []
+        clock.advance(1)
+        assert net.deliverable() == []
+        clock.advance(1)
+        delivered = net.deliverable()
+        assert len(delivered) == 1
+        assert delivered[0].payload == "hello"
+        assert delivered[0].sender == "A"
+        assert delivered[0].sent_at == 0
+
+    def test_fifo_per_tick(self):
+        clock = GlobalClock()
+        net = Network(clock, base_delay=1)
+        net.send("A", "B", "first")
+        net.send("A", "B", "second")
+        clock.advance(1)
+        payloads = [e.payload for e in net.deliverable()]
+        assert payloads == ["first", "second"]
+
+    def test_pending_count(self):
+        clock = GlobalClock()
+        net = Network(clock, base_delay=5)
+        net.send("A", "B", "x")
+        assert net.pending() == 1
+
+
+class TestAdversary:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            AdversaryPolicy(drop_rate=1.5)
+
+    def test_drops(self):
+        clock = GlobalClock()
+        net = Network(clock, adversary=AdversaryPolicy(drop_rate=1.0, seed=1))
+        net.send("A", "B", "x")
+        clock.advance(10)
+        assert net.deliverable() == []
+        assert net.dropped_count == 1
+
+    def test_replays(self):
+        clock = GlobalClock()
+        net = Network(clock, adversary=AdversaryPolicy(replay_rate=1.0, seed=1))
+        net.send("A", "B", "x")
+        clock.advance(10)
+        delivered = net.deliverable()
+        assert len(delivered) == 2
+        assert any(e.replayed for e in delivered)
+        assert net.replayed_count == 1
+
+    def test_extra_delay_bounded(self):
+        policy = AdversaryPolicy(max_extra_delay=3, seed=2)
+        assert all(0 <= policy.extra_delay() <= 3 for _ in range(50))
+
+    def test_deterministic_with_seed(self):
+        p1 = AdversaryPolicy(drop_rate=0.5, seed=7)
+        p2 = AdversaryPolicy(drop_rate=0.5, seed=7)
+        assert [p1.drops() for _ in range(20)] == [p2.drops() for _ in range(20)]
+
+
+class TestRunUntilQuiet:
+    def test_drains_queue(self):
+        clock = GlobalClock()
+        net = Network(clock, base_delay=1)
+        received = []
+        net.send("A", "B", "ping")
+
+        def dispatch(envelope: Envelope):
+            received.append(envelope.payload)
+            if envelope.payload == "ping":
+                net.send("B", "A", "pong")
+
+        ticks = net.run_until_quiet(dispatch)
+        assert received == ["ping", "pong"]
+        assert ticks >= 2
+        assert net.pending() == 0

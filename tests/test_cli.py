@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.bits == 256
+        assert not args.proof
+
+    def test_keygen_flags(self):
+        args = build_parser().parse_args(
+            ["keygen", "-n", "5", "--bits", "128", "--dealerless"]
+        )
+        assert args.n == 5 and args.bits == 128 and args.dealerless
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--bits", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "joint write granted: True" in out
+
+    def test_demo_with_proof(self, capsys):
+        assert main(["demo", "--bits", "256", "--proof"]) == 0
+        assert "[A38]" in capsys.readouterr().out
+
+    def test_keygen_dealer(self, capsys):
+        assert main(["keygen", "-n", "3", "--bits", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "verifies=True" in out
+
+    def test_liability(self, capsys):
+        assert main(["liability", "--domains", "2", "3", "--trials", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "CaseII" in out
+
+    def test_availability(self, capsys):
+        assert main(["availability", "-n", "5", "-m", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3-of-5" in out
+
+    def test_dynamics(self, capsys):
+        assert main(["dynamics", "--certs", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "revoked" in out
