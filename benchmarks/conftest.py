@@ -1,4 +1,12 @@
-"""Shared benchmark fixtures: coalition setups built once per session."""
+"""Shared benchmark fixtures: coalition setups built once per session.
+
+Also emits ``BENCH_derivation.json`` next to the repo root after every
+benchmarked run, so successive PRs have a perf trajectory to compare
+against (mean/stddev/rounds per benchmark, grouped by file).
+"""
+
+import json
+import pathlib
 
 import pytest
 
@@ -7,6 +15,41 @@ from repro.crypto.boneh_franklin import dealer_shared_rsa
 from repro.pki import ValidityPeriod
 
 BENCH_KEY_BITS = 256
+
+_SUMMARY_PATH = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_derivation.json"
+)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write a machine-readable summary of any collected benchmark stats.
+
+    Skipped entirely when the benchmark plugin is absent or disabled
+    (``--benchmark-disable`` smoke runs collect no stats).
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    rows = []
+    for bench in getattr(bench_session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        rows.append(
+            {
+                "name": bench.fullname,
+                "group": bench.group,
+                "mean_s": stats.mean,
+                "stddev_s": stats.stddev,
+                "min_s": stats.min,
+                "max_s": stats.max,
+                "rounds": stats.rounds,
+            }
+        )
+    if not rows:
+        return
+    rows.sort(key=lambda row: row["name"])
+    _SUMMARY_PATH.write_text(json.dumps({"benchmarks": rows}, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -23,18 +23,27 @@ request is *literally* the Appendix E derivation for that request.
 
 from __future__ import annotations
 
+import dataclasses
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.derivation import DerivationEngine, DerivationError
-from ..core.formulas import Controls, KeySpeaksFor, Not, Says, SpeaksForGroup
-from ..core.patterns import AnyTime
+from ..core.formulas import (
+    Controls,
+    Formula,
+    KeySpeaksFor,
+    Not,
+    Says,
+    SpeaksForGroup,
+)
+from ..core.patterns import AnyTime, match
 from ..core.proofs import ProofStep
 from ..core.temporal import FOREVER, Temporal
 from ..core.terms import CompoundPrincipal, KeyRef, Principal, Var
 from ..crypto.boneh_franklin import SharedRSAPublicKey
 from ..crypto.rsa import RSAPublicKey
-from ..pki.certificates import RevocationCertificate
+from ..pki.certificates import Certificate, RevocationCertificate
 from ..pki.validation import CertificateError, validate_certificate
 from .acl import ACL
 from .requests import JointAccessRequest
@@ -46,7 +55,13 @@ DEFAULT_FRESHNESS_WINDOW = 50
 
 @dataclass
 class AuthorizationDecision:
-    """Outcome of the authorization protocol for one request."""
+    """Outcome of the authorization protocol for one request.
+
+    ``cache_hits``/``cache_misses`` count certificate admissions served
+    from / added to the protocol's admission cache while deciding this
+    request; ``index_probes`` counts belief-store index lookups.  All
+    three exist so load tests can assert fast-path behavior.
+    """
 
     granted: bool
     reason: str
@@ -56,6 +71,9 @@ class AuthorizationDecision:
     group: Optional[str] = None
     proof: Optional[ProofStep] = None
     derivation_steps: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    index_probes: int = 0
 
     def __bool__(self) -> bool:
         return self.granted
@@ -77,7 +95,18 @@ class AuthorizationProtocol:
         self._trusted_ca_keys: Dict[str, RSAPublicKey] = {}
         self._trusted_aa_keys: Dict[str, SharedRSAPublicKey] = {}
         self._trusted_ra_keys: Dict[str, RSAPublicKey] = {}
-        self._seen_nonces: Set[str] = set()
+        # Replay protection, bounded by the freshness window: a nonce
+        # only needs remembering while a replay could still pass the
+        # staleness check, i.e. until stated_at + window < now.  Nonces
+        # map to their forget-after time; the deque drives expiry.
+        self._seen_nonces: Dict[str, int] = {}
+        self._nonce_expiry: Deque[Tuple[int, str]] = deque()
+        # Admission fast path: one Step 1/Step 2 derivation chain per
+        # certificate, reused across requests until a revocation evicts
+        # it.  Keyed by the (frozen, hashable) certificate object.
+        self._cert_cache: Dict[Certificate, ProofStep] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
         self.decisions_made = 0
 
     # ----------------------------------------------------- trust set-up
@@ -190,6 +219,64 @@ class AuthorizationProtocol:
             note=f"{ra_name} controls its revocation timestamps",
         )
 
+    # ------------------------------------------------- admission cache
+
+    def _admit_cached(self, cert: Certificate, now: int) -> ProofStep:
+        """Admit a certificate, memoizing the derivation chain.
+
+        The derived payload is time-independent (it carries its own
+        validity interval), so the A10/A19/A23/A22 chain only needs to
+        run once per certificate.  Validity, freshness and revocation
+        are still checked on every request by the caller; a received
+        revocation additionally evicts affected entries.
+        """
+        proof = self._cert_cache.get(cert)
+        if proof is not None:
+            self._cache_hits += 1
+            return proof
+        proof = self.engine.admit_certificate(cert.idealize(), now)
+        self._cache_misses += 1
+        self._cert_cache[cert] = proof
+        return proof
+
+    def _evict_revoked(self, negation: Formula) -> int:
+        """Drop cached admissions whose payload ``negation`` defeats.
+
+        ``negation`` is the believed ``not(...)`` revocation payload;
+        any cached conclusion with the same subject/key and group is
+        evicted regardless of its validity interval, forcing the next
+        request through the full believe-until-revoked derivation.
+        """
+        if not isinstance(negation, Not):
+            return 0
+        body = negation.body
+        schema = body
+        if dataclasses.is_dataclass(body) and hasattr(body, "time"):
+            schema = dataclasses.replace(body, time=AnyTime())
+        evicted = [
+            cert
+            for cert, proof in self._cert_cache.items()
+            if match(schema, proof.conclusion) is not None
+        ]
+        for cert in evicted:
+            del self._cert_cache[cert]
+        return len(evicted)
+
+    # --------------------------------------------------- replay window
+
+    def _remember_nonce(self, nonce: str, now: int) -> None:
+        forget_after = now + 2 * self.freshness_window
+        self._seen_nonces[nonce] = forget_after
+        self._nonce_expiry.append((forget_after, nonce))
+
+    def _purge_nonces(self, now: int) -> None:
+        """Forget nonces whose replay would fail the freshness check anyway."""
+        queue = self._nonce_expiry
+        while queue and queue[0][0] < now:
+            forget_after, nonce = queue.popleft()
+            if self._seen_nonces.get(nonce) == forget_after:
+                del self._seen_nonces[nonce]
+
     # ------------------------------------------------------- revocation
 
     def apply_revocation(
@@ -198,7 +285,8 @@ class AuthorizationProtocol:
         """Admit a revocation certificate (Message 2 of Section 4.3).
 
         After this, membership queries for the revoked subject/group
-        fail for any check time >= the revocation's effective time.
+        fail for any check time >= the revocation's effective time, and
+        cached admissions of the revoked certificate are evicted.
         """
         ra_key = self._trusted_ra_keys.get(revocation.issuer) or (
             self._trusted_ca_keys.get(revocation.issuer)
@@ -208,7 +296,9 @@ class AuthorizationProtocol:
                 f"no trusted revocation key for issuer {revocation.issuer}"
             )
         validate_certificate(revocation, ra_key)
-        return self.engine.admit_revocation(revocation.idealize(), now)
+        proof = self.engine.admit_revocation(revocation.idealize(), now)
+        self._evict_revoked(proof.conclusion)
+        return proof
 
     # ----------------------------------------------------------- auditing
 
@@ -237,13 +327,21 @@ class AuthorizationProtocol:
     ) -> AuthorizationDecision:
         """Run Steps 0-4 on a joint access request against ``acl``."""
         self.decisions_made += 1
-        deny = lambda reason: AuthorizationDecision(  # noqa: E731
-            granted=False,
-            reason=reason,
-            operation=request.operation,
-            object_name=request.object_name,
-            checked_at=now,
-        )
+        probes_before = self.engine.store.stats()["index_probes"]
+        hits_before, misses_before = self._cache_hits, self._cache_misses
+
+        def deny(reason: str) -> AuthorizationDecision:
+            return AuthorizationDecision(
+                granted=False,
+                reason=reason,
+                operation=request.operation,
+                object_name=request.object_name,
+                checked_at=now,
+                cache_hits=self._cache_hits - hits_before,
+                cache_misses=self._cache_misses - misses_before,
+                index_probes=self.engine.store.stats()["index_probes"]
+                - probes_before,
+            )
 
         # ---- Step 0: cryptographic checks --------------------------------
         certs_by_subject = {}
@@ -296,6 +394,7 @@ class AuthorizationProtocol:
         if len(nonces) != 1:
             return deny("request parts carry inconsistent nonces")
         nonce = nonces.pop()
+        self._purge_nonces(now)
         if nonce in self._seen_nonces:
             return deny("replayed request (nonce already accepted)")
 
@@ -303,9 +402,9 @@ class AuthorizationProtocol:
         try:
             # Step 1: believe the users' key bindings.
             for cert in request.identity_certificates:
-                self.engine.admit_certificate(cert.idealize(), now)
+                self._admit_cached(cert, now)
             # Step 2: believe the threshold membership.
-            membership_proof = self.engine.admit_certificate(tac.idealize(), now)
+            membership_proof = self._admit_cached(tac, now)
             membership = membership_proof.conclusion
             revoked = self.engine.membership_revoked(
                 membership, now, stated_at=tac.timestamp
@@ -336,7 +435,7 @@ class AuthorizationProtocol:
             return deny(
                 f"ACL grants no {request.operation!r} to group {group!r}"
             )
-        self._seen_nonces.add(nonce)
+        self._remember_nonce(nonce, now)
         return AuthorizationDecision(
             granted=True,
             reason="access approved",
@@ -346,4 +445,21 @@ class AuthorizationProtocol:
             group=group,
             proof=group_says_proof,
             derivation_steps=group_says_proof.size(),
+            cache_hits=self._cache_hits - hits_before,
+            cache_misses=self._cache_misses - misses_before,
+            index_probes=self.engine.store.stats()["index_probes"]
+            - probes_before,
         )
+
+    # ----------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, int]:
+        """Engine + fast-path counters, for benchmarks and load tests."""
+        return {
+            **self.engine.stats(),
+            "decisions_made": self.decisions_made,
+            "cert_cache_entries": len(self._cert_cache),
+            "cert_cache_hits": self._cache_hits,
+            "cert_cache_misses": self._cache_misses,
+            "tracked_nonces": len(self._seen_nonces),
+        }

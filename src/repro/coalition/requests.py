@@ -18,7 +18,8 @@ from typing import List, Sequence
 from ..core.formulas import Says
 from ..core.messages import Data, Signed
 from ..core.temporal import Temporal
-from ..core.terms import KeyRef, Principal
+from ..core.terms import intern_key as KeyRef
+from ..core.terms import intern_principal as Principal
 from ..pki.certificates import (
     IdentityCertificate,
     ThresholdAttributeCertificate,

@@ -164,3 +164,11 @@ class CoalitionServer:
             return 0.0
         granted = sum(1 for d in self.access_log if d.granted)
         return granted / len(self.access_log)
+
+    def stats(self) -> Dict[str, int]:
+        """Protocol fast-path counters plus server-level tallies."""
+        return {
+            **self.protocol.stats(),
+            "objects": len(self.objects),
+            "requests_handled": len(self.access_log),
+        }

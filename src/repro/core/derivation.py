@@ -96,6 +96,14 @@ class DerivationEngine:
         """Install an initial belief (statements 1-11 of Appendix E)."""
         return self.store.add_premise(formula, note=note)
 
+    def stats(self) -> Dict[str, int]:
+        """Observability counters: derivation steps + belief-store index.
+
+        Cumulative since engine construction; benchmarks assert cache
+        wins on deltas of these rather than wall-clock.
+        """
+        return {"steps_taken": self.steps_taken, **self.store.stats()}
+
     def register_alias(
         self, compound: CompoundPrincipal, authority: Principal
     ) -> None:
@@ -405,6 +413,11 @@ class DerivationEngine:
         membership = membership_proof.conclusion
         if not isinstance(membership, SpeaksForGroup):
             raise DerivationError("membership proof must conclude S => G")
+        if not utterance_proofs:
+            raise DerivationError(
+                "group-says derivation needs at least one utterance proof "
+                f"(none supplied for membership {membership})"
+            )
         subject = membership.subject
         utterances = [p.conclusion for p in utterance_proofs]
         from .terms import KeyBoundCompound

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
+from .hashcons import cached_hash
 from .messages import Message
 from .temporal import Temporal
 from .terms import Group, KeyRef, Subject, Var
@@ -45,6 +46,7 @@ class Formula:
     __slots__ = ()
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Believes(Formula):
     """``P believes_t phi`` (F4/F5)."""
@@ -57,6 +59,7 @@ class Believes(Formula):
         return f"{self.subject} believes_{self.time} ({self.body})"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Controls(Formula):
     """``P controls_t phi`` (F4/F5): jurisdiction over a formula."""
@@ -69,6 +72,7 @@ class Controls(Formula):
         return f"{self.subject} controls_{self.time} ({self.body})"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Says(Formula):
     """``P says_t X`` (F6/F7): an utterance at its origination time."""
@@ -81,6 +85,7 @@ class Says(Formula):
         return f"{self.subject} says_{self.time} ({self.body})"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Said(Formula):
     """``P said_t X`` (F6/F7): said at or before t."""
@@ -93,6 +98,7 @@ class Said(Formula):
         return f"{self.subject} said_{self.time} ({self.body})"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Received(Formula):
     """``P received_t X`` (F6/F7)."""
@@ -105,6 +111,7 @@ class Received(Formula):
         return f"{self.subject} received_{self.time} ({self.body})"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Has(Formula):
     """``P has_t K`` (F11): possession of a key."""
@@ -117,6 +124,7 @@ class Has(Formula):
         return f"{self.subject} has_{self.time} {self.key}"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class KeySpeaksFor(Formula):
     """``K =>_t S`` (F8/F9/F10): public key K speaks for subject S.
@@ -134,6 +142,7 @@ class KeySpeaksFor(Formula):
         return f"{self.key} =>_{self.time} {self.subject}"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class SpeaksForGroup(Formula):
     """``S =>_t G`` (F12-F16): subject S is a member of / speaks for G.
@@ -153,6 +162,7 @@ class SpeaksForGroup(Formula):
         return f"{self.subject} =>_{self.time} {self.group}"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Fresh(Formula):
     """``fresh_{t,P} X`` (F17/F18): X not said before, as judged by P."""
@@ -164,6 +174,7 @@ class Fresh(Formula):
         return f"fresh_{self.time} ({self.message})"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class At(Formula):
     """``phi at_P t`` (F19/F20): phi held at P at local time t."""
@@ -176,6 +187,7 @@ class At(Formula):
         return f"({self.body}) at_{self.place} {self.time}"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Not(Formula):
     """Negation; revocation certificates carry negated membership."""
@@ -186,6 +198,7 @@ class Not(Formula):
         return f"not({self.body})"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class And(Formula):
     left: "FormulaOrMessage"
@@ -195,6 +208,7 @@ class And(Formula):
         return f"({self.left} and {self.right})"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Implies(Formula):
     antecedent: "FormulaOrMessage"
@@ -204,6 +218,7 @@ class Implies(Formula):
         return f"({self.antecedent} -> {self.consequent})"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class TimeLe(Formula):
     """``t1 <= t2`` (F3)."""
@@ -215,6 +230,7 @@ class TimeLe(Formula):
         return f"{self.left} <= {self.right}"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class _Truth(Formula):
     def __str__(self) -> str:

@@ -1,0 +1,62 @@
+"""Hash-consing support for the immutable AST.
+
+Every term, temporal annotation, message and formula node is a frozen
+dataclass, and the belief store, pattern matcher and proof machinery all
+key on them constantly.  The dataclass-generated ``__hash__`` re-walks
+the whole subtree on every call, which dominates dictionary lookups once
+formulas get deep (a threshold attribute certificate's idealization is
+~8 levels of nesting).
+
+:func:`cached_hash` wraps a frozen dataclass so the structural hash is
+computed once, on first use, and memoized on the instance.  Child nodes
+memoize too, so hashing a deep tree is amortized O(1) after the first
+walk instead of O(tree) per lookup.
+
+:func:`interned` builds a memoizing constructor for leaf-ish nodes
+(principals, groups, key references, point times) so hot paths that
+rebuild the same leaves per request share one instance — equality
+checks then short-circuit on identity.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Type, TypeVar
+
+__all__ = ["cached_hash", "interned"]
+
+T = TypeVar("T")
+
+_SENTINEL = object()
+
+
+def cached_hash(cls: Type[T]) -> Type[T]:
+    """Class decorator: memoize the dataclass-generated structural hash.
+
+    Apply *after* ``@dataclass(frozen=True)`` so the generated hash
+    (which agrees with ``__eq__``) is the one being cached.  The cache
+    slot lives in the instance ``__dict__`` and is written with
+    ``object.__setattr__`` to bypass the frozen guard.
+    """
+    base_hash = cls.__hash__
+    if base_hash is None:  # pragma: no cover - misuse guard
+        raise TypeError(f"{cls.__name__} is unhashable; nothing to cache")
+
+    def __hash__(self: object) -> int:
+        h = self.__dict__.get("_structural_hash", _SENTINEL)
+        if h is _SENTINEL:
+            h = base_hash(self)
+            object.__setattr__(self, "_structural_hash", h)
+        return h
+
+    cls.__hash__ = __hash__  # type: ignore[assignment]
+    return cls
+
+
+def interned(constructor: Callable[..., T], maxsize: int = 65536) -> Callable[..., T]:
+    """A memoizing wrapper for a node constructor.
+
+    Suitable only for constructors whose arguments are hashable and
+    fully determine the node (true for all our frozen AST classes).
+    """
+    return lru_cache(maxsize=maxsize)(constructor)

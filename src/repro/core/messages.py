@@ -12,11 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple, Union
 
+from .hashcons import cached_hash
 from .terms import KeyRef
 
 __all__ = ["Data", "Signed", "Encrypted", "MessageTuple", "Message", "submessages"]
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Data:
     """An uninterpreted data constant, e.g. '"write" O' or a nonce."""
@@ -27,6 +29,7 @@ class Data:
         return self.value
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Signed:
     """``<X>_{K^-1}``: message X signed with the private half of key K."""
@@ -38,6 +41,7 @@ class Signed:
         return f"<{self.body}>_{self.key}^-1"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Encrypted:
     """``{X}_K``: message X encrypted under public key K."""
@@ -49,6 +53,7 @@ class Encrypted:
         return f"{{{self.body}}}_{self.key}"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class MessageTuple:
     """An ordered tuple of messages, e.g. a joint access request."""

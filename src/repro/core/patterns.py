@@ -12,8 +12,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Optional
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
 
+from .hashcons import cached_hash
 from .temporal import Temporal
 from .terms import Var
 
@@ -22,6 +24,7 @@ __all__ = ["AnyTime", "AnyTimeFrom", "match", "substitute", "Bindings"]
 Bindings = Dict[str, object]
 
 
+@cached_hash
 @dataclass(frozen=True)
 class AnyTime:
     """Temporal wildcard: matches any temporal annotation (``forall t``).
@@ -35,6 +38,7 @@ class AnyTime:
         return f"?t{('_' + self.name) if self.name else ''}"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class AnyTimeFrom:
     """Temporal wildcard matching annotations lying entirely at/after ``lo``.
@@ -58,6 +62,19 @@ def _bind(bindings: Bindings, name: str, value: object) -> Optional[Bindings]:
     return out
 
 
+@lru_cache(maxsize=None)
+def _compare_field_names(cls: type) -> Optional[Tuple[str, ...]]:
+    """The comparable field names of a dataclass, or None for non-dataclasses.
+
+    ``dataclasses.fields`` rebuilds the tuple on every call; caching it
+    per class keeps the hot matching loop allocation-free.  Cosmetic
+    fields (``compare=False``, e.g. key labels) are excluded.
+    """
+    if not dataclasses.is_dataclass(cls):
+        return None
+    return tuple(f.name for f in dataclasses.fields(cls) if f.compare)
+
+
 def match(
     schema: object, concrete: object, bindings: Optional[Bindings] = None
 ) -> Optional[Bindings]:
@@ -69,7 +86,16 @@ def match(
     if bindings is None:
         bindings = {}
 
-    if isinstance(schema, Var):
+    # Early exit on head mismatch: unless the schema side is a wildcard,
+    # differing node classes can never unify, and this check is by far
+    # the most common outcome when scanning candidate beliefs.
+    scls = schema.__class__
+    if scls is not concrete.__class__ and not issubclass(
+        scls, (Var, AnyTime, AnyTimeFrom)
+    ):
+        return None
+
+    if scls is Var or isinstance(schema, Var):
         return _bind(bindings, schema.name, concrete)
     if isinstance(schema, AnyTime):
         if not isinstance(concrete, Temporal):
@@ -86,15 +112,11 @@ def match(
             return _bind(bindings, schema.name, concrete)
         return bindings
 
-    if type(schema) is not type(concrete):
-        return None
-
-    if dataclasses.is_dataclass(schema) and not isinstance(schema, type):
-        for f in dataclasses.fields(schema):
-            if not f.compare:  # cosmetic fields (e.g. key labels)
-                continue
+    field_names = _compare_field_names(scls)
+    if field_names is not None:
+        for name in field_names:
             sub = match(
-                getattr(schema, f.name), getattr(concrete, f.name), bindings
+                getattr(schema, name), getattr(concrete, name), bindings
             )
             if sub is None:
                 return None

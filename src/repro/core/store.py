@@ -4,17 +4,110 @@ Holds every formula the principal currently believes, each paired with
 the proof step that produced it.  Supports pattern queries (used to find
 jurisdiction schemas and key bindings) and negative-belief tracking for
 revocation ("believe until revoked", Section 4.3).
+
+Queries are served from a **discrimination index** rather than a linear
+scan: every belief is bucketed by its head constructor (``KeySpeaksFor``,
+``Controls``, ``Not(SpeaksForGroup)``, ...) and a secondary key on the
+formula's ground subject/key/group slot.  Beliefs whose secondary slot
+contains pattern variables (schema-shaped beliefs, e.g. the jurisdiction
+statements of Appendix E) land in a per-head wildcard bucket that every
+probe of that head also visits.  A query whose own head is indeterminate
+(a bare ``Var`` schema) falls back to the full scan.
+
+The index is a pure pre-filter: candidate beliefs still go through the
+structural :func:`~repro.core.patterns.match`, so results are exactly
+those of the naive scan, in insertion order (each entry carries its
+insertion sequence number and merged candidate lists are sorted by it).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from .formulas import Formula, Not
-from .patterns import Bindings, match
+from .formulas import (
+    At,
+    Believes,
+    Controls,
+    Formula,
+    Has,
+    KeySpeaksFor,
+    Not,
+    Received,
+    Said,
+    Says,
+    SpeaksForGroup,
+)
+from .patterns import AnyTime, AnyTimeFrom, Bindings, match
 from .proofs import ProofStep
+from .terms import is_ground
 
 __all__ = ["BeliefStore"]
+
+
+# The field holding each head constructor's natural discrimination key.
+# Heads not listed here (And, Implies, TimeLe, Fresh, ...) are bucketed
+# by head alone.
+_SECONDARY_FIELD: Dict[type, str] = {
+    Believes: "subject",
+    Controls: "subject",
+    Says: "subject",
+    Said: "subject",
+    Received: "subject",
+    Has: "subject",
+    KeySpeaksFor: "key",
+    SpeaksForGroup: "group",
+    At: "place",
+}
+
+# Secondary bucket for beliefs whose key slot contains pattern variables.
+_WILDCARD = "*"
+
+_Entry = Tuple[int, Formula, ProofStep]
+
+
+def _belief_key(formula: object) -> Tuple[object, object]:
+    """(head, secondary) bucket key for a stored belief.
+
+    ``Not`` nests: ``Not(S => G)`` lands under ``("Not", SpeaksForGroup)``
+    with the inner formula's secondary, so revocation lookups touch only
+    negations of the right shape.
+    """
+    cls = formula.__class__
+    if cls is Not:
+        inner_head, inner_sec = _belief_key(formula.body)
+        return ("Not", inner_head), inner_sec
+    field = _SECONDARY_FIELD.get(cls)
+    if field is None:
+        return cls, None
+    secondary = getattr(formula, field)
+    if not is_ground(secondary):
+        return cls, _WILDCARD
+    return cls, secondary
+
+
+def _schema_key(schema: object) -> Optional[Tuple[object, object]]:
+    """(head, secondary-or-None-for-any) for a query schema.
+
+    Returns None when the schema's head is indeterminate (a ``Var`` or a
+    non-formula object), which forces a full scan.  A ``None`` secondary
+    means "all secondary buckets of this head".
+    """
+    cls = schema.__class__
+    if not isinstance(schema, Formula):
+        return None
+    if cls is Not:
+        inner = _schema_key(schema.body)
+        if inner is None:
+            return None
+        inner_head, inner_sec = inner
+        return ("Not", inner_head), inner_sec
+    field = _SECONDARY_FIELD.get(cls)
+    if field is None:
+        return cls, None
+    secondary = getattr(schema, field)
+    if isinstance(secondary, (AnyTime, AnyTimeFrom)) or not is_ground(secondary):
+        return cls, None
+    return cls, secondary
 
 
 class BeliefStore:
@@ -22,6 +115,13 @@ class BeliefStore:
 
     def __init__(self) -> None:
         self._beliefs: Dict[Formula, ProofStep] = {}
+        # head -> secondary -> entries, each entry (seq, formula, proof).
+        self._index: Dict[object, Dict[object, List[_Entry]]] = {}
+        self._next_seq = 0
+        # Observability counters, surfaced via DerivationEngine.stats().
+        self._stat_probes = 0  # queries answered from index buckets
+        self._stat_full_scans = 0  # queries that had to scan everything
+        self._stat_candidates = 0  # beliefs actually run through match()
 
     def __len__(self) -> int:
         return len(self._beliefs)
@@ -34,10 +134,15 @@ class BeliefStore:
 
     def add(self, proof: ProofStep) -> ProofStep:
         """Record a proved formula; keeps the first proof of a formula."""
-        existing = self._beliefs.get(proof.conclusion)
+        formula = proof.conclusion
+        existing = self._beliefs.get(formula)
         if existing is not None:
             return existing
-        self._beliefs[proof.conclusion] = proof
+        self._beliefs[formula] = proof
+        head, secondary = _belief_key(formula)
+        bucket = self._index.setdefault(head, {}).setdefault(secondary, [])
+        bucket.append((self._next_seq, formula, proof))
+        self._next_seq += 1
         return proof
 
     def add_premise(self, formula: Formula, note: str = "") -> ProofStep:
@@ -47,12 +152,44 @@ class BeliefStore:
     def proof_of(self, formula: Formula) -> Optional[ProofStep]:
         return self._beliefs.get(formula)
 
+    # ------------------------------------------------------ index probes
+
+    def _candidates(self, schema: object) -> List[_Entry]:
+        """Index-ordered candidate beliefs for ``schema`` (superset of matches)."""
+        key = _schema_key(schema)
+        if key is None:
+            self._stat_full_scans += 1
+            return [
+                (seq, formula, proof)
+                for seq, (formula, proof) in enumerate(self._beliefs.items())
+            ]
+        self._stat_probes += 1
+        head, secondary = key
+        by_secondary = self._index.get(head)
+        if not by_secondary:
+            return []
+        if secondary is None:
+            buckets = list(by_secondary.values())
+        else:
+            buckets = [
+                by_secondary.get(secondary, []),
+                by_secondary.get(_WILDCARD, []),
+            ]
+        if len(buckets) == 1:
+            return buckets[0]
+        merged = [entry for bucket in buckets for entry in bucket]
+        merged.sort(key=lambda entry: entry[0])  # global insertion order
+        return merged
+
+    # ----------------------------------------------------------- queries
+
     def query(
         self, schema: object
     ) -> List[Tuple[Formula, Bindings, ProofStep]]:
         """All beliefs unifying with ``schema`` (with their bindings)."""
         results = []
-        for formula, proof in self._beliefs.items():
+        for _seq, formula, proof in self._candidates(schema):
+            self._stat_candidates += 1
             bindings = match(schema, formula)
             if bindings is not None:
                 results.append((formula, bindings, proof))
@@ -62,7 +199,8 @@ class BeliefStore:
         self, schema: object
     ) -> Optional[Tuple[Formula, Bindings, ProofStep]]:
         """The first belief unifying with ``schema``, if any."""
-        for formula, proof in self._beliefs.items():
+        for _seq, formula, proof in self._candidates(schema):
+            self._stat_candidates += 1
             bindings = match(schema, formula)
             if bindings is not None:
                 return formula, bindings, proof
@@ -76,7 +214,8 @@ class BeliefStore:
         queries consult these before trusting a cached certificate.
         """
         results = []
-        for formula, proof in self._beliefs.items():
+        for _seq, formula, proof in self._candidates(Not(schema)):
+            self._stat_candidates += 1
             if not isinstance(formula, Not):
                 continue
             if match(schema, formula.body) is not None:
@@ -86,3 +225,15 @@ class BeliefStore:
     def snapshot(self) -> List[Formula]:
         """The current belief set (insertion order), for tests and audit."""
         return list(self._beliefs)
+
+    # ------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, int]:
+        """Index observability counters (cumulative since construction)."""
+        return {
+            "beliefs": len(self._beliefs),
+            "index_buckets": sum(len(v) for v in self._index.values()),
+            "index_probes": self._stat_probes,
+            "full_scans": self._stat_full_scans,
+            "candidates_examined": self._stat_candidates,
+        }

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 
+from .hashcons import cached_hash
+
 __all__ = [
     "TemporalKind",
     "Temporal",
@@ -46,6 +48,7 @@ class TemporalKind(str, Enum):
     SOME = "some"  # <t1, t2>
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Temporal:
     """A temporal subscript: kind, bounds, and an optional clock owner.

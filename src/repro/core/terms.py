@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Tuple, Union
 
+from .hashcons import cached_hash, interned
+
 __all__ = [
     "Principal",
     "KeyRef",
@@ -33,9 +35,13 @@ __all__ = [
     "PrincipalLike",
     "Var",
     "is_ground",
+    "intern_principal",
+    "intern_group",
+    "intern_key",
 ]
 
 
+@cached_hash
 @dataclass(frozen=True, order=True)
 class Principal:
     """A simple system principal: user, domain, server, CA, AA or RA."""
@@ -50,6 +56,7 @@ class Principal:
         return KeyBoundPrincipal(principal=self, key=key)
 
 
+@cached_hash
 @dataclass(frozen=True, order=True)
 class KeyRef:
     """A reference to a public key, identified by its fingerprint.
@@ -66,6 +73,7 @@ class KeyRef:
         return self.label or f"K<{self.key_id[:8]}>"
 
 
+@cached_hash
 @dataclass(frozen=True, order=True)
 class Group:
     """A named group appearing on ACLs (e.g. G_write, G_read)."""
@@ -76,6 +84,7 @@ class Group:
         return self.name
 
 
+@cached_hash
 @dataclass(frozen=True)
 class KeyBoundPrincipal:
     """``P|K``: principal P bound to public key K in an identity cert."""
@@ -87,6 +96,7 @@ class KeyBoundPrincipal:
         return f"{self.principal}|{self.key}"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class CompoundPrincipal:
     """``CP = {P1, ..., Pn}``: joint owners of one shared key.
@@ -142,6 +152,7 @@ class CompoundPrincipal:
         return "{" + inner + "}"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class ThresholdPrincipal:
     """``CP_{m,n}``: any m of the n members speak for the compound principal."""
@@ -163,6 +174,7 @@ class ThresholdPrincipal:
         return f"{self.base}_{{{self.m},{self.n}}}"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class KeyBoundCompound:
     """``CP|K``: a compound principal bound to a single shared key (F16).
@@ -180,6 +192,7 @@ class KeyBoundCompound:
         return f"{self.compound}|{self.key}"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Var:
     """A pattern variable for axiom schemas and jurisdiction formulas.
@@ -218,4 +231,14 @@ def is_ground(term: object) -> bool:
         return all(is_ground(m) for m in term.members)
     if isinstance(term, KeyBoundPrincipal):
         return is_ground(term.principal) and is_ground(term.key)
+    if isinstance(term, KeyBoundCompound):
+        return is_ground(term.compound) and is_ground(term.key)
     return True
+
+
+# Interning constructors for the leaves hot paths rebuild per request
+# (certificate idealization, request idealization).  Interned leaves make
+# deep-tree equality checks short-circuit on identity.
+intern_principal = interned(Principal)
+intern_group = interned(Group)
+intern_key = interned(KeyRef)

@@ -24,11 +24,17 @@ from ..core.messages import Signed
 from ..core.temporal import FOREVER, Temporal
 from ..core.terms import (
     CompoundPrincipal,
-    Group,
-    KeyRef,
-    Principal,
+    intern_group,
+    intern_key,
+    intern_principal,
 )
 from .serialization import canonical_bytes
+
+# Idealization runs on every request the server authorizes; interned
+# leaves let repeat idealizations share structure (and cached hashes).
+Principal = intern_principal
+Group = intern_group
+KeyRef = intern_key
 
 __all__ = [
     "ValidityPeriod",

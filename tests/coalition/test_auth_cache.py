@@ -1,0 +1,145 @@
+"""The authorization fast path: certificate-admission caching, counters,
+revocation-aware eviction, and the bounded replay-nonce window."""
+
+from repro.coalition import build_joint_request
+from repro.pki.certificates import ValidityPeriod
+
+
+def _request(users, cert, now, nonce=""):
+    return build_joint_request(
+        users[0], [users[1]], "write", "ObjectO", cert, now=now, nonce=nonce
+    )
+
+
+class TestAdmissionCache:
+    def test_warm_request_skips_certificate_chains(
+        self, formed_coalition, write_certificate
+    ):
+        _coalition, server, _d, users = formed_coalition
+        engine = server.protocol.engine
+
+        cold = server.handle_request(
+            _request(users, write_certificate, now=5), now=5, write_content=b"a"
+        )
+        cold_steps = engine.steps_taken
+        assert cold.granted
+        # Two identity certificates + the threshold AC were admitted.
+        assert cold.decision.cache_misses == 3
+        assert cold.decision.cache_hits == 0
+
+        warm = server.handle_request(
+            _request(users, write_certificate, now=6), now=6, write_content=b"b"
+        )
+        warm_steps = engine.steps_taken - cold_steps
+        assert warm.granted
+        assert warm.decision.cache_hits == 3
+        assert warm.decision.cache_misses == 0
+        # The Step 1/Step 2 chains did not re-run: >=5x fewer steps.
+        assert warm_steps * 5 <= cold_steps
+
+    def test_stats_surface(self, formed_coalition, write_certificate):
+        _coalition, server, _d, users = formed_coalition
+        decision = server.handle_request(
+            _request(users, write_certificate, now=5), now=5, write_content=b"a"
+        ).decision
+        assert decision.index_probes > 0
+
+        stats = server.stats()
+        assert stats["cert_cache_entries"] == 3
+        assert stats["cert_cache_misses"] == 3
+        assert stats["full_scans"] == 0
+        assert stats["requests_handled"] == 1
+        engine_stats = server.protocol.engine.stats()
+        assert engine_stats["steps_taken"] > 0
+        assert engine_stats["beliefs"] == len(server.protocol.engine.store)
+
+    def test_revocation_evicts_cached_membership(
+        self, formed_coalition, write_certificate
+    ):
+        coalition, server, _d, users = formed_coalition
+        granted = server.handle_request(
+            _request(users, write_certificate, now=5), now=5, write_content=b"a"
+        )
+        assert granted.granted
+        assert server.stats()["cert_cache_entries"] == 3
+
+        revocation = coalition.authority.revoke_certificate(
+            write_certificate, now=10
+        )
+        server.receive_revocation(revocation, now=11)
+        # The threshold AC's entry is gone; identity entries survive.
+        assert server.stats()["cert_cache_entries"] == 2
+
+        # Regression: the next identical request (fresh nonce) is denied.
+        denied = server.handle_request(
+            _request(users, write_certificate, now=12), now=12, write_content=b"b"
+        )
+        assert not denied.granted
+        assert "revoked" in denied.decision.reason
+
+    def test_reissued_certificate_caches_independently(
+        self, formed_coalition, write_certificate
+    ):
+        """Post-revocation re-issue gets its own cache entry and works."""
+        coalition, server, _d, users = formed_coalition
+        server.handle_request(
+            _request(users, write_certificate, now=5), now=5, write_content=b"a"
+        )
+        revocation = coalition.authority.revoke_certificate(
+            write_certificate, now=10
+        )
+        server.receive_revocation(revocation, now=11)
+
+        fresh = coalition.authority.issue_threshold_certificate(
+            users, 2, "G_write", 12, ValidityPeriod(12, 1000)
+        )
+        granted = server.handle_request(
+            _request(users, fresh, now=13), now=13, write_content=b"c"
+        )
+        assert granted.granted
+        assert server.stats()["cert_cache_entries"] == 3
+
+
+class TestNonceWindow:
+    def test_replay_within_window_denied(
+        self, formed_coalition, write_certificate
+    ):
+        _coalition, server, _d, users = formed_coalition
+        request = _request(users, write_certificate, now=5)
+        assert server.handle_request(request, now=5, write_content=b"a").granted
+        replay = server.handle_request(request, now=6, write_content=b"b")
+        assert not replay.granted
+        assert "replayed" in replay.decision.reason
+
+    def test_nonces_forgotten_after_window(
+        self, formed_coalition, write_certificate
+    ):
+        """The replay set stays bounded by the freshness window.
+
+        A nonce older than stated_at + window cannot pass the staleness
+        check anyway, so forgetting it cannot re-open a replay.
+        """
+        _coalition, server, _d, users = formed_coalition
+        protocol = server.protocol
+        window = protocol.freshness_window
+
+        assert server.handle_request(
+            _request(users, write_certificate, now=5), now=5, write_content=b"a"
+        ).granted
+        assert protocol.stats()["tracked_nonces"] == 1
+
+        # Far beyond the window, a new request purges the stale nonce.
+        later = 5 + 2 * window + 10
+        assert server.handle_request(
+            _request(users, write_certificate, now=later),
+            now=later,
+            write_content=b"b",
+        ).granted
+        assert protocol.stats()["tracked_nonces"] == 1
+
+        # The original request is stale by now, so the purge is safe.
+        stale = server.handle_request(
+            _request(users, write_certificate, now=5), now=later + 1
+        )
+        assert not stale.granted
+        assert "stale" in stale.decision.reason

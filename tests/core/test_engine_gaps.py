@@ -53,6 +53,30 @@ class TestFindMembership:
         assert engine.find_membership(G, at_time=500) == []
 
 
+class TestGroupSaysGuards:
+    def test_empty_utterances_raise_derivation_error(self):
+        """No signed parts at all must be a clean denial, not an IndexError."""
+        engine = DerivationEngine(P)
+        membership = engine.believe(
+            SpeaksForGroup(Principal("U1"), during(0, 100), G)
+        )
+        with pytest.raises(DerivationError, match="at least one utterance"):
+            engine.derive_group_says(membership, [])
+
+    def test_empty_utterances_threshold_subject(self):
+        from repro.core.terms import CompoundPrincipal
+
+        engine = DerivationEngine(P)
+        cp = CompoundPrincipal.of(
+            [Principal(f"U{i}").bound_to(KeyRef(f"k{i}")) for i in (1, 2)]
+        )
+        membership = engine.believe(
+            SpeaksForGroup(cp.threshold(2), during(0, 100), G)
+        )
+        with pytest.raises(DerivationError, match="at least one utterance"):
+            engine.derive_group_says(membership, ())
+
+
 class TestScale:
     def test_many_domains_many_signers(self):
         """A 10-of-10 certificate with all ten signers derives cleanly."""
