@@ -6,10 +6,7 @@ bench runs real Shoup threshold signatures under random domain outages
 and prints the availability series.
 """
 
-import pytest
-
 from repro.analysis.availability import (
-    m_of_n_availability,
     n_of_n_availability,
     simulate_signing_availability,
 )

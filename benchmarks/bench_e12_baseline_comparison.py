@@ -19,7 +19,6 @@ import pytest
 from repro.baselines.lockbox import CaseIAuthority
 from repro.baselines.spki import SPKIDomainAuthority, SPKIVerifier
 from repro.baselines.unilateral import UnilateralAuthority
-from repro.coalition import Coalition, Domain
 from repro.pki import ValidityPeriod
 
 _ids = itertools.count()

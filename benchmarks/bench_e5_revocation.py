@@ -7,8 +7,6 @@ cost a planted revocation adds to subsequent authorization decisions.
 
 import itertools
 
-import pytest
-
 from repro.coalition import build_joint_request
 from repro.pki import ValidityPeriod
 

@@ -13,8 +13,6 @@ hardware, interpreted bignums, smaller moduli); the ratio is the result
 (see EXPERIMENTS.md).  The final test prints the paper-style summary row.
 """
 
-import time
-
 import pytest
 
 from repro.crypto.boneh_franklin import dealer_shared_rsa, generate_shared_rsa
@@ -25,7 +23,7 @@ RATIO_SAMPLES = {}
 
 def test_e7_dealerless_keygen_128(benchmark):
     """Boneh-Franklin 3-party keygen at 128-bit modulus."""
-    result = benchmark.pedantic(
+    benchmark.pedantic(
         lambda: generate_shared_rsa(3, bits=128), rounds=2, iterations=1
     )
     if benchmark.stats is not None:  # absent under --benchmark-disable

@@ -6,8 +6,6 @@ liability decays exponentially in n while Case I grows slowly with n
 (more insiders), so the liability ratio explodes as coalitions grow.
 """
 
-import pytest
-
 from repro.analysis.compromise import (
     CompromiseModel,
     simulate_compromise,

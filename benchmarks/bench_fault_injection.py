@@ -1,0 +1,92 @@
+"""Fault-injection sweep: flow completion under an adversarial network.
+
+Companion to ``bench_netflow.py``: instead of the happy-path round
+trip, this drives batches of joint access flows through seeded
+drop/replay/delay regimes and measures (a) wall-clock cost of the
+fault-tolerance machinery and (b) the outcome mix — how grant rates
+degrade into degraded-grants, timeouts and abandonments as the
+environment gets nastier.  The liveness contract (every flow terminal,
+network drained) is asserted on every round.
+"""
+
+import itertools
+
+import pytest
+
+from repro.coalition.netflow import NetworkedAccessFlow
+from repro.sim.clock import GlobalClock
+from repro.sim.network import AdversaryPolicy, Network
+
+FLOWS_PER_ROUND = 4
+MAX_TICKS = 5_000
+
+_round_counter = itertools.count()
+
+
+def _run_sweep(server, users, cert, drop_rate, replay_rate, seed):
+    network = Network(
+        GlobalClock(),
+        base_delay=1,
+        adversary=AdversaryPolicy(
+            drop_rate=drop_rate,
+            replay_rate=replay_rate,
+            max_extra_delay=2,
+            seed=seed,
+        ),
+    )
+    flow = NetworkedAccessFlow(network, server)
+    batch = next(_round_counter)
+    request_ids = [
+        flow.start(
+            users[i % 3], [users[(i + 1) % 3], users[(i + 2) % 3]],
+            "write", "ObjectO", cert,
+            write_content=b"fault sweep",
+            tag=f"b{batch}-f{i}-s{seed}",
+        )
+        for i in range(FLOWS_PER_ROUND)
+    ]
+    ticks = flow.run(max_ticks=MAX_TICKS)
+    assert ticks < MAX_TICKS, "network never quiesced"
+    assert network.undelivered == 0
+    outcomes = {"granted": 0, "denied": 0, "timed-out": 0, "abandoned": 0}
+    for request_id in request_ids:
+        result = flow.result_of(request_id)
+        assert result is not None, "liveness violated: flow never terminated"
+        outcomes[result.reason.split(":", 1)[0]] += 1
+    return flow, outcomes
+
+
+@pytest.mark.parametrize("drop_rate", [0.0, 0.3])
+def test_flow_completion_under_drops(benchmark, bench_coalition, drop_rate):
+    server = bench_coalition["server"]
+    users = bench_coalition["users"]
+    cert = bench_coalition["write_cert"]
+    seeds = itertools.count(1)
+
+    def sweep():
+        flow, outcomes = _run_sweep(
+            server, users, cert, drop_rate, 0.2, next(seeds)
+        )
+        return flow, outcomes
+
+    flow, outcomes = benchmark(sweep)
+    assert sum(outcomes.values()) == FLOWS_PER_ROUND
+    if drop_rate == 0.0:
+        assert outcomes["granted"] == FLOWS_PER_ROUND
+        assert flow.stats()["retries"] == 0
+
+
+def test_total_blackout_terminates(benchmark, bench_coalition):
+    """Worst case: 100% drops.  Cost is the full retry/backoff ladder,
+    and every flow must end timed-out — never stall."""
+    server = bench_coalition["server"]
+    users = bench_coalition["users"]
+    cert = bench_coalition["write_cert"]
+    seeds = itertools.count(1_000)
+
+    def sweep():
+        return _run_sweep(server, users, cert, 1.0, 0.0, next(seeds))
+
+    flow, outcomes = benchmark(sweep)
+    assert outcomes["timed-out"] == FLOWS_PER_ROUND
+    assert flow.stats()["flows_timed_out"] == FLOWS_PER_ROUND

@@ -8,8 +8,6 @@ cycle down.
 
 import itertools
 
-import pytest
-
 from repro.coalition import (
     ACLEntry,
     Coalition,

@@ -7,13 +7,7 @@ m-of-n threshold-authority issuance path of Section 3.3.
 
 import itertools
 
-import pytest
-
-from repro.coalition import (
-    ConsensusError,
-    ThresholdCoalitionAuthority,
-    build_joint_request,
-)
+from repro.coalition import ThresholdCoalitionAuthority
 from repro.coalition.netflow import NetworkedAccessFlow
 from repro.pki import ValidityPeriod
 from repro.sim.clock import GlobalClock

@@ -19,8 +19,6 @@ This example:
 Run:  python examples/military_coalition.py
 """
 
-import random
-
 from repro.analysis.availability import m_of_n_availability, n_of_n_availability
 from repro.coalition import (
     ACLEntry,
@@ -36,8 +34,6 @@ NATIONS = ["US", "UK", "FR", "AU", "CA"]
 
 
 def main() -> None:
-    rng = random.Random(7)
-
     # --- coalition formation -------------------------------------------
     domains = [Domain(nation, key_bits=256) for nation in NATIONS]
     officers = [

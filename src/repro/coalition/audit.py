@@ -105,6 +105,49 @@ class AuditLog:
             proof_digest=_proof_digest(decision),
             previous_digest=previous,
         )
+        return self._append_signed(entry)
+
+    def append_event(
+        self,
+        timestamp: int,
+        operation: str,
+        object_name: str,
+        kind: str,
+        detail: str = "",
+        granted: bool = False,
+        group: Optional[str] = None,
+    ) -> AuditEntry:
+        """Record a flow-level event (degradation, timeout, abandonment).
+
+        Section 2 counts auditing applications among the jointly owned
+        resources; fault-tolerance events belong in the same chain as
+        decisions so auditors see *why* a request was granted with only
+        m of n signers, or never decided at all.  ``kind`` is one of
+        ``flow-degraded`` / ``flow-timed-out`` / ``flow-abandoned`` /
+        ``flow-replay-suppressed``.
+        """
+        previous = self._entries[-1].digest() if self._entries else _GENESIS
+        entry = AuditEntry(
+            sequence=len(self._entries),
+            timestamp=timestamp,
+            operation=operation,
+            object_name=object_name,
+            group=group,
+            granted=granted,
+            reason=f"{kind}: {detail}" if detail else kind,
+            proof_digest=_GENESIS,
+            previous_digest=previous,
+        )
+        return self._append_signed(entry)
+
+    def events(self, kind: Optional[str] = None) -> List[AuditEntry]:
+        """Entries recorded via :meth:`append_event` (optionally by kind)."""
+        out = [e for e in self._entries if e.reason.startswith("flow-")]
+        if kind is not None:
+            out = [e for e in out if e.reason.split(":", 1)[0] == kind]
+        return out
+
+    def _append_signed(self, entry: AuditEntry) -> AuditEntry:
         import dataclasses
 
         signed = dataclasses.replace(

@@ -158,7 +158,7 @@ class CoalitionAttributeAuthority:
         if requestor not in self.domains:
             raise ConsensusError(f"{requestor.name} is not a member domain")
         try:
-            requestor_signer = requestor.co_signer()
+            requestor.co_signer()
             co_signers = [
                 d.co_signer() for d in self.domains if d is not requestor
             ]

@@ -13,22 +13,29 @@ This module provides both halves over :class:`repro.sim.Network`:
   revocation newer than the querier's watermark;
 * :class:`DirectorySyncClient` — a server-side agent that issues
   queries, applies returned revocations to the server's protocol state,
-  and tracks staleness (ticks since the last completed sync).
+  and tracks staleness (ticks since the data the server holds was
+  current at the directory).
 
-Tests use it to show the freshness trade-off: a server that hasn't
-synced can wrongly grant with a just-revoked certificate; after the
-sync the same request is denied.
+The client is fault-tolerant: each query arms a timeout on the
+network's :class:`~repro.sim.TickScheduler` and is retried with
+exponential backoff when the response is delayed or dropped;
+:meth:`DirectorySyncClient.start_periodic_sync` keeps a standing sync
+loop alive.  Replayed or out-of-order responses are ignored (freshness
+comes from the response's ``as_of``, never the local receive time), and
+revocations the protocol rejects are counted rather than silently
+swallowed — the freshness/availability trade-off of Section 4.3 made
+measurable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..pki.certificates import RevocationCertificate
 from ..pki.store import CertificateStore
+from ..pki.validation import CertificateError
 from ..sim.network import Envelope, Network
-from .server import CoalitionServer
 
 __all__ = ["DirectoryNode", "DirectorySyncClient"]
 
@@ -73,53 +80,156 @@ class DirectoryNode:
 
 
 class DirectorySyncClient:
-    """Server-side agent that pulls revocations from a directory."""
+    """Server-side agent that pulls revocations from a directory.
+
+    One-shot use: call :meth:`request_sync` and drive the network.  For
+    a standing loop, :meth:`start_periodic_sync` re-queries every
+    ``interval`` ticks; each in-flight query times out after
+    ``sync_timeout`` ticks and is retried up to ``max_retries`` times
+    with exponential backoff before the round is abandoned (and counted
+    in :attr:`sync_timeouts` — the next periodic tick tries again).
+    """
 
     def __init__(
         self,
-        server: CoalitionServer,
+        server,
         directory_name: str,
         network: Network,
+        sync_timeout: int = 10,
+        max_retries: int = 3,
+        backoff_factor: int = 2,
     ):
+        if sync_timeout < 1:
+            raise ValueError("sync_timeout must be at least one tick")
         self.server = server
         self.directory_name = directory_name
         self.network = network
+        self.sync_timeout = sync_timeout
+        self.max_retries = max_retries
+        self.backoff_factor = backoff_factor
         self.watermark = -1
         self.last_synced_at: Optional[int] = None
         self.revocations_applied = 0
+        self.revocations_rejected = 0
+        self.syncs_completed = 0
+        self.sync_retries = 0
+        self.sync_timeouts = 0
+        self.stale_responses_ignored = 0
         self._applied_serials: set = set()
+        # Freshness watermark over *responses*: the as_of of the newest
+        # response applied.  Replays and reordered responses carry an
+        # older (or equal) as_of and are ignored.
+        self._last_as_of = -1
+        self._awaiting = False
+        self._attempts = 0
+        self._timeout_handle = None
+        self._periodic_handle = None
 
     # -------------------------------------------------------------- sync
 
     def request_sync(self) -> None:
-        """Send one CRL query to the directory."""
+        """Send one CRL query to the directory, arming a retry timeout."""
+        self._attempts = 0
+        self._send_query()
+
+    def start_periodic_sync(self, interval: int, immediate: bool = True) -> None:
+        """Re-query the directory every ``interval`` ticks until stopped."""
+        if self._periodic_handle is not None:
+            raise RuntimeError("periodic sync already running")
+        self._periodic_handle = self.network.scheduler.call_every(
+            interval, self._periodic_tick
+        )
+        if immediate:
+            self.request_sync()
+
+    def stop_periodic_sync(self) -> None:
+        if self._periodic_handle is not None:
+            self._periodic_handle.cancel()
+            self._periodic_handle = None
+        self._disarm_timeout()
+        self._awaiting = False
+
+    def _periodic_tick(self) -> None:
+        if self._awaiting:
+            return  # a query (or its retries) is still in flight
+        self.request_sync()
+
+    def _send_query(self) -> None:
+        self._awaiting = True
         self.network.send(
             self.server.name,
             self.directory_name,
             _CrlQuery(watermark=self.watermark, reply_to=self.server.name),
         )
+        wait = self.sync_timeout * (self.backoff_factor ** self._attempts)
+        self._timeout_handle = self.network.scheduler.call_after(
+            wait, self._on_timeout
+        )
+
+    def _on_timeout(self) -> None:
+        if not self._awaiting:
+            return
+        if self._attempts < self.max_retries:
+            self._attempts += 1
+            self.sync_retries += 1
+            self._send_query()
+            return
+        self.sync_timeouts += 1
+        self._awaiting = False
+
+    def _disarm_timeout(self) -> None:
+        if self._timeout_handle is not None:
+            self._timeout_handle.cancel()
+            self._timeout_handle = None
 
     def handle(self, envelope: Envelope) -> None:
         response = envelope.payload
         if not isinstance(response, _CrlResponse):
             return
-        now = self.network.clock.now
+        if response.as_of <= self._last_as_of:
+            # A replayed or reordered response: everything in it is no
+            # newer than what we already applied, and treating it as a
+            # completed sync would make staleness() under-report.
+            self.stale_responses_ignored += 1
+            return
         for revocation in response.revocations:
             if revocation.serial in self._applied_serials:
-                continue  # duplicate (e.g. a replayed response envelope)
+                continue  # duplicate (e.g. across overlapping responses)
             try:
-                self.server.receive_revocation(revocation, now=now)
-            except Exception:
+                self.server.receive_revocation(
+                    revocation, now=self.network.clock.now
+                )
+            except CertificateError:
                 # An untrusted/garbled revocation must not poison the
-                # sync; it is simply skipped (and stays re-fetchable).
+                # sync, but it must not vanish either: operators watch
+                # this counter.  The serial stays re-fetchable.
+                self.revocations_rejected += 1
                 continue
             self._applied_serials.add(revocation.serial)
             self.revocations_applied += 1
             self.watermark = max(self.watermark, revocation.timestamp)
-        self.last_synced_at = now
+        self._last_as_of = response.as_of
+        # Freshness is what the *directory* vouched for, not when the
+        # response happened to arrive.
+        self.last_synced_at = response.as_of
+        self.syncs_completed += 1
+        self._awaiting = False
+        self._attempts = 0
+        self._disarm_timeout()
 
     def staleness(self) -> Optional[int]:
-        """Ticks since the last completed sync (None: never synced)."""
+        """Ticks since the applied CRL data was current (None: never)."""
         if self.last_synced_at is None:
             return None
         return self.network.clock.now - self.last_synced_at
+
+    def stats(self) -> Dict[str, int]:
+        """Sync-health counters for dashboards and tests."""
+        return {
+            "syncs_completed": self.syncs_completed,
+            "sync_retries": self.sync_retries,
+            "sync_timeouts": self.sync_timeouts,
+            "stale_responses_ignored": self.stale_responses_ignored,
+            "revocations_applied": self.revocations_applied,
+            "revocations_rejected": self.revocations_rejected,
+        }

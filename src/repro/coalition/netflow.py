@@ -3,13 +3,24 @@
 The rest of :mod:`repro.coalition` calls components directly; this
 module runs the *message flow* of Figure 2 over
 :class:`repro.sim.Network`, with the environment principal free to
-delay, drop or replay messages.  It demonstrates (and lets tests and
-benches measure) that:
+delay, drop or replay messages.  Each flow is a small state machine
+(``collecting`` -> ``submitted`` -> ``done``) driven by deliveries and
+by timers on the network's :class:`~repro.sim.TickScheduler`:
 
-* the flow completes in the expected number of network ticks;
-* replayed joint requests are rejected by the server's nonce cache;
-* a dropped co-signer response stalls the request (the requestor times
-  out rather than sending an under-signed bundle).
+* sign-requests that go unanswered are retried with exponential
+  backoff, up to ``max_retries`` times;
+* when the attribute certificate is an m-of-n
+  :class:`~repro.pki.certificates.ThresholdAttributeCertificate` and at
+  least ``m`` participants have responded by a timeout, the flow
+  **degrades gracefully**: it assembles and submits the m-of-n request
+  instead of waiting for stragglers (the paper's CP_{m,n} principals
+  exist precisely so unreachable members cannot block the group);
+* a flow that can never reach ``m`` parts, or never hears back from the
+  server, terminates with ``completed=False`` (timed-out / abandoned)
+  rather than stalling silently;
+* replayed or retransmitted ``access-request`` envelopes never
+  overwrite an already-recorded terminal result — the first decision
+  stands and the replay is counted.
 
 Message kinds on the wire:
 
@@ -25,8 +36,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
+from ..pki.certificates import ThresholdAttributeCertificate
 from ..sim.clock import LocalClock
 from ..sim.network import Envelope, Network
+from .audit import AuditLog
 from .domain import User
 from .requests import (
     JointAccessRequest,
@@ -47,22 +60,44 @@ class _WireMessage:
 
 @dataclass
 class NetworkFlowResult:
-    """Outcome of one networked access flow."""
+    """Outcome of one networked access flow.
+
+    ``completed`` is True when the server decided the request (granted
+    or denied); a timed-out or abandoned flow records ``completed=False``
+    with the failure in ``reason`` and ``result=None``.  ``degraded``
+    marks an m-of-n submission assembled after a sign-collection
+    timeout; ``retries`` counts this flow's retransmissions (sign and
+    server phases combined).
+    """
 
     completed: bool
     result: Optional[AccessResult]
     ticks_elapsed: int
     messages_sent: int
     replays_seen: int = 0
+    retries: int = 0
+    degraded: bool = False
+    reason: str = ""
 
 
 class NetworkedAccessFlow:
-    """One requestor-driven joint access over a simulated network.
+    """Requestor-driven joint accesses over a simulated network.
 
     The requestor node sends sign-requests to each co-signer node,
     collects responses, assembles the joint request, and sends it to
     the server node; the server node runs the authorization protocol
-    and replies.  All timing comes from the shared global clock.
+    and replies.  All timing comes from the shared global clock; all
+    timeouts from the network's tick scheduler.
+
+    Fault-tolerance knobs:
+
+    * ``sign_timeout`` — ticks to wait for co-signer responses before
+      degrading or retrying;
+    * ``response_timeout`` — ticks to wait for the server's decision
+      before retransmitting the access-request;
+    * ``max_retries`` — retransmission attempts per phase;
+    * ``backoff_factor`` — each successive wait is the previous one
+      multiplied by this factor (exponential backoff).
     """
 
     def __init__(
@@ -70,14 +105,40 @@ class NetworkedAccessFlow:
         network: Network,
         server: CoalitionServer,
         server_clock_skew: int = 0,
+        sign_timeout: int = 10,
+        response_timeout: int = 10,
+        max_retries: int = 3,
+        backoff_factor: int = 2,
+        audit_log: Optional[AuditLog] = None,
     ):
+        if sign_timeout < 1 or response_timeout < 1:
+            raise ValueError("timeouts must be at least one tick")
+        if max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
         self.network = network
         self.server = server
         self.server_clock = LocalClock(network.clock, skew=server_clock_skew)
+        self.sign_timeout = sign_timeout
+        self.response_timeout = response_timeout
+        self.max_retries = max_retries
+        self.backoff_factor = backoff_factor
+        self.audit_log = audit_log
         self._users: Dict[str, User] = {}
         self._pending: Dict[str, dict] = {}
         self.results: Dict[str, NetworkFlowResult] = {}
         self._replays = 0
+        # Aggregate fault-tolerance counters across every flow started
+        # on this instance; mirrored into server.flow_events as they
+        # happen and exposed via stats().
+        self.flows_started = 0
+        self.retries = 0
+        self.timeouts_fired = 0
+        self.degradations = 0
+        self.flows_timed_out = 0
+        self.flows_abandoned = 0
+        self.replays_suppressed = 0
 
     def register_user(self, user: User) -> None:
         self._users[user.name] = user
@@ -116,25 +177,141 @@ class NetworkedAccessFlow:
             "parts": [part],
             "write_content": write_content,
             "started_at": now,
-            "sent_to_server": False,
+            "phase": "collecting",
+            "degraded": False,
+            "retries": 0,
+            "sign_attempts": 0,
+            "server_attempts": 0,
+            "request": None,
+            "timer": None,
         }
+        self.flows_started += 1
         if co_signers:
-            for signer in co_signers:
-                self.network.send(
-                    requestor.name,
-                    signer.name,
-                    _WireMessage("sign-request", (operation, object_name, nonce), request_id),
-                )
+            self._send_sign_requests(request_id, co_signers)
+            self._arm_sign_timer(request_id, self.sign_timeout)
         else:
             self._send_to_server(request_id)
         return request_id
 
+    # ------------------------------------------------------ sign phase
+
+    def _send_sign_requests(
+        self, request_id: str, signers: Sequence[User]
+    ) -> None:
+        state = self._pending[request_id]
+        for signer in signers:
+            self.network.send(
+                state["requestor"].name,
+                signer.name,
+                _WireMessage(
+                    "sign-request",
+                    (state["operation"], state["object_name"], state["nonce"]),
+                    request_id,
+                ),
+            )
+
+    def _arm_sign_timer(self, request_id: str, wait: int) -> None:
+        state = self._pending[request_id]
+        state["timer"] = self.network.scheduler.call_after(
+            wait, lambda: self._on_sign_timeout(request_id)
+        )
+
+    def _missing_signers(self, state: dict) -> list:
+        have = {p.user for p in state["parts"]}
+        return [u for u in state["co_signers"] if u.name not in have]
+
+    def _on_sign_timeout(self, request_id: str) -> None:
+        state = self._pending.get(request_id)
+        if state is None or state["phase"] != "collecting":
+            return
+        self.timeouts_fired += 1
+        certificate = state["certificate"]
+        subject_parts = self._subject_parts(state)
+        threshold = getattr(certificate, "threshold", None)
+        if (
+            isinstance(certificate, ThresholdAttributeCertificate)
+            and len(subject_parts) >= certificate.threshold
+        ):
+            # Graceful degradation: enough of CP_{m,n} answered; the
+            # stragglers cannot block the group (Section 3.3).
+            state["degraded"] = True
+            self.degradations += 1
+            self.server.record_flow_event("flows_degraded")
+            self._audit_event(
+                state,
+                "flow-degraded",
+                f"submitting {len(subject_parts)} of "
+                f"{1 + len(state['co_signers'])} parts "
+                f"(threshold {certificate.threshold})",
+            )
+            self._send_to_server(request_id)
+            return
+        if state["sign_attempts"] < self.max_retries:
+            state["sign_attempts"] += 1
+            state["retries"] += 1
+            self.retries += 1
+            self.server.record_flow_event("flow_retries")
+            self._send_sign_requests(request_id, self._missing_signers(state))
+            wait = self.sign_timeout * (
+                self.backoff_factor ** state["sign_attempts"]
+            )
+            self._arm_sign_timer(request_id, wait)
+            return
+        have, need = len(state["parts"]), 1 + len(state["co_signers"])
+        detail = f"collected {have} of {need} request parts"
+        if threshold is not None:
+            detail += f" (threshold {threshold})"
+        self.flows_timed_out += 1
+        self.server.record_flow_event("flows_timed_out")
+        self._audit_event(state, "flow-timed-out", detail)
+        self._record_failure(request_id, f"timed-out: {detail}")
+
+    def _subject_parts(self, state: dict) -> list:
+        """Parts signed by actual subjects of the threshold certificate.
+
+        Degradation must only count valid co-signatures: a part from a
+        user the certificate does not name can never contribute to the
+        m-of-n quorum (the server would reject it in Step 0).
+        """
+        certificate = state["certificate"]
+        if not isinstance(certificate, ThresholdAttributeCertificate):
+            return list(state["parts"])
+        subjects = {name for name, _key in certificate.subjects}
+        return [p for p in state["parts"] if p.user in subjects]
+
+    # ---------------------------------------------------- server phase
+
     def _send_to_server(self, request_id: str) -> None:
         state = self._pending[request_id]
-        if state["sent_to_server"]:
+        if state["phase"] != "collecting":
             return
-        state["sent_to_server"] = True
-        participants = [state["requestor"], *state["co_signers"]]
+        state["phase"] = "submitted"
+        self._cancel_timer(state)
+        if state["degraded"]:
+            parts = self._subject_parts(state)
+        else:
+            parts = list(state["parts"])
+        # Re-attest the requestor's own part at submission time: after a
+        # retried collection phase the part signed at start may fall out
+        # of the server's freshness window, and the requestor is by
+        # definition present to re-sign.
+        refreshed = make_request_part(
+            state["requestor"],
+            state["operation"],
+            state["object_name"],
+            self.network.clock.now,
+            state["nonce"],
+        )
+        parts = [
+            refreshed if p.user == state["requestor"].name else p
+            for p in parts
+        ]
+        responded = {p.user for p in parts}
+        participants = [
+            u
+            for u in [state["requestor"], *state["co_signers"]]
+            if u.name in responded
+        ]
         request = JointAccessRequest(
             operation=state["operation"],
             object_name=state["object_name"],
@@ -143,13 +320,56 @@ class NetworkedAccessFlow:
                 u.identity_certificate for u in participants
             ],
             attribute_certificate=state["certificate"],
-            parts=list(state["parts"]),
+            parts=parts,
+            degraded=state["degraded"],
         )
+        state["request"] = request
+        self._send_access_request(request_id)
+        self._arm_response_timer(request_id, self.response_timeout)
+
+    def _send_access_request(self, request_id: str) -> None:
+        state = self._pending[request_id]
         self.network.send(
             state["requestor"].name,
             self.server.name,
-            _WireMessage("access-request", request, request_id),
+            _WireMessage("access-request", state["request"], request_id),
         )
+
+    def _arm_response_timer(self, request_id: str, wait: int) -> None:
+        state = self._pending[request_id]
+        state["timer"] = self.network.scheduler.call_after(
+            wait, lambda: self._on_response_timeout(request_id)
+        )
+
+    def _on_response_timeout(self, request_id: str) -> None:
+        state = self._pending.get(request_id)
+        if state is None or state["phase"] != "submitted":
+            return
+        if request_id in self.results:
+            # The server decided; only the response leg is in flight (or
+            # lost).  The flow is terminal either way.
+            state["phase"] = "done"
+            return
+        self.timeouts_fired += 1
+        if state["server_attempts"] < self.max_retries:
+            state["server_attempts"] += 1
+            state["retries"] += 1
+            self.retries += 1
+            self.server.record_flow_event("flow_retries")
+            self._send_access_request(request_id)
+            wait = self.response_timeout * (
+                self.backoff_factor ** state["server_attempts"]
+            )
+            self._arm_response_timer(request_id, wait)
+            return
+        detail = (
+            f"no server response after {state['server_attempts'] + 1} "
+            "access-request transmissions"
+        )
+        self.flows_abandoned += 1
+        self.server.record_flow_event("flows_abandoned")
+        self._audit_event(state, "flow-abandoned", detail)
+        self._record_failure(request_id, f"abandoned: {detail}")
 
     # --------------------------------------------------------- dispatch
 
@@ -167,7 +387,7 @@ class NetworkedAccessFlow:
         elif message.kind == "access-request":
             self._handle_access_request(envelope, message)
         elif message.kind == "access-response":
-            pass  # terminal: result already recorded server-side
+            pass  # terminal: result already recorded at decision time
 
     def _handle_sign_request(self, envelope: Envelope, message: _WireMessage) -> None:
         signer = self._users.get(envelope.recipient)
@@ -185,12 +405,12 @@ class NetworkedAccessFlow:
 
     def _handle_sign_response(self, envelope: Envelope, message: _WireMessage) -> None:
         state = self._pending.get(message.request_id)
-        if state is None:
-            return
+        if state is None or state["phase"] != "collecting":
+            return  # late straggler after degradation/termination
         part: SignedRequestPart = message.payload
         known = {p.user for p in state["parts"]}
         if part.user in known:
-            return  # duplicate (e.g. replayed response)
+            return  # duplicate (e.g. replayed or re-requested response)
         state["parts"].append(part)
         expected = 1 + len(state["co_signers"])
         if len(state["parts"]) == expected:
@@ -214,20 +434,90 @@ class NetworkedAccessFlow:
             request.requestor,
             _WireMessage("access-response", result.decision.granted, message.request_id),
         )
-        if state is not None:
-            self.results[message.request_id] = NetworkFlowResult(
-                completed=True,
-                result=result,
-                ticks_elapsed=self.network.clock.now - state["started_at"],
-                messages_sent=self.network.sent_count,
-                replays_seen=self._replays,
+        if state is None:
+            return
+        if message.request_id in self.results:
+            # Replayed (or retransmitted) request: the first terminal
+            # result stands — the replay's nonce-denial must not make an
+            # already-granted flow look denied.
+            self.replays_suppressed += 1
+            self.server.record_flow_event("flow_replays_suppressed")
+            self._audit_event(
+                state, "flow-replay-suppressed", "duplicate access-request"
             )
+            return
+        self.results[message.request_id] = NetworkFlowResult(
+            completed=True,
+            result=result,
+            ticks_elapsed=self.network.clock.now - state["started_at"],
+            messages_sent=self.network.sent_count,
+            replays_seen=self._replays,
+            retries=state["retries"],
+            degraded=state["degraded"],
+            reason="granted" if result.granted else "denied",
+        )
+        state["phase"] = "done"
+        self._cancel_timer(state)
+
+    # -------------------------------------------------------- terminals
+
+    def _record_failure(self, request_id: str, reason: str) -> None:
+        state = self._pending[request_id]
+        state["phase"] = "done"
+        self._cancel_timer(state)
+        self.results[request_id] = NetworkFlowResult(
+            completed=False,
+            result=None,
+            ticks_elapsed=self.network.clock.now - state["started_at"],
+            messages_sent=self.network.sent_count,
+            replays_seen=self._replays,
+            retries=state["retries"],
+            degraded=state["degraded"],
+            reason=reason,
+        )
+
+    @staticmethod
+    def _cancel_timer(state: dict) -> None:
+        timer = state.get("timer")
+        if timer is not None:
+            timer.cancel()
+            state["timer"] = None
+
+    def _audit_event(self, state: dict, kind: str, detail: str) -> None:
+        if self.audit_log is None:
+            return
+        self.audit_log.append_event(
+            timestamp=self.network.clock.now,
+            operation=state["operation"],
+            object_name=state["object_name"],
+            kind=kind,
+            detail=detail,
+        )
 
     # ------------------------------------------------------------ driver
 
     def run(self, max_ticks: int = 1_000) -> int:
-        """Advance the network until quiet; returns ticks elapsed."""
+        """Advance the network until quiet; returns ticks elapsed.
+
+        Quiet includes the flow timers: a flow whose messages were all
+        dropped still terminates (with ``completed=False``) before this
+        returns, because its timeout keeps the run alive until it fires.
+        """
         return self.network.run_until_quiet(self.dispatch, max_ticks=max_ticks)
 
     def result_of(self, request_id: str) -> Optional[NetworkFlowResult]:
         return self.results.get(request_id)
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate fault-tolerance counters across all flows."""
+        return {
+            "flows_started": self.flows_started,
+            "flows_terminal": len(self.results),
+            "retries": self.retries,
+            "timeouts_fired": self.timeouts_fired,
+            "degradations": self.degradations,
+            "flows_timed_out": self.flows_timed_out,
+            "flows_abandoned": self.flows_abandoned,
+            "replays_suppressed": self.replays_suppressed,
+            "replays_seen": self._replays,
+        }

@@ -95,6 +95,11 @@ class JointAccessRequest:
     identity_certificates: List[IdentityCertificate]
     attribute_certificate: ThresholdAttributeCertificate
     parts: List[SignedRequestPart]
+    # True when the requestor assembled an m-of-n subset after a
+    # sign-collection timeout instead of waiting for all n participants
+    # (graceful degradation).  Informational: the server's decision
+    # depends only on the parts and the certificate threshold.
+    degraded: bool = False
 
     def signer_names(self) -> List[str]:
         return [part.user for part in self.parts]

@@ -50,6 +50,16 @@ class CoalitionServer:
         )
         self.objects: Dict[str, CoalitionObject] = {}
         self.access_log: List[AuthorizationDecision] = []
+        # Fault-tolerance tallies reported by the networked flow layer
+        # (repro.coalition.netflow) via record_flow_event; surfaced in
+        # stats() next to the protocol's fast-path counters.
+        self.flow_events: Dict[str, int] = {
+            "flow_retries": 0,
+            "flows_timed_out": 0,
+            "flows_degraded": 0,
+            "flows_abandoned": 0,
+            "flow_replays_suppressed": 0,
+        }
 
     # -------------------------------------------------------- management
 
@@ -159,6 +169,17 @@ class CoalitionServer:
 
     # ----------------------------------------------------------- metrics
 
+    def record_flow_event(self, kind: str, count: int = 1) -> None:
+        """Tally a fault-tolerance event (retry, timeout, degradation...).
+
+        ``kind`` must be one of the keys initialised in
+        :attr:`flow_events`; unknown kinds raise so a typo in the flow
+        layer cannot silently lose a counter.
+        """
+        if kind not in self.flow_events:
+            raise ValueError(f"unknown flow event kind {kind!r}")
+        self.flow_events[kind] += count
+
     def grant_rate(self) -> float:
         if not self.access_log:
             return 0.0
@@ -169,6 +190,7 @@ class CoalitionServer:
         """Protocol fast-path counters plus server-level tallies."""
         return {
             **self.protocol.stats(),
+            **self.flow_events,
             "objects": len(self.objects),
             "requests_handled": len(self.access_log),
         }

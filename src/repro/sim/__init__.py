@@ -4,12 +4,14 @@ Per-principal clocks with skew over a global timeline, plus a network
 whose environment principal may delay, drop, or replay messages.
 """
 
-from .clock import GlobalClock, LocalClock
+from .clock import GlobalClock, LocalClock, TickScheduler, TimerHandle
 from .network import AdversaryPolicy, Envelope, Network
 
 __all__ = [
     "GlobalClock",
     "LocalClock",
+    "TickScheduler",
+    "TimerHandle",
     "AdversaryPolicy",
     "Envelope",
     "Network",

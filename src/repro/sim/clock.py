@@ -6,12 +6,20 @@ A :class:`GlobalClock` is Pe's clock; each :class:`LocalClock` maps real
 time to local time through a fixed skew (the paper assumes clocks within
 a compound principal are synchronized, which callers model by giving the
 members identical skews).
+
+:class:`TickScheduler` adds tick-driven callbacks over a
+:class:`GlobalClock`: one-shot timers (``call_at`` / ``call_after``) and
+periodic timers (``call_every``), all cancellable.  The fault-tolerance
+layer (flow timeouts, retry backoff, periodic CRL sync) is built on it.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
 
-__all__ = ["GlobalClock", "LocalClock"]
+__all__ = ["GlobalClock", "LocalClock", "TickScheduler", "TimerHandle"]
 
 
 class GlobalClock:
@@ -47,3 +55,118 @@ class LocalClock:
 
     def real_to_local(self, real_time: int) -> int:
         return real_time + self.skew
+
+
+class TimerHandle:
+    """A scheduled callback; ``cancel()`` makes firing a no-op."""
+
+    __slots__ = ("callback", "fire_at", "interval", "cancelled", "fired")
+
+    def __init__(
+        self,
+        callback: Callable[[], None],
+        fire_at: int,
+        interval: Optional[int] = None,
+    ):
+        self.callback = callback
+        self.fire_at = fire_at
+        self.interval = interval  # None: one-shot; else: reschedule every
+        self.cancelled = False
+        self.fired = False
+
+    @property
+    def periodic(self) -> bool:
+        return self.interval is not None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class TickScheduler:
+    """Tick-driven callbacks over a :class:`GlobalClock`.
+
+    The scheduler never advances time itself; a driver (typically
+    :meth:`repro.sim.Network.run_until_quiet`) advances the clock and
+    calls :meth:`fire_due` once per tick.  Pending *one-shot* timers
+    keep such drivers alive (:meth:`keeps_alive`); periodic timers do
+    not, or every run would spin forever.
+    """
+
+    def __init__(self, clock: GlobalClock):
+        self.clock = clock
+        self._heap: List[Tuple[int, int, TimerHandle]] = []
+        self._tiebreak = itertools.count()
+        self.timers_fired = 0
+
+    # --------------------------------------------------------- schedule
+
+    def call_at(self, tick: int, callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` at the first ``fire_due`` with now >= tick."""
+        handle = TimerHandle(callback, fire_at=tick)
+        heapq.heappush(self._heap, (tick, next(self._tiebreak), handle))
+        return handle
+
+    def call_after(self, delay: int, callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` ``delay`` ticks from now (delay >= 1)."""
+        if delay < 1:
+            raise ValueError("delay must be at least one tick")
+        return self.call_at(self.clock.now + delay, callback)
+
+    def call_every(
+        self,
+        interval: int,
+        callback: Callable[[], None],
+        start_after: Optional[int] = None,
+    ) -> TimerHandle:
+        """Run ``callback`` every ``interval`` ticks until cancelled."""
+        if interval < 1:
+            raise ValueError("interval must be at least one tick")
+        first = self.clock.now + (interval if start_after is None else start_after)
+        handle = TimerHandle(callback, fire_at=first, interval=interval)
+        heapq.heappush(self._heap, (first, next(self._tiebreak), handle))
+        return handle
+
+    # ------------------------------------------------------------- fire
+
+    def fire_due(self) -> int:
+        """Fire every timer due at or before the current tick.
+
+        Callbacks may schedule new timers; timers they schedule for a
+        future tick fire in later calls (``call_after`` enforces
+        ``delay >= 1``, so a well-behaved callback cannot live-lock the
+        current tick).  Returns the number of callbacks fired.
+        """
+        now = self.clock.now
+        fired = 0
+        while self._heap and self._heap[0][0] <= now:
+            _, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if handle.periodic:
+                handle.fire_at = handle.fire_at + handle.interval
+                heapq.heappush(
+                    self._heap, (handle.fire_at, next(self._tiebreak), handle)
+                )
+            else:
+                handle.fired = True
+            fired += 1
+            self.timers_fired += 1
+            handle.callback()
+        return fired
+
+    # ------------------------------------------------------------ state
+
+    def pending(self) -> int:
+        """Live (non-cancelled) timers still scheduled."""
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    def keeps_alive(self) -> bool:
+        """True while a live *one-shot* timer is still pending."""
+        return any(
+            not h.cancelled and not h.periodic for _, _, h in self._heap
+        )
+
+    def next_fire(self) -> Optional[int]:
+        """Earliest live timer tick, or None when nothing is scheduled."""
+        live = [t for t, _, h in self._heap if not h.cancelled]
+        return min(live) if live else None

@@ -13,9 +13,9 @@ import heapq
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Set, Tuple
 
-from .clock import GlobalClock
+from .clock import GlobalClock, TickScheduler
 
 __all__ = ["Envelope", "Network", "AdversaryPolicy"]
 
@@ -76,15 +76,42 @@ class Network:
         self.clock = clock
         self.base_delay = base_delay
         self.adversary = adversary or AdversaryPolicy()
+        # Timers (flow timeouts, retry backoff, periodic sync) share the
+        # network's timeline; the run loops fire them once per tick.
+        self.scheduler = TickScheduler(clock)
         self._queue: List[Tuple[int, int, Envelope]] = []
         self._tiebreak = itertools.count()
+        self._partitions: Set[frozenset] = set()
         self.sent_count = 0
         self.dropped_count = 0
         self.replayed_count = 0
+        self.partitioned_count = 0
+        # Envelopes still queued when the last run_until_quiet gave up
+        # (max_ticks exhausted); 0 after a run that fully drained.
+        self.undelivered = 0
         # Optional full trace: ("send"|"deliver", tick, envelope) tuples,
         # consumed by repro.semantics.bridge to reconstruct a Run.
         self.record_trace = record_trace
         self.trace: List[Tuple[str, int, Envelope]] = []
+
+    # ------------------------------------------------------- partitions
+
+    def partition(self, a: str, b: str) -> None:
+        """Sever the link between ``a`` and ``b`` (both directions).
+
+        Messages sent across a severed link are silently lost — exactly
+        like an adversary drop, but deterministic — and counted in
+        ``partitioned_count``.  Already-queued envelopes still arrive
+        (they are in flight past the cut).
+        """
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore the link between ``a`` and ``b``."""
+        self._partitions.discard(frozenset((a, b)))
+
+    def link_up(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) not in self._partitions
 
     def send(self, sender: str, recipient: str, payload: object) -> None:
         """Hand a message to the network at the current tick."""
@@ -97,6 +124,9 @@ class Network:
         )
         if self.record_trace:
             self.trace.append(("send", self.clock.now, envelope))
+        if not self.link_up(sender, recipient):
+            self.partitioned_count += 1
+            return
         if self.adversary.drops():
             self.dropped_count += 1
             return
@@ -133,16 +163,46 @@ class Network:
         dispatch: Callable[[Envelope], None],
         max_ticks: int = 10_000,
     ) -> int:
-        """Advance time, dispatching deliveries, until the queue drains.
+        """Advance time, dispatching deliveries, until the network quiesces.
+
+        Quiescence means the queue has drained *and* no live one-shot
+        timer is still pending on :attr:`scheduler` (flow timeouts must
+        get their chance to fire even when the adversary dropped every
+        message in flight).  Periodic timers never block quiescence.
 
         Returns the number of ticks advanced.  ``dispatch`` may send new
-        messages (they get queued and delivered in later ticks).
+        messages (they get queued and delivered in later ticks).  When
+        ``max_ticks`` is exhausted with envelopes still queued, the
+        leftover count is surfaced in :attr:`undelivered` so callers can
+        distinguish "drained" from "gave up".
         """
         start = self.clock.now
         for _ in range(max_ticks):
-            if not self._queue:
+            if not self._queue and not self.scheduler.keeps_alive():
                 break
             self.clock.advance(1)
             for envelope in self.deliverable():
                 dispatch(envelope)
+            self.scheduler.fire_due()
+        self.undelivered = len(self._queue)
         return self.clock.now - start
+
+    def run_for(
+        self,
+        ticks: int,
+        dispatch: Callable[[Envelope], None],
+    ) -> int:
+        """Advance exactly ``ticks`` ticks, delivering and firing timers.
+
+        Unlike :meth:`run_until_quiet` this never stops early, so
+        periodic timers (e.g. a directory sync loop) keep running even
+        across quiet stretches.  Returns envelopes dispatched.
+        """
+        dispatched = 0
+        for _ in range(ticks):
+            self.clock.advance(1)
+            for envelope in self.deliverable():
+                dispatch(envelope)
+                dispatched += 1
+            self.scheduler.fire_due()
+        return dispatched

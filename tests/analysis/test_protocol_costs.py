@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.protocol_costs import (
-    IssuanceCost,
     issuance_cost,
     joint_request_messages,
     joint_signature_messages,

@@ -77,13 +77,17 @@ class TestSync:
         assert client.revocations_applied == applied_first  # nothing new
 
     def test_staleness_tracking(self, directory_setup):
+        """Staleness counts from the response's ``as_of`` (when the
+        directory vouched for the data), not the local receive tick."""
         _c, _s, _u, network, _d, client, dispatch = directory_setup
         assert client.staleness() is None
         client.request_sync()
         network.run_until_quiet(dispatch)
-        assert client.staleness() == 0
+        # Query arrived at tick 1, so the directory answered as_of=1;
+        # the answer landed at tick 2 — already 1 tick stale.
+        assert client.staleness() == 1
         network.clock.advance(7)
-        assert client.staleness() == 7
+        assert client.staleness() == 8
 
     def test_multiple_revocations_in_one_sync(self, formed_coalition):
         from repro.pki.certificates import ValidityPeriod
@@ -114,3 +118,104 @@ class TestSync:
         client.request_sync()
         network.run_until_quiet(dispatch)
         assert client.revocations_applied == 3
+
+
+class TestFaultTolerance:
+    def test_replayed_response_does_not_reset_staleness(
+        self, directory_setup, write_certificate
+    ):
+        """Regression: a replayed ``_CrlResponse`` used to set
+        ``last_synced_at = now``, making staleness() under-report."""
+        from repro.coalition.directory_service import _CrlResponse
+        from repro.sim.network import Envelope
+
+        coalition, server, _users, network, _directory, client, dispatch = (
+            directory_setup
+        )
+        coalition.authority.revoke_certificate(write_certificate, now=0)
+        client.request_sync()
+        network.run_until_quiet(dispatch)
+        synced_at = client.last_synced_at
+        assert synced_at is not None
+
+        network.clock.advance(10)
+        before = client.staleness()
+        # The environment replays the (old) response verbatim.
+        replay = Envelope(
+            sender="Directory",
+            recipient=server.name,
+            payload=_CrlResponse(revocations=(), as_of=synced_at),
+            sent_at=synced_at,
+            replayed=True,
+        )
+        client.handle(replay)
+        assert client.staleness() == before  # not reset to 0
+        assert client.last_synced_at == synced_at
+        assert client.stale_responses_ignored == 1
+
+    def test_rejected_revocation_is_counted_not_swallowed(
+        self, directory_setup, write_certificate
+    ):
+        """Regression: an untrusted revocation was silently skipped; it
+        must land in the ``revocations_rejected`` counter."""
+        import dataclasses
+
+        from repro.coalition.directory_service import _CrlResponse
+        from repro.sim.network import Envelope
+
+        coalition, server, _users, network, _directory, client, _dispatch = (
+            directory_setup
+        )
+        good = coalition.authority.revoke_certificate(write_certificate, now=3)
+        forged = dataclasses.replace(good, serial="forged-1", issuer="EvilRA")
+        response = Envelope(
+            sender="Directory",
+            recipient=server.name,
+            payload=_CrlResponse(revocations=(forged, good), as_of=5),
+            sent_at=5,
+        )
+        client.handle(response)
+        assert client.revocations_rejected == 1
+        assert client.revocations_applied == 1  # the good one still lands
+        assert client.stats()["revocations_rejected"] == 1
+
+    def test_periodic_sync_retries_and_recovers(self, directory_setup):
+        """Periodic mode keeps retrying through a partition, counts the
+        timeouts, and recovers once the link heals."""
+        _c, server, _users, network, _directory, client, dispatch = (
+            directory_setup
+        )
+        client.sync_timeout = 4
+        client.max_retries = 1
+        network.partition(server.name, "Directory")
+        client.start_periodic_sync(interval=15)
+        network.run_for(30, dispatch)
+        assert client.syncs_completed == 0
+        assert client.sync_retries >= 2
+        assert client.sync_timeouts >= 1
+
+        network.heal(server.name, "Directory")
+        network.run_for(20, dispatch)
+        assert client.syncs_completed >= 1
+        assert client.staleness() is not None
+        stats = client.stats()
+        assert stats["syncs_completed"] == client.syncs_completed
+        client.stop_periodic_sync()
+
+    def test_periodic_sync_applies_late_revocations(
+        self, directory_setup, write_certificate
+    ):
+        """A revocation published mid-run is picked up by a later tick
+        of the periodic loop without any explicit request_sync."""
+        coalition, _server, _users, network, _directory, client, dispatch = (
+            directory_setup
+        )
+        client.start_periodic_sync(interval=10, immediate=False)
+        network.run_for(5, dispatch)
+        assert client.revocations_applied == 0
+        coalition.authority.revoke_certificate(
+            write_certificate, now=network.clock.now
+        )
+        network.run_for(20, dispatch)
+        assert client.revocations_applied == 1
+        client.stop_periodic_sync()

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.coalition import (
-    ACLEntry,
     Coalition,
     CoalitionServer,
     Domain,

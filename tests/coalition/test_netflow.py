@@ -1,17 +1,16 @@
 """Tests for the network-driven access flow."""
 
-import pytest
-
+from repro.coalition.audit import AuditLog
 from repro.coalition.netflow import NetworkedAccessFlow
 from repro.sim.clock import GlobalClock
 from repro.sim.network import AdversaryPolicy, Network
 
 
-def _flow(formed_coalition, adversary=None, base_delay=1):
+def _flow(formed_coalition, adversary=None, base_delay=1, **flow_kwargs):
     _c, server, _d, users = formed_coalition
     clock = GlobalClock()
     network = Network(clock, base_delay=base_delay, adversary=adversary)
-    flow = NetworkedAccessFlow(network, server)
+    flow = NetworkedAccessFlow(network, server, **flow_kwargs)
     return flow, users
 
 
@@ -75,20 +74,154 @@ class TestAdversary:
         )
         flow.run()
         result = flow.result_of(request_id)
-        assert result.result.granted or result.completed
+        assert result.completed
         assert server.objects["ObjectO"].write_count == before + 1
         denials = [
             d for d in server.access_log if "replayed" in d.reason
         ]
         assert denials, "the replayed access-request should be denied"
 
-    def test_dropped_messages_stall_flow(self, formed_coalition, write_certificate):
+    def test_replay_never_downgrades_granted_result(
+        self, formed_coalition, write_certificate
+    ):
+        """Regression: the replayed access-request used to re-run
+        ``handle_request`` and overwrite the recorded result with its
+        nonce-denial, making a granted flow look denied.  The first
+        terminal result must stand; the replay is counted."""
+        flow, users = _flow(
+            formed_coalition, adversary=AdversaryPolicy(replay_rate=1.0, seed=3)
+        )
+        _c, server, _d, _u = formed_coalition
+        request_id = flow.start(
+            users[0], [users[1]], "write", "ObjectO", write_certificate,
+            write_content=b"once",
+        )
+        flow.run()
+        result = flow.result_of(request_id)
+        assert result.completed and result.result.granted
+        assert result.reason == "granted"
+        assert flow.replays_suppressed >= 1
+        assert server.flow_events["flow_replays_suppressed"] >= 1
+
+    def test_dropped_messages_time_out_not_stall(
+        self, formed_coalition, write_certificate
+    ):
+        """A flow whose messages are all dropped terminates with
+        ``completed=False`` and a timeout reason — no silent stall."""
         flow, users = _flow(
             formed_coalition, adversary=AdversaryPolicy(drop_rate=1.0, seed=1)
         )
+        _c, server, _d, _u = formed_coalition
         request_id = flow.start(
             users[0], [users[1]], "write", "ObjectO", write_certificate,
             write_content=b"lost",
         )
         flow.run()
-        assert flow.result_of(request_id) is None
+        result = flow.result_of(request_id)
+        assert result is not None
+        assert not result.completed
+        assert result.reason.startswith("timed-out")
+        assert result.retries == flow.max_retries
+        assert flow.flows_timed_out == 1
+        assert server.flow_events["flows_timed_out"] == 1
+        assert server.flow_events["flow_retries"] == flow.max_retries
+
+
+class TestFaultTolerance:
+    def test_retry_recovers_from_transient_partition(
+        self, formed_coalition, write_certificate
+    ):
+        """A partition healed before retries are exhausted only costs
+        latency: the retransmitted sign-request completes the flow."""
+        flow, users = _flow(formed_coalition, sign_timeout=5)
+        network = flow.network
+        network.partition(users[0].name, users[1].name)
+        request_id = flow.start(
+            users[0], [users[1]], "write", "ObjectO", write_certificate,
+            write_content=b"late but fine",
+        )
+        network.scheduler.call_at(6, lambda: network.heal(users[0].name, users[1].name))
+        flow.run()
+        result = flow.result_of(request_id)
+        assert result.completed and result.result.granted
+        assert result.retries >= 1
+        assert not result.degraded
+
+    def test_unreachable_cosigner_degrades_to_m_of_n(
+        self, formed_coalition, write_certificate
+    ):
+        """With exactly n - m co-signers unreachable, the flow submits
+        the m-of-n subset at the timeout and is granted (degraded)."""
+        _c, server, _d, _u = formed_coalition
+        audit_log = AuditLog()
+        flow, users = _flow(formed_coalition, audit_log=audit_log)
+        # write_certificate is 2-of-3 over users[0..2]; cut off users[2].
+        flow.network.partition(users[0].name, users[2].name)
+        request_id = flow.start(
+            users[0], [users[1], users[2]], "write", "ObjectO",
+            write_certificate, write_content=b"2-of-3 is enough",
+        )
+        flow.run()
+        result = flow.result_of(request_id)
+        assert result.completed and result.result.granted
+        assert result.degraded
+        assert result.reason == "granted"
+        assert flow.degradations == 1
+        assert server.flow_events["flows_degraded"] == 1
+        # The degradation is on the audit chain, and the chain verifies.
+        events = audit_log.events("flow-degraded")
+        assert len(events) == 1
+        assert "threshold 2" in events[0].reason
+        audit_log.verify()
+
+    def test_degradation_needs_at_least_m_parts(
+        self, formed_coalition, write_certificate
+    ):
+        """With fewer than m reachable participants the flow must time
+        out rather than submit an under-signed bundle."""
+        flow, users = _flow(formed_coalition)
+        flow.network.partition(users[0].name, users[1].name)
+        flow.network.partition(users[0].name, users[2].name)
+        request_id = flow.start(
+            users[0], [users[1], users[2]], "write", "ObjectO",
+            write_certificate, write_content=b"1-of-3 is not enough",
+        )
+        flow.run()
+        result = flow.result_of(request_id)
+        assert not result.completed
+        assert not result.degraded
+        assert result.reason.startswith("timed-out")
+        assert flow.degradations == 0
+
+    def test_unreachable_server_abandons_flow(
+        self, formed_coalition, write_certificate
+    ):
+        audit_log = AuditLog()
+        flow, users = _flow(formed_coalition, audit_log=audit_log)
+        _c, server, _d, _u = formed_coalition
+        flow.network.partition(users[0].name, server.name)
+        request_id = flow.start(
+            users[0], [users[1]], "write", "ObjectO", write_certificate,
+            write_content=b"server unreachable",
+        )
+        flow.run()
+        result = flow.result_of(request_id)
+        assert not result.completed
+        assert result.reason.startswith("abandoned")
+        assert flow.flows_abandoned == 1
+        assert server.flow_events["flows_abandoned"] == 1
+        assert audit_log.events("flow-abandoned")
+
+    def test_stats_roundup(self, formed_coalition, write_certificate):
+        flow, users = _flow(formed_coalition)
+        request_id = flow.start(
+            users[0], [users[1]], "write", "ObjectO", write_certificate,
+            write_content=b"plain",
+        )
+        flow.run()
+        stats = flow.stats()
+        assert stats["flows_started"] == 1
+        assert stats["flows_terminal"] == 1
+        assert stats["retries"] == 0
+        assert stats["degradations"] == 0
+        assert flow.result_of(request_id).reason == "granted"

@@ -18,7 +18,7 @@ from repro.core.formulas import (
     SpeaksForGroup,
 )
 from repro.core.messages import Data, Encrypted, MessageTuple, Signed
-from repro.core.temporal import at, during, sometime
+from repro.core.temporal import at, during
 from repro.core.terms import (
     CompoundPrincipal,
     Group,

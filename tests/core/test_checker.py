@@ -9,7 +9,7 @@ from repro.core.formulas import Says
 from repro.core.messages import Data
 from repro.core.proofs import ProofStep
 from repro.core.temporal import at
-from repro.core.terms import Group, Principal
+from repro.core.terms import Group
 
 
 @pytest.fixture()

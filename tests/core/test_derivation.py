@@ -12,7 +12,7 @@ from repro.core.formulas import (
 )
 from repro.core.messages import Data, Signed
 from repro.core.patterns import AnyTime
-from repro.core.temporal import FOREVER, Temporal, at, during
+from repro.core.temporal import FOREVER, at, during
 from repro.core.terms import (
     CompoundPrincipal,
     Group,

@@ -8,7 +8,6 @@ from repro.core.terms import (
     KeyBoundPrincipal,
     KeyRef,
     Principal,
-    ThresholdPrincipal,
     Var,
     is_ground,
 )

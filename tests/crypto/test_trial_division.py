@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.crypto.numtheory import random_prime, small_primes
+from repro.crypto.numtheory import random_prime
 from repro.crypto.trial_division import distributed_residue, passes_trial_division
 
 

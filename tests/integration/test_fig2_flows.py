@@ -6,11 +6,8 @@ Figure 2(c)/(d): a 1-of-3 AC for reads; User_D3's solo read request is
 approved and the object is returned encrypted under K_u3.
 """
 
-import pytest
-
 from repro.coalition import build_joint_request
 from repro.crypto.rsa import hybrid_decrypt
-from repro.pki.certificates import ValidityPeriod
 
 
 class TestFigure2Write:

@@ -1,14 +1,11 @@
 """Edge cases of the authorization protocol: clocks, windows, subjects."""
 
-import dataclasses
-
 import pytest
 
 from repro.coalition import (
     ACLEntry,
     Coalition,
     CoalitionServer,
-    Domain,
     build_joint_request,
 )
 from repro.pki.certificates import ThresholdAttributeCertificate, ValidityPeriod

@@ -5,7 +5,7 @@ import pytest
 from repro.coalition.netflow import NetworkedAccessFlow
 from repro.core.formulas import Received, Said, Says
 from repro.core.messages import Data
-from repro.core.temporal import at, sometime
+from repro.core.temporal import at
 from repro.core.terms import Principal
 from repro.semantics.bridge import idealize_payload, run_from_trace
 from repro.semantics.truth import InterpretedSystem, truth

@@ -9,7 +9,6 @@ from repro.semantics.events import (
     History,
     Receive,
     Send,
-    TimestampedEvent,
 )
 from repro.semantics.generators import RunBuilder
 from repro.semantics.runs import (

@@ -18,12 +18,10 @@ from repro.core.formulas import (
     TimeLe,
     TRUE,
 )
-from repro.core.messages import Data, Encrypted, MessageTuple, Signed
+from repro.core.messages import Data, Signed
 from repro.core.temporal import at, during, sometime
 from repro.core.terms import Group, KeyRef, Principal
-from repro.semantics.events import Send
 from repro.semantics.generators import RunBuilder
-from repro.semantics.runs import Run
 from repro.semantics.truth import InterpretedSystem, truth
 
 A, B, C = Principal("A"), Principal("B"), Principal("C")

@@ -1,8 +1,8 @@
-"""Tests for simulated clocks."""
+"""Tests for simulated clocks and the tick scheduler."""
 
 import pytest
 
-from repro.sim.clock import GlobalClock, LocalClock
+from repro.sim.clock import GlobalClock, LocalClock, TickScheduler
 
 
 class TestGlobalClock:
@@ -38,3 +38,89 @@ class TestLocalClock:
         local = LocalClock(GlobalClock(), skew=4)
         assert local.real_to_local(10) == 14
         assert local.local_to_real(14) == 10
+
+
+class TestTickScheduler:
+    def test_one_shot_fires_at_deadline(self):
+        clock = GlobalClock()
+        sched = TickScheduler(clock)
+        fired = []
+        sched.call_after(3, lambda: fired.append(clock.now))
+        for _ in range(5):
+            clock.advance(1)
+            sched.fire_due()
+        assert fired == [3]
+
+    def test_call_after_requires_future_tick(self):
+        sched = TickScheduler(GlobalClock())
+        with pytest.raises(ValueError):
+            sched.call_after(0, lambda: None)
+
+    def test_cancel_prevents_firing(self):
+        clock = GlobalClock()
+        sched = TickScheduler(clock)
+        fired = []
+        handle = sched.call_after(2, lambda: fired.append("boom"))
+        handle.cancel()
+        clock.advance(5)
+        sched.fire_due()
+        assert fired == []
+        assert sched.pending() == 0
+
+    def test_periodic_fires_every_interval(self):
+        clock = GlobalClock()
+        sched = TickScheduler(clock)
+        fired = []
+        handle = sched.call_every(2, lambda: fired.append(clock.now))
+        for _ in range(7):
+            clock.advance(1)
+            sched.fire_due()
+        assert fired == [2, 4, 6]
+        handle.cancel()
+        clock.advance(2)
+        sched.fire_due()
+        assert fired == [2, 4, 6]
+
+    def test_keeps_alive_semantics(self):
+        """One-shot timers hold a run loop open; periodic ones do not
+        (or every run_until_quiet would spin forever)."""
+        clock = GlobalClock()
+        sched = TickScheduler(clock)
+        assert not sched.keeps_alive()
+        sched.call_every(5, lambda: None)
+        assert not sched.keeps_alive()
+        handle = sched.call_after(3, lambda: None)
+        assert sched.keeps_alive()
+        handle.cancel()
+        assert not sched.keeps_alive()
+
+    def test_callbacks_may_chain_timers(self):
+        """A timeout callback rescheduling itself (retry backoff) fires
+        at the backed-off deadlines."""
+        clock = GlobalClock()
+        sched = TickScheduler(clock)
+        fired = []
+
+        def retry(wait):
+            def _fire():
+                fired.append(clock.now)
+                if wait < 8:
+                    sched.call_after(wait * 2, retry(wait * 2))
+
+            return _fire
+
+        sched.call_after(2, retry(2))
+        for _ in range(20):
+            clock.advance(1)
+            sched.fire_due()
+        assert fired == [2, 6, 14]
+
+    def test_next_fire(self):
+        clock = GlobalClock()
+        sched = TickScheduler(clock)
+        assert sched.next_fire() is None
+        handle = sched.call_after(4, lambda: None)
+        sched.call_after(9, lambda: None)
+        assert sched.next_fire() == 4
+        handle.cancel()
+        assert sched.next_fire() == 9

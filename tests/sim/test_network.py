@@ -70,6 +70,40 @@ class TestAdversary:
         assert [p1.drops() for _ in range(20)] == [p2.drops() for _ in range(20)]
 
 
+class TestPartitions:
+    def test_partitioned_link_loses_messages(self):
+        clock = GlobalClock()
+        net = Network(clock, base_delay=1)
+        net.partition("A", "B")
+        net.send("A", "B", "lost")
+        net.send("B", "A", "also lost")  # partitions are bidirectional
+        net.send("A", "C", "fine")
+        clock.advance(1)
+        assert [e.payload for e in net.deliverable()] == ["fine"]
+        assert net.partitioned_count == 2
+
+    def test_heal_restores_link(self):
+        clock = GlobalClock()
+        net = Network(clock, base_delay=1)
+        net.partition("A", "B")
+        assert not net.link_up("A", "B")
+        net.heal("A", "B")
+        assert net.link_up("A", "B")
+        net.send("A", "B", "back")
+        clock.advance(1)
+        assert [e.payload for e in net.deliverable()] == ["back"]
+
+    def test_in_flight_messages_survive_partition(self):
+        """Cutting a link loses future sends, not envelopes already in
+        transit past the cut."""
+        clock = GlobalClock()
+        net = Network(clock, base_delay=3)
+        net.send("A", "B", "already flying")
+        net.partition("A", "B")
+        clock.advance(3)
+        assert [e.payload for e in net.deliverable()] == ["already flying"]
+
+
 class TestRunUntilQuiet:
     def test_drains_queue(self):
         clock = GlobalClock()
@@ -86,3 +120,39 @@ class TestRunUntilQuiet:
         assert received == ["ping", "pong"]
         assert ticks >= 2
         assert net.pending() == 0
+        assert net.undelivered == 0
+
+    def test_gave_up_surfaces_undelivered(self):
+        """Regression: exhausting max_ticks used to abandon in-flight
+        envelopes silently; callers could not tell 'drained' from
+        'gave up'."""
+        clock = GlobalClock()
+        net = Network(clock, base_delay=5)
+        net.send("A", "B", "slow")
+        net.send("A", "C", "slower")
+        ticks = net.run_until_quiet(lambda e: None, max_ticks=2)
+        assert ticks == 2
+        assert net.undelivered == 2
+        # Letting the run finish clears the flag.
+        net.run_until_quiet(lambda e: None)
+        assert net.undelivered == 0
+
+    def test_timers_fire_even_with_empty_queue(self):
+        """A pending one-shot timer keeps the run alive — the mechanism
+        that turns all-messages-dropped into a timeout, not a stall."""
+        clock = GlobalClock()
+        net = Network(clock, adversary=AdversaryPolicy(drop_rate=1.0, seed=1))
+        fired = []
+        net.scheduler.call_after(4, lambda: fired.append(clock.now))
+        net.send("A", "B", "dropped anyway")
+        ticks = net.run_until_quiet(lambda e: None)
+        assert fired == [4]
+        assert ticks == 4
+
+    def test_run_for_drives_periodic_timers(self):
+        clock = GlobalClock()
+        net = Network(clock, base_delay=1)
+        beats = []
+        net.scheduler.call_every(3, lambda: beats.append(clock.now))
+        net.run_for(10, lambda e: None)
+        assert beats == [3, 6, 9]
