@@ -1,0 +1,67 @@
+"""E14 — sharded service throughput, latency tails, and load shedding.
+
+Unlike the pytest-benchmark files, these runs are driven by the
+open-loop loadgen (``repro.service.loadgen``), which measures its own
+wall clock and latency percentiles; each run's report is recorded via
+the ``service_report`` fixture and lands in ``BENCH_service.json`` at
+session end (see ``conftest.pytest_sessionfinish``).
+
+``SERVICE_BENCH_SMOKE=1`` shrinks the workload for CI smoke runs; the
+acceptance assertions (shard sweep coverage, typed ``Overloaded`` under
+overdrive) hold in both sizes.
+"""
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.service.loadgen import (
+    LoadgenConfig,
+    run_loadgen,
+    sequential_baseline,
+)
+
+SMOKE = os.environ.get("SERVICE_BENCH_SMOKE") == "1"
+TOTAL_REQUESTS = 60 if SMOKE else 300
+SHARD_SWEEP = [1, 2, 4]
+
+BASE_CONFIG = LoadgenConfig(
+    total_requests=TOTAL_REQUESTS,
+    queue_depth=1024,  # deep queues: the sweep measures evaluation, not shed
+    read_fraction=0.5,
+    revoke_every=TOTAL_REQUESTS // 6,
+    num_objects=8,
+    key_bits=256,
+    mode="threaded",
+    seed=17,
+)
+
+
+def test_sequential_baseline(service_report):
+    report = sequential_baseline(replace(BASE_CONFIG, num_shards=1))
+    service_report("sequential-baseline", report)
+    assert report.granted > 0 and report.denied == 0
+
+
+@pytest.mark.parametrize("num_shards", SHARD_SWEEP)
+def test_throughput_by_shard_count(service_report, num_shards):
+    report = run_loadgen(replace(BASE_CONFIG, num_shards=num_shards))
+    service_report(f"shards-{num_shards}", report)
+    assert report.evaluated == report.submitted  # nothing shed at depth 1024
+    assert report.overloaded == 0
+    assert report.granted > 0
+    assert report.revocations_published > 0
+    assert report.p50_ms <= report.p95_ms <= report.p99_ms <= report.max_ms
+
+
+def test_overdriven_service_sheds_typed(service_report):
+    """Open-loop max pressure into tiny queues: Overloaded, not silence."""
+    report = run_loadgen(
+        replace(BASE_CONFIG, num_shards=2, queue_depth=2, revoke_every=0)
+    )
+    service_report("overdrive-depth2", report)
+    assert report.overloaded > 0, "overdrive must shed visibly"
+    # Every arrival is accounted for: evaluated + shed == submitted.
+    assert report.evaluated + report.overloaded == report.submitted
+    assert report.granted > 0  # the service stays live under overload

@@ -19,6 +19,38 @@ BENCH_KEY_BITS = 256
 _SUMMARY_PATH = pathlib.Path(__file__).resolve().parent.parent / (
     "BENCH_derivation.json"
 )
+_SERVICE_SUMMARY_PATH = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_service.json"
+)
+
+
+@pytest.fixture(scope="session")
+def service_report(request):
+    """Recorder for loadgen reports (``bench_service.py``).
+
+    Reports accumulate on the session config and are written to
+    ``BENCH_service.json`` at session end — independent of the
+    pytest-benchmark plugin, so they survive ``--benchmark-disable``
+    smoke runs too.
+    """
+    reports = request.config.__dict__.setdefault(
+        "_service_bench_reports", {}
+    )
+
+    def record(name, report):
+        reports[name] = {"name": name, **report.as_dict()}
+
+    return record
+
+
+def _write_service_summary(config):
+    reports = getattr(config, "_service_bench_reports", {})
+    if not reports:
+        return
+    runs = [reports[name] for name in sorted(reports)]
+    _SERVICE_SUMMARY_PATH.write_text(
+        json.dumps({"service_runs": runs}, indent=2) + "\n"
+    )
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -27,6 +59,7 @@ def pytest_sessionfinish(session, exitstatus):
     Skipped entirely when the benchmark plugin is absent or disabled
     (``--benchmark-disable`` smoke runs collect no stats).
     """
+    _write_service_summary(session.config)
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None:
         return

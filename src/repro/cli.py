@@ -134,6 +134,60 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """E14: drive the sharded service and print the scaling table."""
+    import json
+
+    from repro.service.loadgen import (
+        LoadgenConfig,
+        run_loadgen,
+        sequential_baseline,
+    )
+
+    def config_for(num_shards: int, queue_depth: int) -> LoadgenConfig:
+        return LoadgenConfig(
+            num_shards=num_shards,
+            queue_depth=queue_depth,
+            total_requests=args.requests,
+            arrival_rate=args.rate,
+            read_fraction=args.read_fraction,
+            revoke_every=args.revoke_every,
+            num_objects=args.objects,
+            key_bits=args.bits,
+            seed=args.seed,
+        )
+
+    reports = []
+    baseline = sequential_baseline(config_for(1, args.queue_depth))
+    reports.append(("sequential", baseline))
+    for num_shards in args.shards:
+        report = run_loadgen(config_for(num_shards, args.queue_depth))
+        reports.append((f"shards={num_shards}", report))
+    if args.overdrive:
+        report = run_loadgen(config_for(max(args.shards), args.overdrive))
+        reports.append((f"overdrive(depth={args.overdrive})", report))
+
+    if args.json:
+        print(
+            json.dumps(
+                [{"name": name, **r.as_dict()} for name, r in reports],
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"{'run':>20} {'rps':>8} {'p50ms':>8} {'p95ms':>8} {'p99ms':>8} "
+        f"{'granted':>8} {'denied':>7} {'shed':>5} {'epochs':>7}"
+    )
+    for name, r in reports:
+        print(
+            f"{name:>20} {r.throughput_rps:>8.1f} {r.p50_ms:>8.2f} "
+            f"{r.p95_ms:>8.2f} {r.p99_ms:>8.2f} {r.granted:>8} "
+            f"{r.denied:>7} {r.overloaded:>5} {r.epochs_published:>7}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -168,6 +222,35 @@ def build_parser() -> argparse.ArgumentParser:
     dynamics = sub.add_parser("dynamics", help="E11 join-cost sweep")
     dynamics.add_argument("--certs", type=int, nargs="+", default=[1, 5, 15])
     dynamics.set_defaults(func=_cmd_dynamics)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="E14 sharded-service throughput/latency sweep",
+    )
+    serve.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4],
+        help="shard counts to sweep",
+    )
+    serve.add_argument("--requests", type=int, default=200)
+    serve.add_argument(
+        "--rate", type=float, default=0.0,
+        help="open-loop arrival rate in req/s (0 = max pressure)",
+    )
+    serve.add_argument("--queue-depth", type=int, default=256)
+    serve.add_argument("--read-fraction", type=float, default=0.5)
+    serve.add_argument(
+        "--revoke-every", type=int, default=25,
+        help="publish a revocation epoch every k arrivals (0 = off)",
+    )
+    serve.add_argument("--objects", type=int, default=8)
+    serve.add_argument("--bits", type=int, default=256)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--overdrive", type=int, default=0, metavar="DEPTH",
+        help="extra run with this tiny queue depth to show load shedding",
+    )
+    serve.add_argument("--json", action="store_true")
+    serve.set_defaults(func=_cmd_serve_bench)
 
     return parser
 

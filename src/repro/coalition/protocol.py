@@ -24,6 +24,7 @@ request is *literally* the Appendix E derivation for that request.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
@@ -48,9 +49,52 @@ from ..pki.validation import CertificateError, validate_certificate
 from .acl import ACL
 from .requests import JointAccessRequest
 
-__all__ = ["AuthorizationDecision", "AuthorizationProtocol"]
+__all__ = ["AuthorizationDecision", "AuthorizationProtocol", "NonceLedger"]
 
 DEFAULT_FRESHNESS_WINDOW = 50
+
+
+class NonceLedger:
+    """Replay ledger bounded by the freshness window, safe to share.
+
+    A nonce only needs remembering while a replay could still pass the
+    staleness check, i.e. until ``stated_at + window < now``; entries map
+    to their forget-after time and a deque drives expiry.  The ledger is
+    lock-protected so protocol forks evaluating on different shard
+    threads (:mod:`repro.service`) can share one global replay window —
+    replay protection must span shards and epochs, unlike belief state.
+    """
+
+    def __init__(self, freshness_window: int = DEFAULT_FRESHNESS_WINDOW):
+        self.freshness_window = freshness_window
+        self._seen: Dict[str, int] = {}
+        self._expiry: Deque[Tuple[int, str]] = deque()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def seen(self, nonce: str) -> bool:
+        with self._lock:
+            return nonce in self._seen
+
+    def remember(self, nonce: str, now: int) -> None:
+        forget_after = now + 2 * self.freshness_window
+        with self._lock:
+            self._seen[nonce] = forget_after
+            self._expiry.append((forget_after, nonce))
+
+    def purge(self, now: int) -> int:
+        """Forget nonces whose replay would fail the freshness check anyway."""
+        purged = 0
+        with self._lock:
+            queue = self._expiry
+            while queue and queue[0][0] < now:
+                forget_after, nonce = queue.popleft()
+                if self._seen.get(nonce) == forget_after:
+                    del self._seen[nonce]
+                    purged += 1
+        return purged
 
 
 @dataclass
@@ -87,6 +131,7 @@ class AuthorizationProtocol:
         verifier_name: str,
         freshness_window: int = DEFAULT_FRESHNESS_WINDOW,
         trust_epoch: int = 0,
+        nonce_ledger: Optional[NonceLedger] = None,
     ):
         self.verifier = Principal(verifier_name)
         self.engine = DerivationEngine(self.verifier)
@@ -95,12 +140,15 @@ class AuthorizationProtocol:
         self._trusted_ca_keys: Dict[str, RSAPublicKey] = {}
         self._trusted_aa_keys: Dict[str, SharedRSAPublicKey] = {}
         self._trusted_ra_keys: Dict[str, RSAPublicKey] = {}
-        # Replay protection, bounded by the freshness window: a nonce
-        # only needs remembering while a replay could still pass the
-        # staleness check, i.e. until stated_at + window < now.  Nonces
-        # map to their forget-after time; the deque drives expiry.
-        self._seen_nonces: Dict[str, int] = {}
-        self._nonce_expiry: Deque[Tuple[int, str]] = deque()
+        # Replay protection.  The ledger may be shared across protocol
+        # forks (service shards): replays must deny globally even when
+        # belief state is sharded/epoched.
+        # (`is not None`, not `or`: an empty shared ledger is falsy.)
+        self.nonces = (
+            nonce_ledger
+            if nonce_ledger is not None
+            else NonceLedger(freshness_window)
+        )
         # Admission fast path: one Step 1/Step 2 derivation chain per
         # certificate, reused across requests until a revocation evicts
         # it.  Keyed by the (frozen, hashable) certificate object.
@@ -108,6 +156,30 @@ class AuthorizationProtocol:
         self._cache_hits = 0
         self._cache_misses = 0
         self.decisions_made = 0
+
+    def fork(self) -> "AuthorizationProtocol":
+        """A copy-on-write clone for epoch snapshots (:mod:`repro.service`).
+
+        The fork sees exactly the current beliefs, trust anchors and
+        certificate admissions and diverges independently afterwards —
+        revocations applied to one side never leak to the other.  The
+        nonce ledger is deliberately *shared*: replay protection is a
+        global property of the server, not of any one policy epoch.
+        """
+        clone = AuthorizationProtocol.__new__(AuthorizationProtocol)
+        clone.verifier = self.verifier
+        clone.engine = self.engine.fork()
+        clone.freshness_window = self.freshness_window
+        clone.trust_epoch = self.trust_epoch
+        clone._trusted_ca_keys = dict(self._trusted_ca_keys)
+        clone._trusted_aa_keys = dict(self._trusted_aa_keys)
+        clone._trusted_ra_keys = dict(self._trusted_ra_keys)
+        clone.nonces = self.nonces
+        clone._cert_cache = dict(self._cert_cache)
+        clone._cache_hits = self._cache_hits
+        clone._cache_misses = self._cache_misses
+        clone.decisions_made = self.decisions_made
+        return clone
 
     # ----------------------------------------------------- trust set-up
 
@@ -265,17 +337,16 @@ class AuthorizationProtocol:
     # --------------------------------------------------- replay window
 
     def _remember_nonce(self, nonce: str, now: int) -> None:
-        forget_after = now + 2 * self.freshness_window
-        self._seen_nonces[nonce] = forget_after
-        self._nonce_expiry.append((forget_after, nonce))
+        self.nonces.remember(nonce, now)
 
     def _purge_nonces(self, now: int) -> None:
-        """Forget nonces whose replay would fail the freshness check anyway."""
-        queue = self._nonce_expiry
-        while queue and queue[0][0] < now:
-            forget_after, nonce = queue.popleft()
-            if self._seen_nonces.get(nonce) == forget_after:
-                del self._seen_nonces[nonce]
+        """Forget nonces whose replay would fail the freshness check anyway.
+
+        Runs on every :meth:`authorize` *and* every
+        :meth:`apply_revocation`, so the ledger stays bounded even when
+        traffic is all revocations (or all requests).
+        """
+        self.nonces.purge(now)
 
     # ------------------------------------------------------- revocation
 
@@ -298,6 +369,10 @@ class AuthorizationProtocol:
         validate_certificate(revocation, ra_key)
         proof = self.engine.admit_revocation(revocation.idealize(), now)
         self._evict_revoked(proof.conclusion)
+        # Purge on the revocation path too: nonce expiry must not depend
+        # on request arrival alone (sustained revocation-only traffic
+        # would otherwise pin the ledger at its high-water mark).
+        self._purge_nonces(now)
         return proof
 
     # ----------------------------------------------------------- auditing
@@ -395,7 +470,7 @@ class AuthorizationProtocol:
             return deny("request parts carry inconsistent nonces")
         nonce = nonces.pop()
         self._purge_nonces(now)
-        if nonce in self._seen_nonces:
+        if self.nonces.seen(nonce):
             return deny("replayed request (nonce already accepted)")
 
         # ---- Steps 1-4: the derivation ------------------------------------
@@ -461,5 +536,6 @@ class AuthorizationProtocol:
             "cert_cache_entries": len(self._cert_cache),
             "cert_cache_hits": self._cache_hits,
             "cert_cache_misses": self._cache_misses,
-            "tracked_nonces": len(self._seen_nonces),
+            "tracked_nonces": len(self.nonces),
+            "nonce_cache_size": len(self.nonces),
         }

@@ -186,11 +186,19 @@ class CoalitionServer:
         granted = sum(1 for d in self.access_log if d.granted)
         return granted / len(self.access_log)
 
-    def stats(self) -> Dict[str, int]:
-        """Protocol fast-path counters plus server-level tallies."""
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Namespaced counters: ``protocol`` and ``server`` layers.
+
+        The two layers are kept in separate sub-dicts (rather than one
+        flat spread) so a counter added to either side can never shadow
+        a same-named counter on the other — a flat merge silently kept
+        whichever layer spread last.
+        """
         return {
-            **self.protocol.stats(),
-            **self.flow_events,
-            "objects": len(self.objects),
-            "requests_handled": len(self.access_log),
+            "protocol": self.protocol.stats(),
+            "server": {
+                **self.flow_events,
+                "objects": len(self.objects),
+                "requests_handled": len(self.access_log),
+            },
         }

@@ -104,6 +104,20 @@ class DerivationEngine:
         """
         return {"steps_taken": self.steps_taken, **self.store.stats()}
 
+    def fork(self) -> "DerivationEngine":
+        """A copy-on-write clone: same beliefs/aliases now, divergent after.
+
+        Backs epoch snapshots (:mod:`repro.service`): the belief store
+        forks lazily, aliases are copied shallowly, and the step counter
+        carries over so per-request deltas stay meaningful.
+        """
+        clone = DerivationEngine.__new__(DerivationEngine)
+        clone.owner = self.owner
+        clone.store = self.store.fork()
+        clone._aliases = dict(self._aliases)
+        clone.steps_taken = self.steps_taken
+        return clone
+
     def register_alias(
         self, compound: CompoundPrincipal, authority: Principal
     ) -> None:

@@ -118,6 +118,9 @@ class BeliefStore:
         # head -> secondary -> entries, each entry (seq, formula, proof).
         self._index: Dict[object, Dict[object, List[_Entry]]] = {}
         self._next_seq = 0
+        # Bucket keys whose entry lists are shared with a fork (see
+        # :meth:`fork`); such a bucket is copied before its first append.
+        self._cow_buckets: set = set()
         # Observability counters, surfaced via DerivationEngine.stats().
         self._stat_probes = 0  # queries answered from index buckets
         self._stat_full_scans = 0  # queries that had to scan everything
@@ -140,7 +143,14 @@ class BeliefStore:
             return existing
         self._beliefs[formula] = proof
         head, secondary = _belief_key(formula)
-        bucket = self._index.setdefault(head, {}).setdefault(secondary, [])
+        by_secondary = self._index.setdefault(head, {})
+        bucket = by_secondary.get(secondary)
+        if bucket is None:
+            bucket = by_secondary[secondary] = []
+        elif (head, secondary) in self._cow_buckets:
+            # Copy-on-write: this entry list is shared with a fork.
+            bucket = by_secondary[secondary] = list(bucket)
+            self._cow_buckets.discard((head, secondary))
         bucket.append((self._next_seq, formula, proof))
         self._next_seq += 1
         return proof
@@ -225,6 +235,42 @@ class BeliefStore:
     def snapshot(self) -> List[Formula]:
         """The current belief set (insertion order), for tests and audit."""
         return list(self._beliefs)
+
+    # -------------------------------------------------------------- forks
+
+    def fork(self) -> "BeliefStore":
+        """A cheap copy-on-write clone of this store.
+
+        The clone observes exactly the beliefs present now and diverges
+        independently afterwards: adds on either side never appear on
+        the other.  The belief map is copied shallowly (pointer copy);
+        index entry lists are *shared* and each side copies a bucket
+        lazily before its first post-fork append, so a fork that is
+        never written to costs O(buckets) rather than O(beliefs).
+
+        This is the primitive behind epoch snapshots in
+        :mod:`repro.service`: publishing a policy epoch forks every
+        shard's store, applies the revocation to the fork, and swaps it
+        in atomically, leaving in-flight evaluations on the old epoch
+        untouched.
+        """
+        clone = BeliefStore.__new__(BeliefStore)
+        clone._beliefs = dict(self._beliefs)
+        clone._index = {
+            head: dict(by_secondary) for head, by_secondary in self._index.items()
+        }
+        clone._next_seq = self._next_seq
+        clone._stat_probes = self._stat_probes
+        clone._stat_full_scans = self._stat_full_scans
+        clone._stat_candidates = self._stat_candidates
+        shared = {
+            (head, secondary)
+            for head, by_secondary in self._index.items()
+            for secondary in by_secondary
+        }
+        clone._cow_buckets = set(shared)
+        self._cow_buckets |= shared
+        return clone
 
     # ------------------------------------------------------------- stats
 

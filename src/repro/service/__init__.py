@@ -1,0 +1,38 @@
+"""repro.service — the sharded, epoched authorization serving layer.
+
+Sits in front of :class:`repro.coalition.protocol.AuthorizationProtocol`
+and provides what a single per-request protocol instance cannot:
+
+* shard-parallel evaluation keyed by resource (``sharding``),
+* immutable epoch snapshots of policy state, so revocations and ACL
+  changes apply atomically across shards (``epoch``),
+* bounded admission queues with typed ``Overloaded`` load shedding and
+  in-flight dedup (``admission``),
+* an open-loop workload driver with latency percentiles (``loadgen``).
+
+See DESIGN.md §9 for the architecture and request lifecycle.
+"""
+
+from .admission import Overloaded, ShardQueue, Ticket, request_fingerprint
+from .epoch import Epoch, EpochManager, PolicyEntry
+from .loadgen import LoadgenConfig, LoadgenReport, run_loadgen
+from .service import AuthorizationService, ServiceError
+from .sharding import ShardWorker, shard_for, shard_key
+
+__all__ = [
+    "AuthorizationService",
+    "ServiceError",
+    "Overloaded",
+    "Ticket",
+    "ShardQueue",
+    "request_fingerprint",
+    "Epoch",
+    "EpochManager",
+    "PolicyEntry",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "run_loadgen",
+    "ShardWorker",
+    "shard_for",
+    "shard_key",
+]

@@ -1,0 +1,171 @@
+"""Admission control: bounded queues, load shedding, tickets, dedup.
+
+The service never blocks a submitter and never drops a request
+silently.  Every submission gets a :class:`Ticket`; when a shard's
+queue is full the ticket is resolved immediately with a typed
+:class:`Overloaded` decision, so callers can distinguish "denied by
+policy" from "shed by the server" and retry with backoff.
+
+Identical concurrent requests (same operation, object, parts and
+decision time) coalesce onto one evaluation per shard: the second
+submitter receives the *same* ticket and therefore the same decision
+object, instead of paying a second derivation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from ..coalition.protocol import AuthorizationDecision
+from ..coalition.requests import JointAccessRequest
+
+__all__ = ["Overloaded", "Ticket", "ShardQueue", "request_fingerprint"]
+
+
+@dataclass
+class Overloaded(AuthorizationDecision):
+    """A typed load-shed decision: the request was never evaluated.
+
+    ``granted`` is always False; ``shard``/``queue_depth`` say which
+    queue refused the work.  Being a real decision type (not an
+    exception, not a silent drop) keeps the caller-facing contract
+    uniform: every submitted request resolves to exactly one decision.
+    """
+
+    shard: int = -1
+    queue_depth: int = 0
+
+    @property
+    def shed(self) -> bool:
+        return True
+
+
+class Ticket:
+    """A pending decision: resolved exactly once by a shard worker.
+
+    Carries the admission-time pinning (epoch, shard, global sequence
+    number) plus wall-clock timestamps for latency percentiles.
+    ``predecessor`` is the previous in-flight ticket sharing a nonce,
+    if any — the worker waits for it before evaluating, so replay
+    semantics are identical to a sequential server even when the two
+    requests landed on different shards.
+    """
+
+    __slots__ = (
+        "request",
+        "now",
+        "epoch",
+        "shard",
+        "seq",
+        "predecessor",
+        "coalesced",
+        "submitted_at",
+        "completed_at",
+        "_decision",
+        "_done",
+    )
+
+    def __init__(
+        self,
+        request: JointAccessRequest,
+        now: int,
+        epoch: object,
+        shard: int,
+        seq: int,
+    ):
+        self.request = request
+        self.now = now
+        self.epoch = epoch
+        self.shard = shard
+        self.seq = seq
+        self.predecessor: Optional["Ticket"] = None
+        self.coalesced = 0  # extra submitters served by this evaluation
+        self.submitted_at = time.perf_counter()
+        self.completed_at: Optional[float] = None
+        self._decision: Optional[AuthorizationDecision] = None
+        self._done = threading.Event()
+
+    def resolve(self, decision: AuthorizationDecision) -> None:
+        self._decision = decision
+        self.completed_at = time.perf_counter()
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> AuthorizationDecision:
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"ticket seq={self.seq} not resolved in time")
+        assert self._decision is not None
+        return self._decision
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+
+class ShardQueue:
+    """A bounded FIFO of tickets; full means shed, never block or drop."""
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.depth = depth
+        self._items: Deque[Ticket] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def try_push(self, ticket: Ticket) -> bool:
+        """Admit the ticket unless the queue is at depth (backpressure)."""
+        with self._lock:
+            if len(self._items) >= self.depth:
+                return False
+            self._items.append(ticket)
+            self._not_empty.notify()
+            return True
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Ticket]:
+        """Next ticket in admission order, or None on timeout."""
+        with self._lock:
+            if not self._items:
+                self._not_empty.wait(timeout)
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    def peek_seq(self) -> Optional[int]:
+        """Sequence number of the head ticket (for ordered manual pumps)."""
+        with self._lock:
+            return self._items[0].seq if self._items else None
+
+
+def request_fingerprint(
+    request: JointAccessRequest, now: int
+) -> Tuple[object, ...]:
+    """Identity of an evaluation, for in-flight dedup.
+
+    Two submissions coalesce only when every decision-relevant input is
+    identical: operation, object, decision time, the threshold
+    certificate and the exact signed parts.  All components are frozen
+    dataclasses, so the tuple is hashable.
+    """
+    return (
+        request.operation,
+        request.object_name,
+        now,
+        request.attribute_certificate,
+        tuple(request.parts),
+    )

@@ -1,0 +1,317 @@
+"""Open-loop workload driver for the authorization service.
+
+Generates a mixed read/write/revocation stream against an
+:class:`~repro.service.service.AuthorizationService` and reports
+throughput plus latency percentiles.  The driver is **open-loop**:
+arrivals follow the configured rate whether or not earlier requests
+have finished, so an overdriven service must *shed* (typed
+``Overloaded`` decisions from the bounded queues) rather than hide the
+overload inside a closed feedback loop.
+
+Request signing is done up front (it is requestor-side work, not
+server load); the timed region covers admission through decision.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from ..coalition import (
+    ACLEntry,
+    Coalition,
+    CoalitionServer,
+    Domain,
+    build_joint_request,
+)
+from ..pki import ValidityPeriod
+from .admission import Overloaded, Ticket
+from .service import AuthorizationService
+
+__all__ = ["LoadgenConfig", "LoadgenReport", "ServiceFixture", "run_loadgen"]
+
+
+@dataclass
+class LoadgenConfig:
+    """Knobs for one loadgen run (all deterministic given ``seed``)."""
+
+    num_shards: int = 4
+    queue_depth: int = 64
+    total_requests: int = 200
+    arrival_rate: float = 0.0  # requests/s; 0 = maximum pressure, no pacing
+    read_fraction: float = 0.5
+    revoke_every: int = 0  # publish a revocation every k arrivals (0 = off)
+    num_objects: int = 8
+    key_bits: int = 256
+    dedup: bool = True
+    mode: str = "threaded"
+    freshness_window: int = 10**9
+    seed: int = 0
+    drain_timeout_s: float = 60.0
+
+
+@dataclass
+class LoadgenReport:
+    """Machine-readable outcome of one run (see ``BENCH_service.json``)."""
+
+    config: Dict[str, object]
+    wall_s: float = 0.0
+    throughput_rps: float = 0.0
+    submitted: int = 0
+    evaluated: int = 0
+    granted: int = 0
+    denied: int = 0
+    overloaded: int = 0
+    coalesced: int = 0
+    revocations_published: int = 0
+    epochs_published: int = 0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    max_ms: float = 0.0
+    nonce_cache_peak: int = 0
+    queue_depth_peak: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass
+class ServiceFixture:
+    """A formed coalition fronted by a service, ready for traffic."""
+
+    service: AuthorizationService
+    coalition: Coalition
+    users: List[object]
+    read_cert: object
+    write_cert: object
+    victim_certs: List[object] = field(default_factory=list)
+    object_names: List[str] = field(default_factory=list)
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def build_fixture(config: LoadgenConfig) -> ServiceFixture:
+    """Form a 3-domain coalition and front it with a fresh service.
+
+    Issues a 1-of-3 read certificate, a 2-of-3 write certificate, and —
+    when the mix includes revocations — a pool of victim certificates
+    for a group no request traffic uses, so revocation load does not
+    flip the grant mix.
+    """
+    domains = [
+        Domain(f"LD{i}", key_bits=config.key_bits) for i in (1, 2, 3)
+    ]
+    users = [
+        d.register_user(f"LUser{i}", now=0)
+        for i, d in enumerate(domains, start=1)
+    ]
+    coalition = Coalition("loadgen", key_bits=config.key_bits)
+    coalition.form(domains)
+    service = AuthorizationService(
+        name="ServiceP",
+        num_shards=config.num_shards,
+        queue_depth=config.queue_depth,
+        freshness_window=config.freshness_window,
+        dedup=config.dedup,
+        mode=config.mode,
+    )
+    coalition.attach_server(service)
+    object_names = [f"Obj{i}" for i in range(config.num_objects)]
+    for name in object_names:
+        service.register_object(
+            name,
+            [ACLEntry.of("G_read", ["read"]), ACLEntry.of("G_write", ["write"])],
+            admin_group="G_admin",
+        )
+    validity = ValidityPeriod(0, 10**9)
+    read_cert = coalition.authority.issue_threshold_certificate(
+        users, 1, "G_read", 0, validity
+    )
+    write_cert = coalition.authority.issue_threshold_certificate(
+        users, 2, "G_write", 0, validity
+    )
+    victim_certs: List[object] = []
+    if config.revoke_every:
+        n_events = config.total_requests // config.revoke_every + 1
+        victim_certs = [
+            coalition.authority.issue_threshold_certificate(
+                users, 2, "G_victim", 0, validity
+            )
+            for _ in range(n_events)
+        ]
+    return ServiceFixture(
+        service=service,
+        coalition=coalition,
+        users=users,
+        read_cert=read_cert,
+        write_cert=write_cert,
+        victim_certs=victim_certs,
+        object_names=object_names,
+    )
+
+
+def _build_requests(config: LoadgenConfig, fixture: ServiceFixture) -> List[object]:
+    """Pre-sign the whole arrival stream (requestor-side work)."""
+    rng = random.Random(config.seed)
+    requests = []
+    for i in range(config.total_requests):
+        obj = rng.choice(fixture.object_names)
+        now = i + 1
+        if rng.random() < config.read_fraction:
+            requests.append(
+                build_joint_request(
+                    fixture.users[0], [], "read", obj,
+                    fixture.read_cert, now=now, nonce=f"lg-r-{i}",
+                )
+            )
+        else:
+            requests.append(
+                build_joint_request(
+                    fixture.users[0], [fixture.users[1]], "write", obj,
+                    fixture.write_cert, now=now, nonce=f"lg-w-{i}",
+                )
+            )
+    return requests
+
+
+def run_loadgen(
+    config: LoadgenConfig, fixture: Optional[ServiceFixture] = None
+) -> LoadgenReport:
+    """Drive one open-loop run and summarize it."""
+    fixture = fixture or build_fixture(config)
+    service = fixture.service
+    requests = _build_requests(config, fixture)
+    victims = list(fixture.victim_certs)
+
+    tickets: List[Ticket] = []
+    nonce_peak = 0
+    depth_peak = 0
+    start = time.perf_counter()
+    for i, request in enumerate(requests):
+        if config.arrival_rate > 0:
+            target = start + i / config.arrival_rate
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+        if config.revoke_every and i and i % config.revoke_every == 0 and victims:
+            revocation = fixture.coalition.authority.revoke_certificate(
+                victims.pop(), now=i
+            )
+            service.publish_revocation(revocation, now=i)
+        tickets.append(service.submit(request, now=i + 1))
+        nonce_peak = max(nonce_peak, len(service.nonce_ledger))
+        depth_peak = max(depth_peak, max(service.queue_depths(), default=0))
+    if not service.drain(timeout=config.drain_timeout_s):
+        raise RuntimeError("loadgen drain timed out; service wedged?")
+    wall = time.perf_counter() - start
+    # Grants remember nonces at evaluation, which trails submission —
+    # sample once more after the drain so the peak reflects the full run.
+    nonce_peak = max(nonce_peak, len(service.nonce_ledger))
+
+    shed = [t for t in tickets if isinstance(t.result(0), Overloaded)]
+    served = [t for t in tickets if not isinstance(t.result(0), Overloaded)]
+    latencies = sorted(
+        t.latency_s for t in served if t.latency_s is not None
+    )
+    stats = service.stats()
+    report = LoadgenReport(
+        config=asdict(config),
+        wall_s=wall,
+        throughput_rps=(len(served) / wall) if wall > 0 else 0.0,
+        submitted=stats["service"]["submitted"],
+        evaluated=stats["service"]["evaluated"],
+        granted=stats["service"]["granted"],
+        denied=stats["service"]["denied"],
+        overloaded=len(shed),
+        coalesced=stats["service"]["coalesced"],
+        revocations_published=stats["epochs"]["revocations_published"],
+        epochs_published=stats["epochs"]["epochs_published"],
+        p50_ms=percentile(latencies, 0.50) * 1000,
+        p95_ms=percentile(latencies, 0.95) * 1000,
+        p99_ms=percentile(latencies, 0.99) * 1000,
+        max_ms=(latencies[-1] * 1000) if latencies else 0.0,
+        nonce_cache_peak=nonce_peak,
+        queue_depth_peak=depth_peak,
+    )
+    return report
+
+
+# Imported lazily by the CLI / benchmarks so a plain ``import
+# repro.service`` stays light.
+def sequential_baseline(config: LoadgenConfig) -> LoadgenReport:
+    """The same stream against a single sequential CoalitionServer.
+
+    Gives benchmarks an apples-to-apples denominator for shard scaling:
+    one protocol, one thread, no queueing.
+    """
+    fixture_cfg = LoadgenConfig(**{**asdict(config), "num_shards": 1})
+    domains = [Domain(f"BD{i}", key_bits=config.key_bits) for i in (1, 2, 3)]
+    users = [
+        d.register_user(f"BUser{i}", now=0)
+        for i, d in enumerate(domains, start=1)
+    ]
+    coalition = Coalition("loadgen-baseline", key_bits=config.key_bits)
+    coalition.form(domains)
+    server = CoalitionServer(
+        "ServerP", freshness_window=config.freshness_window
+    )
+    coalition.attach_server(server)
+    for i in range(config.num_objects):
+        server.create_object(
+            f"Obj{i}", b"baseline",
+            [ACLEntry.of("G_read", ["read"]), ACLEntry.of("G_write", ["write"])],
+            admin_group="G_admin",
+        )
+    validity = ValidityPeriod(0, 10**9)
+    read_cert = coalition.authority.issue_threshold_certificate(
+        users, 1, "G_read", 0, validity
+    )
+    write_cert = coalition.authority.issue_threshold_certificate(
+        users, 2, "G_write", 0, validity
+    )
+    shim = ServiceFixture(
+        service=None,  # type: ignore[arg-type]
+        coalition=coalition,
+        users=users,
+        read_cert=read_cert,
+        write_cert=write_cert,
+        object_names=[f"Obj{i}" for i in range(config.num_objects)],
+    )
+    requests = _build_requests(fixture_cfg, shim)
+    start = time.perf_counter()
+    granted = denied = 0
+    latencies = []
+    for i, request in enumerate(requests):
+        t0 = time.perf_counter()
+        result = server.handle_request(
+            request, now=i + 1, write_content=b"w"
+        )
+        latencies.append(time.perf_counter() - t0)
+        if result.granted:
+            granted += 1
+        else:
+            denied += 1
+    wall = time.perf_counter() - start
+    latencies.sort()
+    return LoadgenReport(
+        config={**asdict(config), "mode": "sequential-baseline"},
+        wall_s=wall,
+        throughput_rps=(len(requests) / wall) if wall > 0 else 0.0,
+        submitted=len(requests),
+        evaluated=len(requests),
+        granted=granted,
+        denied=denied,
+        p50_ms=percentile(latencies, 0.50) * 1000,
+        p95_ms=percentile(latencies, 0.95) * 1000,
+        p99_ms=percentile(latencies, 0.99) * 1000,
+        max_ms=(latencies[-1] * 1000) if latencies else 0.0,
+    )

@@ -1,0 +1,416 @@
+"""The sharded, epoched, backpressured authorization service.
+
+:class:`AuthorizationService` is the serving layer in front of
+:class:`~repro.coalition.protocol.AuthorizationProtocol`:
+
+* **Sharding** — requests route by resource key to one of N worker
+  protocols; independent objects evaluate concurrently, one object's
+  traffic stays ordered.
+* **Epochs** — policy state (trust anchors, ACLs, revocations) is
+  pinned at admission; see :mod:`repro.service.epoch`.
+* **Backpressure** — bounded per-shard queues; a full queue resolves
+  the ticket with a typed :class:`~repro.service.admission.Overloaded`
+  decision instead of queueing unboundedly or dropping silently.
+* **Dedup** — identical concurrent submissions coalesce onto one
+  evaluation (optional, on by default).
+* **Replay parity** — one nonce ledger spans all shards and epochs, and
+  same-nonce tickets are chained (each waits for its predecessor), so
+  grant/deny decisions are byte-identical to a single sequential
+  protocol evaluating the same admission stream.
+
+Execution modes: ``threaded`` (one worker thread per shard),
+``manual`` (tickets queue until :meth:`pump`, deterministic — what the
+epoch tests drive), and ``inline`` (evaluate during :meth:`submit`).
+The evaluation path is identical in all three; threading only changes
+*when* it runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional
+
+from ..coalition.acl import ACL, ACLEntry
+from ..coalition.protocol import (
+    DEFAULT_FRESHNESS_WINDOW,
+    AuthorizationDecision,
+    AuthorizationProtocol,
+    NonceLedger,
+)
+from ..coalition.requests import JointAccessRequest
+from ..pki.certificates import RevocationCertificate
+from .admission import Overloaded, ShardQueue, Ticket, request_fingerprint
+from .epoch import Epoch, EpochManager, PolicyEntry
+from .sharding import ShardWorker, shard_for
+
+__all__ = ["AuthorizationService", "ServiceError"]
+
+_MODES = ("threaded", "manual", "inline")
+
+
+class ServiceError(Exception):
+    """Misuse of the service lifecycle (config after seal, bad mode...)."""
+
+
+class _TrustFanout:
+    """Duck-types the ``server.protocol`` surface coalition setup uses.
+
+    ``Coalition.attach_server`` configures ``server.protocol`` directly;
+    exposing this proxy as :attr:`AuthorizationService.protocol` lets a
+    service be attached exactly like a :class:`CoalitionServer`.
+    """
+
+    def __init__(self, service: "AuthorizationService"):
+        self._service = service
+
+    def trust_domain_ca(self, *args, **kwargs) -> None:
+        self._service._configure("trust_domain_ca", *args, **kwargs)
+
+    def trust_coalition_aa(self, *args, **kwargs) -> None:
+        self._service._configure("trust_coalition_aa", *args, **kwargs)
+
+    def trust_revocation_authority(self, *args, **kwargs) -> None:
+        self._service._configure("trust_revocation_authority", *args, **kwargs)
+
+
+class AuthorizationService:
+    """Sharded authorization with epoch snapshots and load shedding."""
+
+    def __init__(
+        self,
+        name: str = "ServiceP",
+        num_shards: int = 4,
+        queue_depth: int = 256,
+        freshness_window: int = DEFAULT_FRESHNESS_WINDOW,
+        trust_epoch: int = 0,
+        dedup: bool = True,
+        mode: str = "threaded",
+    ):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if mode not in _MODES:
+            raise ServiceError(f"unknown mode {mode!r}; pick one of {_MODES}")
+        self.name = name
+        self.num_shards = num_shards
+        self.queue_depth = queue_depth
+        self.dedup = dedup
+        self.mode = mode
+        # One replay ledger across every shard and epoch: replays must
+        # deny globally, unlike belief state which shards and snapshots.
+        self.nonce_ledger = NonceLedger(freshness_window)
+        protocols = [
+            AuthorizationProtocol(
+                verifier_name=name,
+                freshness_window=freshness_window,
+                trust_epoch=trust_epoch,
+                nonce_ledger=self.nonce_ledger,
+            )
+            for _ in range(num_shards)
+        ]
+        self._shard_locks = [threading.Lock() for _ in range(num_shards)]
+        self.epochs = EpochManager(protocols, self._shard_locks)
+        self.protocol = _TrustFanout(self)
+        self._queues = [ShardQueue(queue_depth) for _ in range(num_shards)]
+        self._workers: List[ShardWorker] = []
+        # Admission bookkeeping: global sequence, per-shard in-flight
+        # dedup tables, and the tail ticket per nonce (replay chaining).
+        self._admission_lock = threading.Lock()
+        self._next_seq = 0
+        self._inflight: List[Dict[tuple, Ticket]] = [
+            {} for _ in range(num_shards)
+        ]
+        self._nonce_tail: Dict[str, Ticket] = {}
+        self._outstanding = 0
+        self._drained = threading.Condition(self._admission_lock)
+        # A request or publish seals the trust configuration fast path;
+        # later trust changes go through epoch publishes.
+        self._sealed = False
+        self._closed = False
+        # Counters (admission side; evaluation counters live on tickets).
+        self.submitted = 0
+        self.evaluated = 0
+        self.granted = 0
+        self.denied = 0
+        self.overloaded = 0
+        self.coalesced = 0
+        self.barrier_waits = 0
+        if mode == "threaded":
+            self._start_workers()
+
+    # ------------------------------------------------------ configuration
+
+    def _configure(self, method: str, *args, **kwargs) -> None:
+        """Apply a trust_* call to every shard protocol.
+
+        Before the first request this writes the epoch-0 protocols in
+        place; afterwards it publishes a new epoch so pinned evaluations
+        never observe a half-configured trust set.
+        """
+        if not self._sealed:
+            for lock, protocol in zip(
+                self._shard_locks, self.epochs.current.protocols
+            ):
+                with lock:
+                    getattr(protocol, method)(*args, **kwargs)
+            return
+        self.epochs.publish_mutation(
+            lambda protocol: getattr(protocol, method)(*args, **kwargs)
+        )
+
+    def register_object(
+        self,
+        name: str,
+        acl_entries: Iterable[ACLEntry],
+        admin_group: str,
+    ) -> Epoch:
+        """Publish a new object's policy (ACL + admin group)."""
+        current = self.epochs.current
+        if name in current.acls:
+            raise ValueError(f"object {name!r} already registered")
+        entry = PolicyEntry(acl=ACL(list(acl_entries)), admin_group=admin_group)
+        self._sealed = True
+        return self.epochs.publish_policy(name, entry)
+
+    def update_acl(self, name: str, acl_entries: Iterable[ACLEntry]) -> Epoch:
+        """Publish an ACL change for a registered object."""
+        entry = self.epochs.current.acls.get(name)
+        if entry is None:
+            raise KeyError(f"object {name!r} is not registered")
+        return self.epochs.publish_policy(name, entry.updated(list(acl_entries)))
+
+    # -------------------------------------------------------- revocation
+
+    def publish_revocation(
+        self, revocation: RevocationCertificate, now: int
+    ) -> Epoch:
+        """Admit a revocation as a new epoch (atomic across shards)."""
+        self._sealed = True
+        return self.epochs.publish_revocation(revocation, now)
+
+    # CoalitionServer-compatible spelling, so coalition dynamics can
+    # push re-key revocations to an attached service unchanged.
+    def receive_revocation(
+        self, revocation: RevocationCertificate, now: int
+    ) -> None:
+        self.publish_revocation(revocation, now)
+
+    # --------------------------------------------------------- admission
+
+    def submit(self, request: JointAccessRequest, now: int) -> Ticket:
+        """Admit a request: pin the epoch, route, queue (or shed).
+
+        Never blocks on evaluation.  Returns a ticket that resolves to
+        the decision — immediately with :class:`Overloaded` when the
+        target shard's queue is full.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        self._sealed = True
+        epoch = self.epochs.current
+        shard = shard_for(request, self.num_shards)
+        nonces = sorted({part.nonce for part in request.parts})
+        with self._admission_lock:
+            self.submitted += 1
+            if self.dedup:
+                fingerprint = request_fingerprint(request, now)
+                existing = self._inflight[shard].get(fingerprint)
+                if existing is not None and not existing.done():
+                    existing.coalesced += 1
+                    self.coalesced += 1
+                    return existing
+            ticket = Ticket(
+                request=request, now=now, epoch=epoch, shard=shard,
+                seq=self._next_seq,
+            )
+            self._next_seq += 1
+            if not self._queues[shard].try_push(ticket):
+                self.overloaded += 1
+                ticket.resolve(
+                    Overloaded(
+                        granted=False,
+                        reason=(
+                            f"overloaded: shard {shard} admission queue at "
+                            f"depth {self.queue_depth}"
+                        ),
+                        operation=request.operation,
+                        object_name=request.object_name,
+                        checked_at=now,
+                        shard=shard,
+                        queue_depth=self.queue_depth,
+                    )
+                )
+                return ticket
+            self._outstanding += 1
+            if self.dedup:
+                self._inflight[shard][fingerprint] = ticket
+            # Chain same-nonce tickets across shards: the worker waits
+            # for the predecessor, so replay checks observe exactly the
+            # sequential admission order.
+            for nonce in nonces:
+                tail = self._nonce_tail.get(nonce)
+                if tail is not None and not tail.done():
+                    if ticket.predecessor is None or tail.seq > ticket.predecessor.seq:
+                        ticket.predecessor = tail
+                self._nonce_tail[nonce] = ticket
+        if self.mode == "inline":
+            self._pump_until(ticket)
+        return ticket
+
+    def authorize(
+        self, request: JointAccessRequest, now: int
+    ) -> AuthorizationDecision:
+        """Submit and wait: the synchronous convenience path."""
+        ticket = self.submit(request, now)
+        if self.mode == "manual":
+            self._pump_until(ticket)
+        return ticket.result()
+
+    # -------------------------------------------------------- evaluation
+
+    def _evaluate(self, ticket: Ticket) -> None:
+        """Decide one ticket against its pinned epoch (worker context)."""
+        predecessor = ticket.predecessor
+        if predecessor is not None and not predecessor.done():
+            self.barrier_waits += 1
+            predecessor.wait()
+        epoch: Epoch = ticket.epoch
+        request = ticket.request
+        entry = epoch.acls.get(request.object_name)
+        with self._shard_locks[ticket.shard]:
+            if entry is None:
+                decision = AuthorizationDecision(
+                    granted=False,
+                    reason=f"no such object {request.object_name!r}",
+                    operation=request.operation,
+                    object_name=request.object_name,
+                    checked_at=ticket.now,
+                )
+            else:
+                decision = epoch.protocols[ticket.shard].authorize(
+                    request, entry.acl, ticket.now
+                )
+        ticket.resolve(decision)
+        with self._admission_lock:
+            self.evaluated += 1
+            if decision.granted:
+                self.granted += 1
+            else:
+                self.denied += 1
+            if self.dedup:
+                fingerprint = request_fingerprint(request, ticket.now)
+                if self._inflight[ticket.shard].get(fingerprint) is ticket:
+                    del self._inflight[ticket.shard][fingerprint]
+            for part in request.parts:
+                if self._nonce_tail.get(part.nonce) is ticket:
+                    del self._nonce_tail[part.nonce]
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._drained.notify_all()
+
+    # ----------------------------------------------- manual/inline pumping
+
+    def _pump_one(self) -> bool:
+        """Evaluate the globally oldest queued ticket, if any.
+
+        Draining in sequence order keeps nonce-predecessor chains from
+        ever waiting on a not-yet-evaluated ticket in serialized modes.
+        """
+        best_shard, best_seq = -1, None
+        for shard, queue in enumerate(self._queues):
+            seq = queue.peek_seq()
+            if seq is not None and (best_seq is None or seq < best_seq):
+                best_shard, best_seq = shard, seq
+        if best_seq is None:
+            return False
+        ticket = self._queues[best_shard].pop(timeout=0)
+        assert ticket is not None
+        self._evaluate(ticket)
+        return True
+
+    def pump(self, max_tickets: Optional[int] = None) -> int:
+        """Drain queued tickets synchronously (``manual`` mode's engine)."""
+        if self.mode == "threaded":
+            raise ServiceError("pump() is for manual/inline modes")
+        processed = 0
+        while (max_tickets is None or processed < max_tickets) and self._pump_one():
+            processed += 1
+        return processed
+
+    def _pump_until(self, ticket: Ticket) -> None:
+        while not ticket.done():
+            if not self._pump_one():  # pragma: no cover - defensive
+                raise ServiceError("ticket unresolvable: queues are empty")
+
+    # --------------------------------------------------------- lifecycle
+
+    def _start_workers(self) -> None:
+        for shard, queue in enumerate(self._queues):
+            worker = ShardWorker(shard, queue, self._evaluate)
+            self._workers.append(worker)
+            worker.start()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every admitted ticket has resolved."""
+        if self.mode != "threaded":
+            self.pump()
+            return True
+        with self._admission_lock:
+            if self._outstanding == 0:
+                return True
+            return self._drained.wait_for(
+                lambda: self._outstanding == 0, timeout
+            )
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting work, finish the queues, join the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.mode != "threaded":
+            self.pump()
+            return
+        for worker in self._workers:
+            worker.stop()
+        for worker in self._workers:
+            worker.join(timeout)
+
+    def __enter__(self) -> "AuthorizationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- stats
+
+    def queue_depths(self) -> List[int]:
+        return [len(queue) for queue in self._queues]
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Namespaced service/epoch counters (shed is never silent)."""
+        epoch = self.epochs.current
+        return {
+            "service": {
+                "shards": self.num_shards,
+                "queue_depth": self.queue_depth,
+                "submitted": self.submitted,
+                "evaluated": self.evaluated,
+                "granted": self.granted,
+                "denied": self.denied,
+                "overloaded": self.overloaded,
+                "coalesced": self.coalesced,
+                "barrier_waits": self.barrier_waits,
+                "outstanding": self._outstanding,
+                "nonce_cache_size": len(self.nonce_ledger),
+            },
+            "epochs": {
+                "current_epoch": epoch.epoch_id,
+                "objects": len(epoch.acls),
+                "revocations_applied": epoch.revocations_applied,
+                "epochs_published": self.epochs.stats.epochs_published,
+                "revocations_published": self.epochs.stats.revocations_published,
+                "policy_updates_published": (
+                    self.epochs.stats.policy_updates_published
+                ),
+                "forks_taken": self.epochs.stats.forks_taken,
+            },
+        }

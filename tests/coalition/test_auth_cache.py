@@ -45,13 +45,35 @@ class TestAdmissionCache:
         assert decision.index_probes > 0
 
         stats = server.stats()
-        assert stats["cert_cache_entries"] == 3
-        assert stats["cert_cache_misses"] == 3
-        assert stats["full_scans"] == 0
-        assert stats["requests_handled"] == 1
+        assert stats["protocol"]["cert_cache_entries"] == 3
+        assert stats["protocol"]["cert_cache_misses"] == 3
+        assert stats["protocol"]["full_scans"] == 0
+        assert stats["server"]["requests_handled"] == 1
         engine_stats = server.protocol.engine.stats()
         assert engine_stats["steps_taken"] > 0
         assert engine_stats["beliefs"] == len(server.protocol.engine.store)
+
+    def test_stats_layers_are_namespaced_and_disjoint(
+        self, formed_coalition, write_certificate
+    ):
+        """Regression for the flat-merge key collision hazard.
+
+        ``stats()`` used to spread protocol and server counters into one
+        dict, so a same-named counter on both layers silently kept only
+        the last spread.  The layers are now nested; their key sets must
+        stay disjoint so no flat view of them can ever collide either.
+        """
+        _coalition, server, _d, users = formed_coalition
+        server.handle_request(
+            _request(users, write_certificate, now=5), now=5, write_content=b"a"
+        )
+        stats = server.stats()
+        assert set(stats) == {"protocol", "server"}
+        overlap = set(stats["protocol"]) & set(stats["server"])
+        assert overlap == set()
+        # Both layers survived the split intact.
+        assert stats["protocol"]["decisions_made"] == 1
+        assert stats["server"]["objects"] == 1
 
     def test_revocation_evicts_cached_membership(
         self, formed_coalition, write_certificate
@@ -61,14 +83,14 @@ class TestAdmissionCache:
             _request(users, write_certificate, now=5), now=5, write_content=b"a"
         )
         assert granted.granted
-        assert server.stats()["cert_cache_entries"] == 3
+        assert server.stats()["protocol"]["cert_cache_entries"] == 3
 
         revocation = coalition.authority.revoke_certificate(
             write_certificate, now=10
         )
         server.receive_revocation(revocation, now=11)
         # The threshold AC's entry is gone; identity entries survive.
-        assert server.stats()["cert_cache_entries"] == 2
+        assert server.stats()["protocol"]["cert_cache_entries"] == 2
 
         # Regression: the next identical request (fresh nonce) is denied.
         denied = server.handle_request(
@@ -97,7 +119,7 @@ class TestAdmissionCache:
             _request(users, fresh, now=13), now=13, write_content=b"c"
         )
         assert granted.granted
-        assert server.stats()["cert_cache_entries"] == 3
+        assert server.stats()["protocol"]["cert_cache_entries"] == 3
 
 
 class TestNonceWindow:
@@ -143,3 +165,29 @@ class TestNonceWindow:
         )
         assert not stale.granted
         assert "stale" in stale.decision.reason
+
+    def test_revocations_purge_nonces_without_request_traffic(
+        self, formed_coalition, write_certificate, read_certificate
+    ):
+        """Nonce expiry must not depend on request arrival.
+
+        A server seeing only revocation traffic after a burst of
+        requests used to pin the ledger at its high-water mark until the
+        next authorize(); apply_revocation now purges on the same
+        cadence.
+        """
+        coalition, server, _d, users = formed_coalition
+        protocol = server.protocol
+        window = protocol.freshness_window
+
+        assert server.handle_request(
+            _request(users, write_certificate, now=5), now=5, write_content=b"a"
+        ).granted
+        assert protocol.stats()["nonce_cache_size"] == 1
+
+        # Only revocation traffic from here on, far past the window.
+        revocation = coalition.authority.revoke_certificate(
+            read_certificate, now=5 + 2 * window + 10
+        )
+        server.receive_revocation(revocation, now=5 + 2 * window + 11)
+        assert protocol.stats()["nonce_cache_size"] == 0

@@ -1,0 +1,152 @@
+"""Copy-on-write fork semantics for BeliefStore and its consumers.
+
+The epoch machinery depends on one invariant: a fork observes exactly
+the beliefs present at fork time, and afterwards the two stores diverge
+with no leakage in either direction — while still answering queries
+identically to an eager deep copy.
+"""
+
+import random
+
+from repro.core.formulas import KeySpeaksFor, Not, SpeaksForGroup
+from repro.core.patterns import AnyTime
+from repro.core.store import BeliefStore
+from repro.core.temporal import Temporal
+from repro.core.terms import Group, KeyRef, Principal, Var
+
+
+def _membership(i, g="G"):
+    return SpeaksForGroup(
+        Principal(f"P{i}"), Temporal.all(0, 100), Group(g)
+    )
+
+
+def _binding(i):
+    return KeySpeaksFor(KeyRef(f"k{i}"), Temporal.all(0, 100), Principal(f"P{i}"))
+
+
+class TestStoreFork:
+    def test_fork_sees_existing_beliefs(self):
+        store = BeliefStore()
+        for i in range(5):
+            store.add_premise(_membership(i))
+        fork = store.fork()
+        assert fork.snapshot() == store.snapshot()
+        schema = SpeaksForGroup(Var("s"), AnyTime(), Group("G"))
+        assert fork.query(schema) == store.query(schema)
+        assert len(fork) == 5
+
+    def test_divergence_is_two_way_isolated(self):
+        store = BeliefStore()
+        store.add_premise(_membership(0))
+        fork = store.fork()
+
+        store.add_premise(_membership(1))  # parent-only
+        fork.add_premise(_membership(2))  # fork-only
+
+        parent_set = set(store.snapshot())
+        fork_set = set(fork.snapshot())
+        assert _membership(1) in parent_set and _membership(1) not in fork_set
+        assert _membership(2) in fork_set and _membership(2) not in parent_set
+        # Queries on the shared bucket agree about the common prefix only.
+        schema = SpeaksForGroup(Var("s"), AnyTime(), Group("G"))
+        assert [f for f, _b, _p in store.query(schema)] == [
+            _membership(0), _membership(1)
+        ]
+        assert [f for f, _b, _p in fork.query(schema)] == [
+            _membership(0), _membership(2)
+        ]
+
+    def test_revocation_in_fork_does_not_leak_to_parent(self):
+        store = BeliefStore()
+        membership = _membership(0)
+        store.add_premise(membership)
+        fork = store.fork()
+        revocation = Not(
+            SpeaksForGroup(Principal("P0"), Temporal.all(50, 100), Group("G"))
+        )
+        fork.add_premise(revocation)
+        schema = SpeaksForGroup(Principal("P0"), AnyTime(), Group("G"))
+        assert fork.negations_of(schema)
+        assert store.negations_of(schema) == []
+
+    def test_fork_of_fork_chains(self):
+        store = BeliefStore()
+        store.add_premise(_membership(0))
+        child = store.fork()
+        child.add_premise(_membership(1))
+        grandchild = child.fork()
+        grandchild.add_premise(_membership(2))
+        child.add_premise(_membership(3))
+        assert set(store.snapshot()) == {_membership(0)}
+        assert set(child.snapshot()) == {
+            _membership(0), _membership(1), _membership(3)
+        }
+        assert set(grandchild.snapshot()) == {
+            _membership(0), _membership(1), _membership(2)
+        }
+
+    def test_fork_matches_rebuilt_store_under_fuzz(self):
+        """Randomized adds on both sides vs. eagerly rebuilt references."""
+        rng = random.Random(7)
+        store = BeliefStore()
+        history = []
+        for i in range(60):
+            formula = _membership(i, g=f"G{rng.randrange(4)}")
+            store.add_premise(formula)
+            history.append(formula)
+        fork = store.fork()
+        parent_extra, fork_extra = [], []
+        for i in range(60, 120):
+            formula = (
+                _binding(i) if rng.random() < 0.5
+                else _membership(i, g=f"G{rng.randrange(4)}")
+            )
+            if rng.random() < 0.5:
+                store.add_premise(formula)
+                parent_extra.append(formula)
+            else:
+                fork.add_premise(formula)
+                fork_extra.append(formula)
+
+        rebuilt_parent, rebuilt_fork = BeliefStore(), BeliefStore()
+        for formula in history + parent_extra:
+            rebuilt_parent.add_premise(formula)
+        for formula in history + fork_extra:
+            rebuilt_fork.add_premise(formula)
+
+        schemas = [
+            SpeaksForGroup(Var("s"), AnyTime(), Group("G1")),
+            SpeaksForGroup(Var("s"), AnyTime(), Var("g")),
+            KeySpeaksFor(Var("k"), AnyTime(), Var("p")),
+            Var("anything"),
+        ]
+        for schema in schemas:
+            assert [f for f, _b, _p in store.query(schema)] == [
+                f for f, _b, _p in rebuilt_parent.query(schema)
+            ]
+            assert [f for f, _b, _p in fork.query(schema)] == [
+                f for f, _b, _p in rebuilt_fork.query(schema)
+            ]
+        assert store.snapshot() == rebuilt_parent.snapshot()
+        assert fork.snapshot() == rebuilt_fork.snapshot()
+
+
+class TestProtocolFork:
+    def test_protocol_fork_shares_nonce_ledger(self):
+        from repro.coalition.protocol import AuthorizationProtocol
+
+        protocol = AuthorizationProtocol("P", freshness_window=10**6)
+        fork = protocol.fork()
+        assert fork.nonces is protocol.nonces
+        protocol.nonces.remember("n1", now=0)
+        assert fork.nonces.seen("n1")
+
+    def test_protocol_fork_isolates_beliefs_and_cache(self):
+        from repro.coalition.protocol import AuthorizationProtocol
+
+        protocol = AuthorizationProtocol("P")
+        fork = protocol.fork()
+        fork.engine.believe(_membership(1), note="fork-only")
+        assert _membership(1) not in protocol.engine.store
+        assert _membership(1) in fork.engine.store
