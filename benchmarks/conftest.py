@@ -37,8 +37,8 @@ def service_report(request):
         "_service_bench_reports", {}
     )
 
-    def record(name, report):
-        reports[name] = {"name": name, **report.as_dict()}
+    def record(name, report, **extra):
+        reports[name] = {"name": name, **report.as_dict(), **extra}
 
     return record
 

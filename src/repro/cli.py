@@ -59,20 +59,20 @@ def _cmd_keygen(args: argparse.Namespace) -> int:
     from repro.crypto.boneh_franklin import dealer_shared_rsa, generate_shared_rsa
     from repro.crypto.joint_signature import joint_sign
 
-    start = time.time()
+    start = time.perf_counter()
     if args.dealerless:
         result = generate_shared_rsa(args.n, bits=args.bits)
     else:
         result = dealer_shared_rsa(args.n, bits=args.bits)
-    elapsed = time.time() - start
+    elapsed = time.perf_counter() - start
     print(
         f"{'dealerless' if args.dealerless else 'dealer'} shared RSA key: "
         f"N={result.public_key.bits} bits, {args.n} shares, "
         f"{result.candidate_rounds} candidate rounds, {elapsed:.2f}s"
     )
-    start = time.time()
+    start = time.perf_counter()
     signature = joint_sign(b"cli probe", result.shares, result.public_key)
-    sign_elapsed = time.time() - start
+    sign_elapsed = time.perf_counter() - start
     ok = result.public_key.verify(b"cli probe", signature)
     print(f"joint signature: {sign_elapsed*1000:.2f} ms, verifies={ok}")
     if sign_elapsed > 0:
@@ -188,6 +188,117 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _traced_demo_service(bits: int):
+    """A demo coalition fronted by a tracing, audited service.
+
+    Shared by ``explain`` and ``metrics``: three domains, one object
+    with read/write groups, and an inline-mode
+    :class:`~repro.service.AuthorizationService` with tracing on and a
+    hash-chained audit log attached.
+    """
+    from repro.coalition import ACLEntry, AuditLog, Coalition, Domain
+    from repro.pki import ValidityPeriod
+    from repro.service import AuthorizationService
+
+    domains = [Domain(f"D{i}", key_bits=bits) for i in (1, 2, 3)]
+    users = [
+        d.register_user(f"User_D{i}", now=0)
+        for i, d in enumerate(domains, start=1)
+    ]
+    coalition = Coalition("cli-explain", key_bits=bits)
+    coalition.form(domains)
+    service = AuthorizationService(
+        name="ServiceP",
+        num_shards=2,
+        mode="inline",
+        tracing=True,
+        audit_log=AuditLog(key_bits=bits),
+    )
+    coalition.attach_server(service)
+    service.register_object(
+        "ObjectO",
+        [ACLEntry.of("G_write", ["write"]), ACLEntry.of("G_read", ["read"])],
+        admin_group="G_admin",
+    )
+    tac = coalition.authority.issue_threshold_certificate(
+        users, 2, "G_write", 1, ValidityPeriod(1, 1000)
+    )
+    return coalition, users, service, tac
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Replay one joint request with tracing on and render the trace.
+
+    Shows the full decision path — admission, queue wait, epoch pin,
+    derivation (with the axiom names that fired), audit append — plus
+    the proof tree, and verifies the audit chain that recorded it.
+    """
+    import json
+
+    from repro.coalition import build_joint_request
+    from repro.core.proofs import render_proof
+    from repro.obs.trace import render_span
+
+    coalition, users, service, tac = _traced_demo_service(args.bits)
+    try:
+        request = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", tac, now=2
+        )
+        ticket = service.submit(request, now=3)
+        decision = ticket.result()
+        trace = service.tracer.find_trace(ticket.trace_id)
+        assert trace is not None
+        if args.json:
+            print(json.dumps(trace.to_dict(), indent=2, sort_keys=True))
+            return 0 if decision.granted else 1
+        print(f"decision: {'GRANTED' if decision.granted else 'DENIED'}")
+        print(f"reason:   {decision.reason}")
+        print(f"trace:    {ticket.trace_id}")
+        print()
+        print(render_span(trace))
+        if decision.proof is not None:
+            print()
+            print("proof tree:")
+            print(render_proof(decision.proof))
+        audit = service.audit_log
+        audit.verify(expected_length=len(audit))
+        entry = audit.entries()[-1]
+        print()
+        print(
+            f"audit: chain of {len(audit)} verified; entry "
+            f"#{entry.sequence} carries trace_id={entry.trace_id}"
+        )
+        return 0 if decision.granted else 1
+    finally:
+        service.close()
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a short traffic sample and print the merged metrics snapshot."""
+    import json
+
+    from repro.obs.metrics import validate_snapshot
+    from repro.service.loadgen import LoadgenConfig, build_fixture, run_loadgen
+
+    config = LoadgenConfig(
+        num_shards=args.shards,
+        total_requests=args.requests,
+        key_bits=args.bits,
+        mode="threaded",
+        tracing=args.tracing,
+        seed=args.seed,
+    )
+    fixture = build_fixture(config)
+    try:
+        run_loadgen(config, fixture)
+        snapshot = fixture.service.metrics_snapshot()
+        validate_snapshot(snapshot)
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    finally:
+        fixture.service.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -251,6 +362,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--json", action="store_true")
     serve.set_defaults(func=_cmd_serve_bench)
+
+    explain = sub.add_parser(
+        "explain",
+        help="trace one decision end to end (spans + proof + audit)",
+    )
+    explain.add_argument("--bits", type=int, default=256)
+    explain.add_argument(
+        "--json", action="store_true", help="emit the span tree as JSON"
+    )
+    explain.set_defaults(func=_cmd_explain)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a traffic sample, print the merged metrics snapshot",
+    )
+    metrics.add_argument("--shards", type=int, default=2)
+    metrics.add_argument("--requests", type=int, default=50)
+    metrics.add_argument("--bits", type=int, default=256)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument(
+        "--tracing", action="store_true",
+        help="enable decision tracing during the sample",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     return parser
 

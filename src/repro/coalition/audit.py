@@ -15,6 +15,7 @@ and the previous entry's digest — a classic hash chain.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -54,6 +55,11 @@ class AuditEntry:
     proof_digest: str
     previous_digest: str
     signature: int = 0
+    # Decision-trace correlation (repro.obs.trace): the id of the span
+    # tree recorded while deciding this request, or "" when tracing was
+    # off.  Part of the signed, hash-chained payload, so the trace an
+    # operator replays is bound to the entry an auditor verified.
+    trace_id: str = ""
 
     def payload_bytes(self) -> bytes:
         return canonical_bytes(
@@ -67,6 +73,7 @@ class AuditEntry:
                 "reason": self.reason,
                 "proof_digest": self.proof_digest,
                 "previous_digest": self.previous_digest,
+                "trace_id": self.trace_id,
             }
         )
 
@@ -80,32 +87,47 @@ class AuditLog:
     def __init__(self, signer: Optional[RSAKeyPair] = None, key_bits: int = 256):
         self._signer = signer or generate_keypair(bits=key_bits)
         self._entries: List[AuditEntry] = []
+        # Appends read the previous digest and extend the chain; the
+        # lock makes that read-extend atomic so shard workers of the
+        # sharded service can share one log.
+        self._lock = threading.RLock()
 
     @property
     def public_key(self) -> RSAPublicKey:
         return self._signer.public
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def entries(self) -> List[AuditEntry]:
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
-    def append(self, decision: AuthorizationDecision) -> AuditEntry:
-        """Record a decision as the next chained entry."""
-        previous = self._entries[-1].digest() if self._entries else _GENESIS
-        entry = AuditEntry(
-            sequence=len(self._entries),
-            timestamp=decision.checked_at,
-            operation=decision.operation,
-            object_name=decision.object_name,
-            group=decision.group,
-            granted=decision.granted,
-            reason=decision.reason,
-            proof_digest=_proof_digest(decision),
-            previous_digest=previous,
-        )
-        return self._append_signed(entry)
+    def append(
+        self, decision: AuthorizationDecision, trace_id: str = ""
+    ) -> AuditEntry:
+        """Record a decision as the next chained entry.
+
+        ``trace_id`` correlates the entry with a recorded decision
+        trace (see :mod:`repro.obs.trace`); it is signed and chained
+        with the rest of the payload.
+        """
+        with self._lock:
+            previous = self._entries[-1].digest() if self._entries else _GENESIS
+            entry = AuditEntry(
+                sequence=len(self._entries),
+                timestamp=decision.checked_at,
+                operation=decision.operation,
+                object_name=decision.object_name,
+                group=decision.group,
+                granted=decision.granted,
+                reason=decision.reason,
+                proof_digest=_proof_digest(decision),
+                previous_digest=previous,
+                trace_id=trace_id,
+            )
+            return self._append_signed(entry)
 
     def append_event(
         self,
@@ -116,6 +138,7 @@ class AuditLog:
         detail: str = "",
         granted: bool = False,
         group: Optional[str] = None,
+        trace_id: str = "",
     ) -> AuditEntry:
         """Record a flow-level event (degradation, timeout, abandonment).
 
@@ -126,19 +149,21 @@ class AuditLog:
         ``flow-degraded`` / ``flow-timed-out`` / ``flow-abandoned`` /
         ``flow-replay-suppressed``.
         """
-        previous = self._entries[-1].digest() if self._entries else _GENESIS
-        entry = AuditEntry(
-            sequence=len(self._entries),
-            timestamp=timestamp,
-            operation=operation,
-            object_name=object_name,
-            group=group,
-            granted=granted,
-            reason=f"{kind}: {detail}" if detail else kind,
-            proof_digest=_GENESIS,
-            previous_digest=previous,
-        )
-        return self._append_signed(entry)
+        with self._lock:
+            previous = self._entries[-1].digest() if self._entries else _GENESIS
+            entry = AuditEntry(
+                sequence=len(self._entries),
+                timestamp=timestamp,
+                operation=operation,
+                object_name=object_name,
+                group=group,
+                granted=granted,
+                reason=f"{kind}: {detail}" if detail else kind,
+                proof_digest=_GENESIS,
+                previous_digest=previous,
+                trace_id=trace_id,
+            )
+            return self._append_signed(entry)
 
     def events(self, kind: Optional[str] = None) -> List[AuditEntry]:
         """Entries recorded via :meth:`append_event` (optionally by kind)."""
@@ -153,21 +178,31 @@ class AuditLog:
         signed = dataclasses.replace(
             entry, signature=self._signer.private.sign(entry.payload_bytes())
         )
-        self._entries.append(signed)
+        with self._lock:
+            self._entries.append(signed)
         return signed
 
     @staticmethod
     def verify_chain(
-        entries: List[AuditEntry], public_key: RSAPublicKey
+        entries: List[AuditEntry],
+        public_key: RSAPublicKey,
+        expected_length: Optional[int] = None,
     ) -> None:
         """Verify signatures, sequence numbers and the hash chain.
 
         Raises:
             AuditVerificationError: on any alteration, reordering or
-                mid-chain removal.  (Truncation *from the tail* is not
-                detectable from the chain alone; auditors compare
-                lengths across replicas for that.)
+                mid-chain removal.  Truncation *from the tail* is not
+                detectable from the chain alone; auditors who know the
+                expected entry count from an out-of-band source (a
+                replica, a counter snapshot) pass ``expected_length``
+                and tail truncation raises too.
         """
+        if expected_length is not None and len(entries) != expected_length:
+            raise AuditVerificationError(
+                f"chain has {len(entries)} entries, expected "
+                f"{expected_length} (tail truncated or padded?)"
+            )
         previous = _GENESIS
         for index, entry in enumerate(entries):
             if entry.sequence != index:
@@ -184,6 +219,6 @@ class AuditLog:
                 )
             previous = entry.digest()
 
-    def verify(self) -> None:
+    def verify(self, expected_length: Optional[int] = None) -> None:
         """Self-check the whole log."""
-        self.verify_chain(self._entries, self.public_key)
+        self.verify_chain(self.entries(), self.public_key, expected_length)

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.derivation import DerivationEngine, DerivationError
+from ..obs.metrics import MetricsRegistry
 from ..core.formulas import (
     Controls,
     Formula,
@@ -153,9 +154,19 @@ class AuthorizationProtocol:
         # certificate, reused across requests until a revocation evicts
         # it.  Keyed by the (frozen, hashable) certificate object.
         self._cert_cache: Dict[Certificate, ProofStep] = {}
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self.decisions_made = 0
+        self.metrics = MetricsRegistry("protocol")
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        self._cache_hits = self.metrics.counter("cert_cache_hits")
+        self._cache_misses = self.metrics.counter("cert_cache_misses")
+        self._decisions_made = self.metrics.counter("decisions_made")
+        self._revocations_admitted = self.metrics.counter("revocations_admitted")
+        self._gauge_cache_entries = self.metrics.gauge("cert_cache_entries")
+
+    @property
+    def decisions_made(self) -> int:
+        return self._decisions_made.value
 
     def fork(self) -> "AuthorizationProtocol":
         """A copy-on-write clone for epoch snapshots (:mod:`repro.service`).
@@ -176,9 +187,8 @@ class AuthorizationProtocol:
         clone._trusted_ra_keys = dict(self._trusted_ra_keys)
         clone.nonces = self.nonces
         clone._cert_cache = dict(self._cert_cache)
-        clone._cache_hits = self._cache_hits
-        clone._cache_misses = self._cache_misses
-        clone.decisions_made = self.decisions_made
+        clone.metrics = self.metrics.fork()
+        clone._bind_metrics()
         return clone
 
     # ----------------------------------------------------- trust set-up
@@ -304,10 +314,10 @@ class AuthorizationProtocol:
         """
         proof = self._cert_cache.get(cert)
         if proof is not None:
-            self._cache_hits += 1
+            self._cache_hits.inc()
             return proof
         proof = self.engine.admit_certificate(cert.idealize(), now)
-        self._cache_misses += 1
+        self._cache_misses.inc()
         self._cert_cache[cert] = proof
         return proof
 
@@ -368,6 +378,7 @@ class AuthorizationProtocol:
             )
         validate_certificate(revocation, ra_key)
         proof = self.engine.admit_revocation(revocation.idealize(), now)
+        self._revocations_admitted.inc()
         self._evict_revoked(proof.conclusion)
         # Purge on the revocation path too: nonce expiry must not depend
         # on request arrival alone (sustained revocation-only traffic
@@ -401,9 +412,10 @@ class AuthorizationProtocol:
         self, request: JointAccessRequest, acl: ACL, now: int
     ) -> AuthorizationDecision:
         """Run Steps 0-4 on a joint access request against ``acl``."""
-        self.decisions_made += 1
+        self._decisions_made.inc()
         probes_before = self.engine.store.stats()["index_probes"]
-        hits_before, misses_before = self._cache_hits, self._cache_misses
+        hits_before = self._cache_hits.value
+        misses_before = self._cache_misses.value
 
         def deny(reason: str) -> AuthorizationDecision:
             return AuthorizationDecision(
@@ -412,8 +424,8 @@ class AuthorizationProtocol:
                 operation=request.operation,
                 object_name=request.object_name,
                 checked_at=now,
-                cache_hits=self._cache_hits - hits_before,
-                cache_misses=self._cache_misses - misses_before,
+                cache_hits=self._cache_hits.value - hits_before,
+                cache_misses=self._cache_misses.value - misses_before,
                 index_probes=self.engine.store.stats()["index_probes"]
                 - probes_before,
             )
@@ -520,8 +532,8 @@ class AuthorizationProtocol:
             group=group,
             proof=group_says_proof,
             derivation_steps=group_says_proof.size(),
-            cache_hits=self._cache_hits - hits_before,
-            cache_misses=self._cache_misses - misses_before,
+            cache_hits=self._cache_hits.value - hits_before,
+            cache_misses=self._cache_misses.value - misses_before,
             index_probes=self.engine.store.stats()["index_probes"]
             - probes_before,
         )
@@ -529,13 +541,29 @@ class AuthorizationProtocol:
     # ----------------------------------------------------------- stats
 
     def stats(self) -> Dict[str, int]:
-        """Engine + fast-path counters, for benchmarks and load tests."""
+        """Engine + fast-path counters, for benchmarks and load tests.
+
+        A thin view over the unified metrics registries; the flat dict
+        shape predates the registry and stays stable for callers.
+        """
         return {
             **self.engine.stats(),
             "decisions_made": self.decisions_made,
             "cert_cache_entries": len(self._cert_cache),
-            "cert_cache_hits": self._cache_hits,
-            "cert_cache_misses": self._cache_misses,
+            "cert_cache_hits": self._cache_hits.value,
+            "cert_cache_misses": self._cache_misses.value,
             "tracked_nonces": len(self.nonces),
             "nonce_cache_size": len(self.nonces),
         }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Merged protocol + engine + store registry snapshot.
+
+        The shared nonce ledger is *not* gauged here: it is global to
+        the server/service that owns it, and summing one shared size
+        across shard forks would multiply it (see DESIGN.md §10).
+        """
+        self._gauge_cache_entries.set(len(self._cert_cache))
+        return MetricsRegistry.merge(
+            [self.metrics.snapshot(), self.engine.metrics_snapshot()]
+        )

@@ -9,16 +9,28 @@ threshold certificates.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, Optional, Tuple
 
 from ..crypto.rsa import RSAPublicKey, hybrid_encrypt
+from ..obs.metrics import MetricsRegistry
 from ..pki.certificates import RevocationCertificate
 from .acl import ACL, ACLEntry, CoalitionObject, PolicyObject
 from .protocol import AuthorizationDecision, AuthorizationProtocol
 from .requests import JointAccessRequest
 
 __all__ = ["AccessResult", "CoalitionServer"]
+
+DEFAULT_ACCESS_LOG_LIMIT = 10_000
+
+_FLOW_EVENT_KINDS = (
+    "flow_retries",
+    "flows_timed_out",
+    "flows_degraded",
+    "flows_abandoned",
+    "flow_replays_suppressed",
+)
 
 
 @dataclass
@@ -41,6 +53,7 @@ class CoalitionServer:
         name: str = "ServerP",
         freshness_window: int = 50,
         trust_epoch: int = 0,
+        access_log_limit: int = DEFAULT_ACCESS_LOG_LIMIT,
     ):
         self.name = name
         self.protocol = AuthorizationProtocol(
@@ -49,17 +62,42 @@ class CoalitionServer:
             trust_epoch=trust_epoch,
         )
         self.objects: Dict[str, CoalitionObject] = {}
-        self.access_log: List[AuthorizationDecision] = []
+        # The retained decision log is bounded (oldest entries fall off)
+        # so sustained traffic cannot grow server memory without limit;
+        # grant_rate()/requests_handled run on O(1) counters covering
+        # the *full* history, not just the retained window.
+        if access_log_limit is not None and access_log_limit < 1:
+            raise ValueError("access_log_limit must be >= 1 (or None)")
+        self.access_log_limit = access_log_limit
+        self.access_log: Deque[AuthorizationDecision] = deque(
+            maxlen=access_log_limit
+        )
+        self.metrics = MetricsRegistry("server")
+        self._granted_total = self.metrics.counter("granted_total")
+        self._denied_total = self.metrics.counter("denied_total")
+        self._requests_handled = self.metrics.counter("requests_handled")
+        self._gauge_objects = self.metrics.gauge("objects")
+        self._gauge_log_retained = self.metrics.gauge("access_log_retained")
         # Fault-tolerance tallies reported by the networked flow layer
         # (repro.coalition.netflow) via record_flow_event; surfaced in
         # stats() next to the protocol's fast-path counters.
-        self.flow_events: Dict[str, int] = {
-            "flow_retries": 0,
-            "flows_timed_out": 0,
-            "flows_degraded": 0,
-            "flows_abandoned": 0,
-            "flow_replays_suppressed": 0,
+        self._flow_events: Dict[str, object] = {
+            kind: self.metrics.counter(kind) for kind in _FLOW_EVENT_KINDS
         }
+
+    @property
+    def flow_events(self) -> Dict[str, int]:
+        """Flow-event tallies as a plain dict view (name -> count)."""
+        return {kind: c.value for kind, c in self._flow_events.items()}
+
+    def _record_decision(self, decision: AuthorizationDecision) -> None:
+        """Append to the bounded log and bump the full-history counters."""
+        self.access_log.append(decision)
+        self._requests_handled.inc()
+        if decision.granted:
+            self._granted_total.inc()
+        else:
+            self._denied_total.inc()
 
     # -------------------------------------------------------- management
 
@@ -109,11 +147,11 @@ class CoalitionServer:
                 object_name=request.object_name,
                 checked_at=now,
             )
-            self.access_log.append(decision)
+            self._record_decision(decision)
             return AccessResult(decision=decision)
 
         decision = self.protocol.authorize(request, obj.policy.acl, now)
-        self.access_log.append(decision)
+        self._record_decision(decision)
         if not decision.granted:
             return AccessResult(decision=decision)
 
@@ -150,11 +188,11 @@ class CoalitionServer:
                 object_name=request.object_name,
                 checked_at=now,
             )
-            self.access_log.append(decision)
+            self._record_decision(decision)
             return decision
         admin_acl = ACL([ACLEntry.of(obj.policy.admin_group, ["set_policy"])])
         decision = self.protocol.authorize(request, admin_acl, now)
-        self.access_log.append(decision)
+        self._record_decision(decision)
         if decision.granted:
             obj.policy.update(new_entries)
         return decision
@@ -176,15 +214,22 @@ class CoalitionServer:
         :attr:`flow_events`; unknown kinds raise so a typo in the flow
         layer cannot silently lose a counter.
         """
-        if kind not in self.flow_events:
+        counter = self._flow_events.get(kind)
+        if counter is None:
             raise ValueError(f"unknown flow event kind {kind!r}")
-        self.flow_events[kind] += count
+        counter.inc(count)
 
     def grant_rate(self) -> float:
-        if not self.access_log:
+        """Granted fraction over the *full* decision history, O(1).
+
+        Counters cover every decision ever handled, so the rate keeps
+        its original semantics even after the bounded retained log has
+        dropped old entries.
+        """
+        total = self._granted_total.value + self._denied_total.value
+        if total == 0:
             return 0.0
-        granted = sum(1 for d in self.access_log if d.granted)
-        return granted / len(self.access_log)
+        return self._granted_total.value / total
 
     def stats(self) -> Dict[str, Dict[str, int]]:
         """Namespaced counters: ``protocol`` and ``server`` layers.
@@ -199,6 +244,17 @@ class CoalitionServer:
             "server": {
                 **self.flow_events,
                 "objects": len(self.objects),
-                "requests_handled": len(self.access_log),
+                "requests_handled": self._requests_handled.value,
+                "granted_total": self._granted_total.value,
+                "denied_total": self._denied_total.value,
+                "access_log_retained": len(self.access_log),
             },
         }
+
+    def metrics_snapshot(self) -> "Dict[str, object]":
+        """Merged server + protocol + engine + store registry snapshot."""
+        self._gauge_objects.set(len(self.objects))
+        self._gauge_log_retained.set(len(self.access_log))
+        return MetricsRegistry.merge(
+            [self.metrics.snapshot(), self.protocol.metrics_snapshot()]
+        )

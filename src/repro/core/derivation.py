@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import MetricsRegistry
 from . import axioms
 from .axioms import AxiomError
 from .formulas import (
@@ -88,7 +89,12 @@ class DerivationEngine:
         # the compound principal holding the shares implements the
         # authority principal.  Registered aliases rewrite A10 originators.
         self._aliases: Dict[CompoundPrincipal, Principal] = {}
-        self.steps_taken = 0
+        self.metrics = MetricsRegistry("engine")
+        self._steps_taken = self.metrics.counter("steps_taken")
+
+    @property
+    def steps_taken(self) -> int:
+        return self._steps_taken.value
 
     # ------------------------------------------------------------ setup
 
@@ -100,9 +106,16 @@ class DerivationEngine:
         """Observability counters: derivation steps + belief-store index.
 
         Cumulative since engine construction; benchmarks assert cache
-        wins on deltas of these rather than wall-clock.
+        wins on deltas of these rather than wall-clock.  A thin view
+        over the unified metrics registries (see :mod:`repro.obs`).
         """
         return {"steps_taken": self.steps_taken, **self.store.stats()}
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Merged engine + store registry snapshot."""
+        return MetricsRegistry.merge(
+            [self.metrics.snapshot(), self.store.metrics_snapshot()]
+        )
 
     def fork(self) -> "DerivationEngine":
         """A copy-on-write clone: same beliefs/aliases now, divergent after.
@@ -115,7 +128,8 @@ class DerivationEngine:
         clone.owner = self.owner
         clone.store = self.store.fork()
         clone._aliases = dict(self._aliases)
-        clone.steps_taken = self.steps_taken
+        clone.metrics = self.metrics.fork()
+        clone._steps_taken = clone.metrics.counter("steps_taken")
         return clone
 
     def register_alias(
@@ -195,7 +209,7 @@ class DerivationEngine:
             )
         except AxiomError as exc:
             raise DerivationError(f"A10 failed: {exc}") from exc
-        self.steps_taken += 1
+        self._steps_taken.inc()
         said_body, said_signed = self._rewrite_alias(said_body), self._rewrite_alias(
             said_signed
         )
@@ -328,7 +342,7 @@ class DerivationEngine:
                 axioms.a22_jurisdiction(instantiated, utterance)
             except AxiomError:
                 continue
-            self.steps_taken += 1
+            self._steps_taken.inc()
             # Relocate at the verifier: the controls beliefs carry the
             # verifier's clock (the ",P" subscripts in the paper), so the
             # located formula sits at the verifier over <t*, t_utter>.
@@ -354,7 +368,7 @@ class DerivationEngine:
         located = located_proof.conclusion
         if not isinstance(located, At) or located.place != self.owner:
             raise DerivationError("can only strip a location at the verifier")
-        self.steps_taken += 1
+        self._steps_taken.inc()
         return self.store.add(
             ProofStep(located.body, "A9", (located_proof,), note="A3/A9 reduction")
         )
@@ -466,7 +480,7 @@ class DerivationEngine:
                 rule = "A34"
         except AxiomError as exc:
             raise DerivationError(f"group-says derivation failed: {exc}") from exc
-        self.steps_taken += 1
+        self._steps_taken.inc()
         return self.store.add(
             ProofStep(conclusion, rule, (membership_proof, *utterance_proofs))
         )

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
 from .formulas import (
     At,
     Believes,
@@ -121,10 +122,18 @@ class BeliefStore:
         # Bucket keys whose entry lists are shared with a fork (see
         # :meth:`fork`); such a bucket is copied before its first append.
         self._cow_buckets: set = set()
-        # Observability counters, surfaced via DerivationEngine.stats().
-        self._stat_probes = 0  # queries answered from index buckets
-        self._stat_full_scans = 0  # queries that had to scan everything
-        self._stat_candidates = 0  # beliefs actually run through match()
+        # Observability counters, surfaced via DerivationEngine.stats()
+        # and the unified registry (repro.obs.metrics).
+        self.metrics = MetricsRegistry("store")
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        """Cache metric handles so hot paths skip the name lookup."""
+        self._stat_probes = self.metrics.counter("index_probes")
+        self._stat_full_scans = self.metrics.counter("full_scans")
+        self._stat_candidates = self.metrics.counter("candidates_examined")
+        self._gauge_beliefs = self.metrics.gauge("beliefs")
+        self._gauge_buckets = self.metrics.gauge("index_buckets")
 
     def __len__(self) -> int:
         return len(self._beliefs)
@@ -168,12 +177,12 @@ class BeliefStore:
         """Index-ordered candidate beliefs for ``schema`` (superset of matches)."""
         key = _schema_key(schema)
         if key is None:
-            self._stat_full_scans += 1
+            self._stat_full_scans.inc()
             return [
                 (seq, formula, proof)
                 for seq, (formula, proof) in enumerate(self._beliefs.items())
             ]
-        self._stat_probes += 1
+        self._stat_probes.inc()
         head, secondary = key
         by_secondary = self._index.get(head)
         if not by_secondary:
@@ -199,7 +208,7 @@ class BeliefStore:
         """All beliefs unifying with ``schema`` (with their bindings)."""
         results = []
         for _seq, formula, proof in self._candidates(schema):
-            self._stat_candidates += 1
+            self._stat_candidates.inc()
             bindings = match(schema, formula)
             if bindings is not None:
                 results.append((formula, bindings, proof))
@@ -210,7 +219,7 @@ class BeliefStore:
     ) -> Optional[Tuple[Formula, Bindings, ProofStep]]:
         """The first belief unifying with ``schema``, if any."""
         for _seq, formula, proof in self._candidates(schema):
-            self._stat_candidates += 1
+            self._stat_candidates.inc()
             bindings = match(schema, formula)
             if bindings is not None:
                 return formula, bindings, proof
@@ -225,7 +234,7 @@ class BeliefStore:
         """
         results = []
         for _seq, formula, proof in self._candidates(Not(schema)):
-            self._stat_candidates += 1
+            self._stat_candidates.inc()
             if not isinstance(formula, Not):
                 continue
             if match(schema, formula.body) is not None:
@@ -260,9 +269,8 @@ class BeliefStore:
             head: dict(by_secondary) for head, by_secondary in self._index.items()
         }
         clone._next_seq = self._next_seq
-        clone._stat_probes = self._stat_probes
-        clone._stat_full_scans = self._stat_full_scans
-        clone._stat_candidates = self._stat_candidates
+        clone.metrics = self.metrics.fork()
+        clone._bind_metrics()
         shared = {
             (head, secondary)
             for head, by_secondary in self._index.items()
@@ -275,11 +283,21 @@ class BeliefStore:
     # ------------------------------------------------------------- stats
 
     def stats(self) -> Dict[str, int]:
-        """Index observability counters (cumulative since construction)."""
+        """Index observability counters (cumulative since construction).
+
+        A thin view over the unified metrics registry; the dict shape
+        predates the registry and is kept stable for existing callers.
+        """
         return {
             "beliefs": len(self._beliefs),
             "index_buckets": sum(len(v) for v in self._index.values()),
-            "index_probes": self._stat_probes,
-            "full_scans": self._stat_full_scans,
-            "candidates_examined": self._stat_candidates,
+            "index_probes": self._stat_probes.value,
+            "full_scans": self._stat_full_scans.value,
+            "candidates_examined": self._stat_candidates.value,
         }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Registry snapshot with size gauges refreshed."""
+        self._gauge_beliefs.set(len(self._beliefs))
+        self._gauge_buckets.set(sum(len(v) for v in self._index.values()))
+        return self.metrics.snapshot()

@@ -65,6 +65,8 @@ class Ticket:
         "coalesced",
         "submitted_at",
         "completed_at",
+        "trace",
+        "queue_span",
         "_decision",
         "_done",
     )
@@ -86,8 +88,17 @@ class Ticket:
         self.coalesced = 0  # extra submitters served by this evaluation
         self.submitted_at = time.perf_counter()
         self.completed_at: Optional[float] = None
+        # Decision trace (repro.obs.trace): the root span of this
+        # request's trace tree plus the open queue-wait child the
+        # worker closes at dequeue.  Both None when tracing is off.
+        self.trace = None
+        self.queue_span = None
         self._decision: Optional[AuthorizationDecision] = None
         self._done = threading.Event()
+
+    @property
+    def trace_id(self) -> str:
+        return self.trace.trace_id if self.trace is not None else ""
 
     def resolve(self, decision: AuthorizationDecision) -> None:
         self._decision = decision

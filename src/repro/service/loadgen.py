@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import asdict, dataclass, field
+from math import ceil
 from typing import Dict, List, Optional
 
 from ..coalition import (
@@ -50,6 +51,8 @@ class LoadgenConfig:
     freshness_window: int = 10**9
     seed: int = 0
     drain_timeout_s: float = 60.0
+    tracing: bool = False
+    trace_export: Optional[str] = None
 
 
 @dataclass
@@ -92,11 +95,22 @@ class ServiceFixture:
 
 
 def percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    """Nearest-rank percentile of an ascending list (0 when empty).
+
+    Deterministic nearest-rank definition: the smallest value with at
+    least ``ceil(q * n)`` observations at or below it.  The previous
+    implementation used Python's ``round()``, whose banker's rounding
+    ties-to-even made adjacent sample counts report *different* ranks
+    for the same quantile (e.g. p50 of 4 vs 6 samples) — a bias that
+    showed up as benchmark noise.  ``ceil`` never rounds down past the
+    requested mass and has no tie cases.
+    """
     if not sorted_values:
         return 0.0
-    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
-    return sorted_values[rank]
+    if q <= 0:
+        return sorted_values[0]
+    rank = min(len(sorted_values), ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
 
 
 def build_fixture(config: LoadgenConfig) -> ServiceFixture:
@@ -123,6 +137,8 @@ def build_fixture(config: LoadgenConfig) -> ServiceFixture:
         freshness_window=config.freshness_window,
         dedup=config.dedup,
         mode=config.mode,
+        tracing=config.tracing,
+        trace_export=config.trace_export,
     )
     coalition.attach_server(service)
     object_names = [f"Obj{i}" for i in range(config.num_objects)]

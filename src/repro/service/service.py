@@ -28,9 +28,11 @@ The evaluation path is identical in all three; threading only changes
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, Iterable, List, Optional
 
 from ..coalition.acl import ACL, ACLEntry
+from ..coalition.audit import AuditLog
 from ..coalition.protocol import (
     DEFAULT_FRESHNESS_WINDOW,
     AuthorizationDecision,
@@ -38,6 +40,8 @@ from ..coalition.protocol import (
     NonceLedger,
 )
 from ..coalition.requests import JointAccessRequest
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer, TraceSpan
 from ..pki.certificates import RevocationCertificate
 from .admission import Overloaded, ShardQueue, Ticket, request_fingerprint
 from .epoch import Epoch, EpochManager, PolicyEntry
@@ -85,6 +89,9 @@ class AuthorizationService:
         trust_epoch: int = 0,
         dedup: bool = True,
         mode: str = "threaded",
+        tracing: bool = False,
+        trace_export: Optional[str] = None,
+        audit_log: Optional[AuditLog] = None,
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
@@ -126,14 +133,25 @@ class AuthorizationService:
         # later trust changes go through epoch publishes.
         self._sealed = False
         self._closed = False
-        # Counters (admission side; evaluation counters live on tickets).
-        self.submitted = 0
-        self.evaluated = 0
-        self.granted = 0
-        self.denied = 0
-        self.overloaded = 0
-        self.coalesced = 0
-        self.barrier_waits = 0
+        # Counters and latency histograms (admission side; evaluation
+        # detail lives on tickets).  The unified registry backs the
+        # stats() view and the cross-shard metrics snapshot.
+        self.metrics = MetricsRegistry("service")
+        self.submitted = self.metrics.counter("submitted")
+        self.evaluated = self.metrics.counter("evaluated")
+        self.granted = self.metrics.counter("granted")
+        self.denied = self.metrics.counter("denied")
+        self.overloaded = self.metrics.counter("overloaded")
+        self.coalesced = self.metrics.counter("coalesced")
+        self.barrier_waits = self.metrics.counter("barrier_waits")
+        self._queue_wait_hist = self.metrics.histogram("queue_wait_s")
+        self._latency_hist = self.metrics.histogram("request_latency_s")
+        # Decision tracing: zero-cost when off (the default) — begin()
+        # returns None and every instrumentation site checks for it.
+        self.tracer = Tracer(enabled=tracing, export_path=trace_export)
+        # Optional hash-chained audit log; every resolved decision
+        # (including sheds) is appended with its trace id.
+        self.audit_log = audit_log
         if mode == "threaded":
             self._start_workers()
 
@@ -210,37 +228,61 @@ class AuthorizationService:
         shard = shard_for(request, self.num_shards)
         nonces = sorted({part.nonce for part in request.parts})
         with self._admission_lock:
-            self.submitted += 1
+            self.submitted.inc()
             if self.dedup:
                 fingerprint = request_fingerprint(request, now)
                 existing = self._inflight[shard].get(fingerprint)
                 if existing is not None and not existing.done():
                     existing.coalesced += 1
-                    self.coalesced += 1
+                    self.coalesced.inc()
+                    if existing.trace is not None:
+                        existing.trace.attrs["coalesced"] = existing.coalesced
                     return existing
             ticket = Ticket(
                 request=request, now=now, epoch=epoch, shard=shard,
                 seq=self._next_seq,
             )
             self._next_seq += 1
-            if not self._queues[shard].try_push(ticket):
-                self.overloaded += 1
-                ticket.resolve(
-                    Overloaded(
-                        granted=False,
-                        reason=(
-                            f"overloaded: shard {shard} admission queue at "
-                            f"depth {self.queue_depth}"
-                        ),
-                        operation=request.operation,
-                        object_name=request.object_name,
-                        checked_at=now,
-                        shard=shard,
-                        queue_depth=self.queue_depth,
-                    )
+            root = self.tracer.begin(
+                "request",
+                trace_id=f"{self.name}-{ticket.seq:08d}",
+                operation=request.operation,
+                object=request.object_name,
+                seq=ticket.seq,
+                now=now,
+            )
+            ticket.trace = root
+            admission_span: Optional[TraceSpan] = None
+            if root is not None:
+                admission_span = root.child(
+                    "admission", shard=shard, epoch_id=epoch.epoch_id
                 )
+            if not self._queues[shard].try_push(ticket):
+                self.overloaded.inc()
+                decision = Overloaded(
+                    granted=False,
+                    reason=(
+                        f"overloaded: shard {shard} admission queue at "
+                        f"depth {self.queue_depth}"
+                    ),
+                    operation=request.operation,
+                    object_name=request.object_name,
+                    checked_at=now,
+                    shard=shard,
+                    queue_depth=self.queue_depth,
+                )
+                if root is not None:
+                    admission_span.end(outcome="shed")
+                    root.child("shed", reason=decision.reason).end()
+                ticket.resolve(decision)
+                if self.audit_log is not None:
+                    self.audit_log.append(decision, trace_id=ticket.trace_id)
+                self.tracer.finish(root)
                 return ticket
             self._outstanding += 1
+            if root is not None:
+                admission_span.end(outcome="queued")
+                ticket.queue_span = root.child("queue_wait")
             if self.dedup:
                 self._inflight[shard][fingerprint] = ticket
             # Chain same-nonce tickets across shards: the worker waits
@@ -269,13 +311,33 @@ class AuthorizationService:
 
     def _evaluate(self, ticket: Ticket) -> None:
         """Decide one ticket against its pinned epoch (worker context)."""
+        root: Optional[TraceSpan] = ticket.trace
         predecessor = ticket.predecessor
         if predecessor is not None and not predecessor.done():
-            self.barrier_waits += 1
+            self.barrier_waits.inc()
+            barrier_span = None
+            if root is not None:
+                barrier_span = root.child(
+                    "barrier_wait", predecessor_seq=predecessor.seq
+                )
             predecessor.wait()
+            if barrier_span is not None:
+                barrier_span.end()
+        self._queue_wait_hist.observe(
+            time.perf_counter() - ticket.submitted_at
+        )
+        if ticket.queue_span is not None:
+            ticket.queue_span.end()
         epoch: Epoch = ticket.epoch
         request = ticket.request
         entry = epoch.acls.get(request.object_name)
+        if root is not None:
+            root.child(
+                "epoch_pin", epoch_id=epoch.epoch_id, shard=ticket.shard
+            ).end(object_known=entry is not None)
+        derivation_span = None
+        if root is not None:
+            derivation_span = root.child("derivation")
         with self._shard_locks[ticket.shard]:
             if entry is None:
                 decision = AuthorizationDecision(
@@ -289,13 +351,38 @@ class AuthorizationService:
                 decision = epoch.protocols[ticket.shard].authorize(
                     request, entry.acl, ticket.now
                 )
+        if derivation_span is not None:
+            attrs: Dict[str, object] = {
+                "granted": decision.granted,
+                "reason": decision.reason,
+                "proof_steps": decision.derivation_steps,
+            }
+            if decision.proof is not None:
+                # One pre-order walk: dict insertion order preserves
+                # first appearance, so the keys ARE axioms_used().
+                counts = decision.proof.axiom_counts()
+                attrs["axioms"] = list(counts)
+                attrs["axiom_counts"] = counts
+            derivation_span.end(**attrs)
         ticket.resolve(decision)
+        if ticket.latency_s is not None:
+            self._latency_hist.observe(ticket.latency_s)
+        if self.audit_log is not None:
+            audit_span = None
+            if root is not None:
+                audit_span = root.child("audit_append")
+            audit_entry = self.audit_log.append(
+                decision, trace_id=ticket.trace_id
+            )
+            if audit_span is not None:
+                audit_span.end(sequence=audit_entry.sequence)
+        self.tracer.finish(root)
         with self._admission_lock:
-            self.evaluated += 1
+            self.evaluated.inc()
             if decision.granted:
-                self.granted += 1
+                self.granted.inc()
             else:
-                self.denied += 1
+                self.denied.inc()
             if self.dedup:
                 fingerprint = request_fingerprint(request, ticket.now)
                 if self._inflight[ticket.shard].get(fingerprint) is ticket:
@@ -392,13 +479,13 @@ class AuthorizationService:
             "service": {
                 "shards": self.num_shards,
                 "queue_depth": self.queue_depth,
-                "submitted": self.submitted,
-                "evaluated": self.evaluated,
-                "granted": self.granted,
-                "denied": self.denied,
-                "overloaded": self.overloaded,
-                "coalesced": self.coalesced,
-                "barrier_waits": self.barrier_waits,
+                "submitted": self.submitted.value,
+                "evaluated": self.evaluated.value,
+                "granted": self.granted.value,
+                "denied": self.denied.value,
+                "overloaded": self.overloaded.value,
+                "coalesced": self.coalesced.value,
+                "barrier_waits": self.barrier_waits.value,
                 "outstanding": self._outstanding,
                 "nonce_cache_size": len(self.nonce_ledger),
             },
@@ -414,3 +501,37 @@ class AuthorizationService:
                 "forks_taken": self.epochs.stats.forks_taken,
             },
         }
+
+    def traces(self, n: Optional[int] = None) -> List[TraceSpan]:
+        """Most recent finished decision traces (empty when tracing off)."""
+        return self.tracer.recent(n)
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """One merged registry snapshot across service + current shards.
+
+        The service registry (admission counters, latency histograms,
+        epoch gauges) merges with each current-epoch shard protocol's
+        snapshot, which itself folds in the shard's engine and belief
+        store.  Same-named shard metrics sum pointwise, so the result
+        reads like one logical protocol regardless of ``num_shards``.
+        """
+        epoch = self.epochs.current
+        gauges = {
+            "outstanding": self._outstanding,
+            "nonce_cache_size": len(self.nonce_ledger),
+            "current_epoch": epoch.epoch_id,
+            "epochs_published": self.epochs.stats.epochs_published,
+            "revocations_published": self.epochs.stats.revocations_published,
+            "policy_updates_published": (
+                self.epochs.stats.policy_updates_published
+            ),
+            "forks_taken": self.epochs.stats.forks_taken,
+            "traces_finished": self.tracer.spans_finished,
+        }
+        for name, value in gauges.items():
+            self.metrics.gauge(name).set(value)
+        snapshots = [self.metrics.snapshot()]
+        for shard, protocol in enumerate(epoch.protocols):
+            with self._shard_locks[shard]:
+                snapshots.append(protocol.metrics_snapshot())
+        return MetricsRegistry.merge(snapshots)

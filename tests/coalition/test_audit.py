@@ -108,3 +108,60 @@ class TestTamperEvidence:
         )
         with pytest.raises(AuditVerificationError, match="signature"):
             AuditLog.verify_chain([*entries, forged], log.public_key)
+
+
+class TestExpectedLength:
+    """Tail truncation removes whole suffixes without breaking the hash
+    chain — only an out-of-band expected length can catch it."""
+
+    def test_exact_length_verifies(self, formed_coalition, write_certificate):
+        log = AuditLog()
+        for decision in _decisions(formed_coalition, write_certificate):
+            log.append(decision)
+        log.verify(expected_length=3)
+        AuditLog.verify_chain(log.entries(), log.public_key, expected_length=3)
+
+    def test_truncated_tail_detected(self, formed_coalition, write_certificate):
+        log = AuditLog()
+        for decision in _decisions(formed_coalition, write_certificate):
+            log.append(decision)
+        truncated = log.entries()[:-1]
+        # The prefix is a valid chain on its own...
+        AuditLog.verify_chain(truncated, log.public_key)
+        # ...but not at the expected length.
+        with pytest.raises(AuditVerificationError, match="truncated or padded"):
+            AuditLog.verify_chain(
+                truncated, log.public_key, expected_length=3
+            )
+
+    def test_padded_chain_detected(self, formed_coalition, write_certificate):
+        log = AuditLog()
+        for decision in _decisions(formed_coalition, write_certificate):
+            log.append(decision)
+        with pytest.raises(AuditVerificationError, match="truncated or padded"):
+            log.verify(expected_length=2)
+
+
+class TestTraceIds:
+    def test_trace_id_recorded_and_signed(
+        self, formed_coalition, write_certificate
+    ):
+        log = AuditLog()
+        decisions = _decisions(formed_coalition, write_certificate, count=2)
+        log.append(decisions[0], trace_id="svc-00000000")
+        log.append(decisions[1])  # untraced appends still chain
+        entries = log.entries()
+        assert entries[0].trace_id == "svc-00000000"
+        assert entries[1].trace_id == ""
+        log.verify(expected_length=2)
+
+    def test_tampered_trace_id_detected(
+        self, formed_coalition, write_certificate
+    ):
+        log = AuditLog()
+        for decision in _decisions(formed_coalition, write_certificate):
+            log.append(decision, trace_id="svc-00000007")
+        entries = log.entries()
+        entries[1] = dataclasses.replace(entries[1], trace_id="svc-99999999")
+        with pytest.raises(AuditVerificationError):
+            AuditLog.verify_chain(entries, log.public_key)

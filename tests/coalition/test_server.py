@@ -139,3 +139,70 @@ class TestMetrics:
         server.handle_request(bad, now=8, write_content=b"v")
         assert server.grant_rate() == 0.5
         assert len(server.access_log) == 2
+
+
+class TestBoundedAccessLog:
+    def _deny(self, server, k):
+        """A no-such-object request: cheap, always denied, still logged."""
+        from repro.coalition.requests import JointAccessRequest
+
+        request = JointAccessRequest(
+            operation="read", object_name=f"Missing{k}", requestor="nobody",
+            identity_certificates=[], attribute_certificate=None, parts=[],
+        )
+        server.handle_request(request, now=k)
+
+    def test_retained_log_is_bounded(self, formed_coalition):
+        from repro.coalition import CoalitionServer
+
+        server = CoalitionServer("Bounded", access_log_limit=5)
+        for k in range(12):
+            self._deny(server, k)
+        assert len(server.access_log) == 5
+        # Oldest entries fell off: only the last five remain.
+        assert [d.object_name for d in server.access_log] == [
+            f"Missing{k}" for k in range(7, 12)
+        ]
+
+    def test_counters_cover_full_history(self, formed_coalition, write_certificate):
+        from repro.coalition import CoalitionServer
+
+        _c, _server, _d, users = formed_coalition
+        server = CoalitionServer("Bounded", access_log_limit=2)
+        _c.attach_server(server)
+        server.create_object(
+            "ObjectO", b"x",
+            [entry for entry in _server.object_acl("ObjectO").entries],
+            admin_group="G_admin",
+        )
+        ok = build_joint_request(
+            users[0], [users[1]], "write", "ObjectO", write_certificate,
+            now=5, nonce="bl-ok",
+        )
+        server.handle_request(ok, now=6, write_content=b"v")
+        for k in range(4):
+            self._deny(server, 10 + k)
+        stats = server.stats()["server"]
+        # The grant fell out of the retained window...
+        assert len(server.access_log) == 2
+        assert not any(d.granted for d in server.access_log)
+        # ...but rate and totals still cover the full history.
+        assert server.grant_rate() == pytest.approx(1 / 5)
+        assert stats["requests_handled"] == 5
+        assert stats["granted_total"] == 1
+        assert stats["denied_total"] == 4
+        assert stats["access_log_retained"] == 2
+
+    def test_invalid_limit_rejected(self):
+        from repro.coalition import CoalitionServer
+
+        with pytest.raises(ValueError):
+            CoalitionServer("Bad", access_log_limit=0)
+
+    def test_unbounded_opt_out(self):
+        from repro.coalition import CoalitionServer
+
+        server = CoalitionServer("Unbounded", access_log_limit=None)
+        for k in range(20):
+            self._deny(server, k)
+        assert len(server.access_log) == 20

@@ -1,0 +1,153 @@
+"""MetricsRegistry: snapshots, merge determinism, schema validation."""
+
+import pytest
+
+from repro.obs.metrics import (
+    SCHEMA,
+    MetricsRegistry,
+    validate_snapshot,
+)
+
+
+def _registry_with_traffic(namespace="svc", hits=3, depth=2.0):
+    reg = MetricsRegistry(namespace)
+    reg.counter("hits").inc(hits)
+    reg.gauge("depth").set(depth)
+    hist = reg.histogram("latency_s", bounds=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.005, 0.05, 0.5):
+        hist.observe(v)
+    return reg
+
+
+class TestRegistry:
+    def test_counter_get_or_create_is_stable(self):
+        reg = MetricsRegistry("x")
+        assert reg.counter("a") is reg.counter("a")
+        reg.counter("a").inc()
+        assert reg.counter("a").value == 1
+
+    def test_cross_type_name_collision_raises(self):
+        reg = MetricsRegistry("x")
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+        with pytest.raises(ValueError):
+            reg.histogram("a")
+
+    def test_counter_rejects_negative_increment(self):
+        reg = MetricsRegistry("x")
+        with pytest.raises(ValueError):
+            reg.counter("a").inc(-1)
+
+    def test_snapshot_keys_are_namespaced_and_sorted(self):
+        snap = _registry_with_traffic("svc").snapshot()
+        assert snap["schema"] == SCHEMA
+        assert list(snap["counters"]) == ["svc.hits"]
+        assert list(snap["gauges"]) == ["svc.depth"]
+        assert list(snap["histograms"]) == ["svc.latency_s"]
+        hist = snap["histograms"]["svc.latency_s"]
+        assert hist["counts"] == [1, 1, 1, 1]  # one per bucket + overflow
+        assert hist["count"] == 4
+
+    def test_snapshot_is_deterministic(self):
+        a = _registry_with_traffic().snapshot()
+        b = _registry_with_traffic().snapshot()
+        assert a == b
+
+    def test_fork_copies_values_then_diverges(self):
+        reg = _registry_with_traffic(hits=5)
+        clone = reg.fork()
+        assert clone.snapshot() == reg.snapshot()
+        clone.counter("hits").inc()
+        assert reg.counter("hits").value == 5
+        assert clone.counter("hits").value == 6
+
+
+class TestMerge:
+    def test_merge_sums_counters_gauges_and_buckets(self):
+        merged = MetricsRegistry.merge(
+            [
+                _registry_with_traffic(hits=1, depth=2.0).snapshot(),
+                _registry_with_traffic(hits=4, depth=3.0).snapshot(),
+            ]
+        )
+        assert merged["counters"]["svc.hits"] == 5
+        assert merged["gauges"]["svc.depth"] == 5.0
+        hist = merged["histograms"]["svc.latency_s"]
+        assert hist["counts"] == [2, 2, 2, 2]
+        assert hist["count"] == 8
+        validate_snapshot(merged)
+
+    def test_merge_is_order_independent(self):
+        snaps = [
+            _registry_with_traffic(hits=i, depth=float(i)).snapshot()
+            for i in (1, 2, 3)
+        ]
+        assert MetricsRegistry.merge(snaps) == MetricsRegistry.merge(
+            list(reversed(snaps))
+        )
+
+    def test_merge_disjoint_namespaces_unions(self):
+        merged = MetricsRegistry.merge(
+            [
+                _registry_with_traffic("a").snapshot(),
+                _registry_with_traffic("b").snapshot(),
+            ]
+        )
+        assert set(merged["counters"]) == {"a.hits", "b.hits"}
+
+    def test_merge_mismatched_histogram_bounds_raises(self):
+        a = MetricsRegistry("x")
+        a.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+        b = MetricsRegistry("x")
+        b.histogram("h", bounds=(1.0, 3.0)).observe(1.5)
+        with pytest.raises(ValueError):
+            MetricsRegistry.merge([a.snapshot(), b.snapshot()])
+
+
+class TestValidateSnapshot:
+    def test_accepts_real_snapshot(self):
+        validate_snapshot(_registry_with_traffic().snapshot())
+
+    def test_rejects_wrong_schema_tag(self):
+        snap = _registry_with_traffic().snapshot()
+        snap["schema"] = "something/else"
+        with pytest.raises(ValueError):
+            validate_snapshot(snap)
+
+    def test_rejects_negative_counter(self):
+        snap = _registry_with_traffic().snapshot()
+        snap["counters"]["svc.hits"] = -1
+        with pytest.raises(ValueError):
+            validate_snapshot(snap)
+
+    def test_rejects_histogram_count_mismatch(self):
+        snap = _registry_with_traffic().snapshot()
+        snap["histograms"]["svc.latency_s"]["count"] += 1
+        with pytest.raises(ValueError):
+            validate_snapshot(snap)
+
+    def test_rejects_unsorted_bounds(self):
+        snap = _registry_with_traffic().snapshot()
+        snap["histograms"]["svc.latency_s"]["bounds"] = [0.1, 0.01, 0.001]
+        with pytest.raises(ValueError):
+            validate_snapshot(snap)
+
+
+class TestHistogram:
+    def test_quantile_is_nearest_rank_ceil(self):
+        reg = MetricsRegistry("x")
+        hist = reg.histogram("h", bounds=(1.0, 2.0, 3.0, 4.0))
+        for v in (0.5, 1.5, 2.5, 3.5):
+            hist.observe(v)
+        # rank = ceil(q*4): p50 -> 2nd sample's bucket upper bound.
+        assert hist.quantile(0.5) == 2.0
+        assert hist.quantile(0.75) == 3.0
+        assert hist.quantile(1.0) == 4.0
+
+    def test_overflow_bucket_counts(self):
+        reg = MetricsRegistry("x")
+        hist = reg.histogram("h", bounds=(1.0,))
+        hist.observe(100.0)
+        snap = reg.snapshot()["histograms"]["x.h"]
+        assert snap["counts"] == [0, 1]

@@ -1,0 +1,92 @@
+"""TraceSpan trees and the Tracer: zero-cost-off, buffering, JSONL export."""
+
+import json
+
+from repro.obs.trace import Tracer, TraceSpan, render_span
+
+
+class TestDisabledTracer:
+    def test_begin_returns_none(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.begin("request", trace_id="t-0") is None
+
+    def test_finish_none_is_a_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.finish(None)
+        assert tracer.spans_finished == 0
+        assert tracer.recent() == []
+
+
+class TestSpanTree:
+    def test_children_and_find(self):
+        root = TraceSpan("request", trace_id="t-1", seq=7)
+        root.child("admission", shard=0).end(outcome="queued")
+        queue = root.child("queue_wait")
+        queue.end()
+        root.child("derivation").end(granted=True)
+        assert root.child_names() == ["admission", "queue_wait", "derivation"]
+        assert root.find("derivation").attrs["granted"] is True
+        assert root.find("missing") is None
+        assert [s.name for s in root.walk()] == [
+            "request", "admission", "queue_wait", "derivation"
+        ]
+
+    def test_children_inherit_trace_id(self):
+        root = TraceSpan("request", trace_id="t-2")
+        assert root.child("admission").trace_id == "t-2"
+
+    def test_end_is_idempotent_and_timed(self):
+        span = TraceSpan("x")
+        assert span.duration_s is None
+        span.end(a=1)
+        first = span.ended_at
+        span.end(b=2)
+        assert span.ended_at == first
+        assert span.attrs == {"a": 1, "b": 2}
+        assert span.duration_s >= 0
+
+    def test_to_dict_round_trips_through_json(self):
+        root = TraceSpan("request", trace_id="t-3", op="read")
+        root.child("admission").end()
+        root.end()
+        data = json.loads(json.dumps(root.to_dict()))
+        assert data["trace_id"] == "t-3"
+        assert data["attrs"] == {"op": "read"}
+        assert data["children"][0]["name"] == "admission"
+
+
+class TestEnabledTracer:
+    def test_buffer_retains_recent_and_finds_by_id(self):
+        tracer = Tracer(enabled=True, buffer_size=2)
+        for i in range(3):
+            span = tracer.begin("request", trace_id=f"t-{i}")
+            tracer.finish(span)
+        assert [s.trace_id for s in tracer.recent()] == ["t-1", "t-2"]
+        assert tracer.find_trace("t-0") is None  # evicted
+        assert tracer.find_trace("t-2").trace_id == "t-2"
+        assert tracer.spans_started == 3
+        assert tracer.spans_finished == 3
+
+    def test_jsonl_export_one_trace_per_line(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        tracer = Tracer(enabled=True, export_path=str(path))
+        for i in range(2):
+            span = tracer.begin("request", trace_id=f"t-{i}")
+            span.child("admission").end()
+            tracer.finish(span)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert [p["trace_id"] for p in parsed] == ["t-0", "t-1"]
+        assert parsed[0]["children"][0]["name"] == "admission"
+
+
+class TestRender:
+    def test_render_includes_timings_and_attrs(self):
+        root = TraceSpan("request", trace_id="t-9", op="read")
+        root.child("derivation").end(granted=True)
+        root.end()
+        text = render_span(root)
+        assert "request" in text and "derivation" in text
+        assert "op=read" in text and "granted=True" in text
+        assert "ms" in text

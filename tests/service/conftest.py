@@ -47,6 +47,7 @@ def service_coalition(three_domains):
         dedup=True,
         freshness_window=WINDOW,
         objects=("ObjectO", "ObjectP"),
+        **service_kwargs,
     ):
         service = AuthorizationService(
             name="ServiceP",
@@ -55,6 +56,7 @@ def service_coalition(three_domains):
             dedup=dedup,
             freshness_window=freshness_window,
             mode=mode,
+            **service_kwargs,
         )
         coalition.attach_server(service)
         for obj in objects:

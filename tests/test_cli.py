@@ -51,3 +51,43 @@ class TestCommands:
         assert main(["dynamics", "--certs", "1", "2"]) == 0
         out = capsys.readouterr().out
         assert "revoked" in out
+
+    def test_explain_renders_full_span_path(self, capsys):
+        assert main(["explain", "--bits", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "decision: GRANTED" in out
+        # The full decision path, in order.
+        for span in ("admission", "queue_wait", "epoch_pin", "derivation",
+                     "audit_append"):
+            assert span in out
+        assert out.index("admission") < out.index("derivation")
+        assert "axioms=" in out and "A38" in out
+        assert "proof tree:" in out
+        assert "trace_id=ServiceP-00000000" in out
+        assert "verified" in out
+
+    def test_explain_json(self, capsys):
+        import json
+
+        assert main(["explain", "--bits", "256", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["trace_id"] == "ServiceP-00000000"
+        names = [c["name"] for c in data["children"]]
+        assert names == [
+            "admission", "queue_wait", "epoch_pin", "derivation",
+            "audit_append",
+        ]
+
+    def test_metrics_prints_valid_snapshot(self, capsys):
+        import json
+
+        from repro.obs.metrics import SCHEMA, validate_snapshot
+
+        assert main(
+            ["metrics", "--requests", "20", "--shards", "2", "--tracing"]
+        ) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        validate_snapshot(snapshot)
+        assert snapshot["schema"] == SCHEMA
+        assert snapshot["counters"]["service.submitted"] == 20
+        assert "service.request_latency_s" in snapshot["histograms"]

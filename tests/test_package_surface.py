@@ -54,6 +54,15 @@ PACKAGES = [
     "repro.coalition.requests",
     "repro.coalition.server",
     "repro.coalition.threshold_authority",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.trace",
+    "repro.service",
+    "repro.service.admission",
+    "repro.service.epoch",
+    "repro.service.loadgen",
+    "repro.service.service",
+    "repro.service.sharding",
     "repro.semantics",
     "repro.semantics.bridge",
     "repro.semantics.events",
