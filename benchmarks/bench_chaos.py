@@ -1,0 +1,101 @@
+"""E16 — serving latency and correctness under injected faults.
+
+The chaos run drives the same open-loop stream as ``bench_service.py``
+through a service with a fault plan attached: an ``InjectedFault``
+every 50th evaluation plus one forced worker kill on shard 0.  The
+acceptance bar is the DESIGN.md §11 no-stranding invariant — every
+submitted ticket resolves to a typed decision, the errored count in
+the metrics snapshot matches the injector's ledger, and the latency
+tail is recorded next to the chaos-free control so the overhead of
+surviving faults stays visible in ``BENCH_service.json``.
+
+``SERVICE_BENCH_SMOKE=1`` shrinks the workload for CI smoke runs; the
+acceptance assertions hold in both sizes.
+"""
+
+import os
+from dataclasses import replace
+
+from repro.obs.metrics import histogram_quantile
+from repro.service.loadgen import LoadgenConfig, build_fixture, run_loadgen
+
+SMOKE = os.environ.get("SERVICE_BENCH_SMOKE") == "1"
+TOTAL_REQUESTS = 60 if SMOKE else 300
+
+# Mirrors bench_service.BASE_CONFIG minus revocations: a fixed epoch
+# keeps every decision in the current epoch's registry, so snapshot
+# counters can be compared exactly against the injector's ledger.
+BASE_CONFIG = LoadgenConfig(
+    total_requests=TOTAL_REQUESTS,
+    num_shards=4,
+    queue_depth=1024,
+    read_fraction=0.5,
+    revoke_every=0,
+    num_objects=8,
+    key_bits=256,
+    mode="threaded",
+    seed=23,
+)
+
+CHAOS_CONFIG = replace(
+    BASE_CONFIG,
+    chaos_raise_every=50,  # ~2% of evaluations fault
+    chaos_kill_shard=0,
+    chaos_kill_after=5,  # one loop-top kill once shard 0 has served 5
+    restart_backoff_s=0.005,
+)
+
+
+def test_chaos_run_strands_nothing(service_report):
+    """Faults every 50th evaluation + one worker kill: full accounting."""
+    fixture = build_fixture(CHAOS_CONFIG)
+    try:
+        report = run_loadgen(CHAOS_CONFIG, fixture)
+        service_report("chaos", report)
+
+        assert report.stranded == 0, "every ticket must resolve"
+        chaos_stats = fixture.chaos.stats()
+        assert report.errored == chaos_stats["faults_raised"] > 0
+        assert report.worker_crashes == chaos_stats["kills_fired"] == 1
+        assert report.worker_restarts == 1, "supervisor replaced the worker"
+        # Every arrival accounted for, by type.
+        assert (
+            report.evaluated + report.errored + report.overloaded
+            == report.submitted
+        )
+        assert report.granted > 0, "the service keeps serving through faults"
+        assert report.p50_ms <= report.p95_ms <= report.p99_ms <= report.max_ms
+
+        snapshot = fixture.service.metrics_snapshot()
+        counters = snapshot["counters"]
+        assert counters["service.errored"] == report.errored
+        assert counters["service.worker_crashes"] == 1
+        assert counters["service.worker_restarts"] == 1
+        # The histogram agrees with the loadgen's own percentile math to
+        # within one bucket (nearest-rank over bucket upper bounds).
+        hist_p95_s = histogram_quantile(
+            snapshot["histograms"]["service.request_latency_s"], 0.95
+        )
+        assert hist_p95_s * 1000 >= report.p95_ms
+    finally:
+        fixture.service.close()
+
+
+def test_chaos_off_control_is_clean(service_report):
+    """The identical stream with injection disabled: zero errored."""
+    config = replace(
+        CHAOS_CONFIG, chaos_raise_every=0, chaos_kill_shard=-1
+    )
+    fixture = build_fixture(config)
+    try:
+        assert fixture.chaos is None, "no injector when every knob is inert"
+        report = run_loadgen(config, fixture)
+        service_report("chaos-off", report)
+
+        assert report.stranded == 0
+        assert report.errored == 0
+        assert report.worker_crashes == 0 and report.worker_restarts == 0
+        assert report.evaluated == report.submitted
+        assert report.overloaded == 0
+    finally:
+        fixture.service.close()

@@ -299,6 +299,72 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         fixture.service.close()
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Run a traffic sample (optionally under chaos), print the probes.
+
+    Exit code is the readiness verdict: 0 when every shard is ready for
+    new traffic, 1 otherwise — so the subcommand doubles as a scriptable
+    health check.  ``--chaos-*`` flags inject deterministic faults to
+    demonstrate supervised degradation (E16).
+    """
+    import json
+
+    from repro.service.loadgen import LoadgenConfig, build_fixture, run_loadgen
+
+    config = LoadgenConfig(
+        num_shards=args.shards,
+        total_requests=args.requests,
+        key_bits=args.bits,
+        mode="threaded",
+        seed=args.seed,
+        queue_depth=args.queue_depth,
+        chaos_raise_every=args.chaos_raise_every,
+        chaos_kill_shard=args.kill_shard,
+        chaos_kill_after=args.kill_after,
+        restart_backoff_s=0.01,
+    )
+    fixture = build_fixture(config)
+    try:
+        report = run_loadgen(config, fixture)
+        probe = fixture.service.health()
+        if args.json:
+            print(json.dumps(probe, indent=2, sort_keys=True))
+        else:
+            live = probe["liveness"]
+            ready = probe["readiness"]
+            print(
+                f"liveness:  live={live['live']} "
+                f"workers_alive={live['workers_alive']}/{live['total_shards']} "
+                f"supervisor_alive={live['supervisor_alive']}"
+            )
+            print(
+                f"readiness: ready={ready['ready']} "
+                f"degraded={ready['degraded']} "
+                f"ready_shards={ready['ready_shards']}/{ready['total_shards']}"
+            )
+            print(
+                f"traffic:   evaluated={report.evaluated} "
+                f"errored={report.errored} overloaded={report.overloaded} "
+                f"crashes={report.worker_crashes} "
+                f"restarts={report.worker_restarts} "
+                f"stranded={report.stranded}"
+            )
+            print(
+                f"{'shard':>5} {'alive':>6} {'breaker':>8} {'crashes':>8} "
+                f"{'restarts':>9} {'queue':>6} {'staleness':>10} {'ready':>6}"
+            )
+            for s in probe["shards"]:
+                print(
+                    f"{s['shard']:>5} {str(s['worker_alive']):>6} "
+                    f"{s['breaker']:>8} {s['crashes']:>8} {s['restarts']:>9} "
+                    f"{s['queue_depth']:>6} {s['epoch_staleness']:>10} "
+                    f"{str(s['ready']):>6}"
+                )
+        return 0 if probe["readiness"]["ready"] else 1
+    finally:
+        fixture.service.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -386,6 +452,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable decision tracing during the sample",
     )
     metrics.set_defaults(func=_cmd_metrics)
+
+    health = sub.add_parser(
+        "health",
+        help="liveness/readiness probes after a (chaos-optional) sample",
+    )
+    health.add_argument("--shards", type=int, default=4)
+    health.add_argument("--requests", type=int, default=50)
+    health.add_argument("--queue-depth", type=int, default=256)
+    health.add_argument("--bits", type=int, default=256)
+    health.add_argument("--seed", type=int, default=0)
+    health.add_argument(
+        "--chaos-raise-every", type=int, default=0, metavar="N",
+        help="inject an evaluation fault every N tickets (0 = off)",
+    )
+    health.add_argument(
+        "--kill-shard", type=int, default=-1, metavar="S",
+        help="kill shard S's worker once, mid-run (-1 = off)",
+    )
+    health.add_argument(
+        "--kill-after", type=int, default=10, metavar="K",
+        help="the kill fires after the worker processed K tickets",
+    )
+    health.add_argument("--json", action="store_true")
+    health.set_defaults(func=_cmd_health)
 
     return parser
 

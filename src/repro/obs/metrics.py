@@ -39,6 +39,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "validate_snapshot",
+    "histogram_quantile",
     "DEFAULT_LATENCY_BUCKETS_S",
 ]
 
@@ -295,6 +296,31 @@ class MetricsRegistry:
             "gauges": dict(sorted(gauges.items())),
             "histograms": dict(sorted(histograms.items())),
         }
+
+
+def histogram_quantile(hist: Dict[str, object], q: float) -> float:
+    """Quantile estimate from a *snapshot* histogram dict.
+
+    Same conservative bucket-upper-bound, nearest-rank definition as
+    :meth:`Histogram.quantile`, but computed from the serialized
+    ``{bounds, counts, count}`` form — what benchmark summaries and the
+    chaos harness read back out of a merged :meth:`MetricsRegistry.merge`
+    snapshot.  0.0 when the histogram is empty.
+    """
+    if not 0 <= q <= 1:
+        raise ValueError("quantile q must be in [0, 1]")
+    bounds = hist["bounds"]
+    counts = hist["counts"]
+    total = hist["count"]
+    if total == 0:
+        return 0.0
+    rank = max(1, ceil(q * total))
+    seen = 0
+    for i, c in enumerate(counts):
+        seen += c
+        if seen >= rank:
+            return bounds[min(i, len(bounds) - 1)]
+    return bounds[-1]  # pragma: no cover - count > sum(counts) only
 
 
 def validate_snapshot(snapshot: Dict[str, object]) -> None:

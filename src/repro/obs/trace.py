@@ -82,6 +82,18 @@ class TraceSpan:
             return None
         return self.ended_at - self.started_at
 
+    def record_error(self, exc: BaseException) -> "TraceSpan":
+        """Mark this span errored and attach a closed ``error`` child.
+
+        Used by per-ticket fault isolation: the request's root span
+        records the exception class and message, so an errored decision
+        is explainable the same way a derivation is.
+        """
+        self.attrs["errored"] = True
+        return self.child(
+            "error", error_type=type(exc).__name__, message=str(exc)
+        ).end()
+
     # ----------------------------------------------------------- queries
 
     def find(self, name: str) -> Optional["TraceSpan"]:

@@ -8,31 +8,59 @@ and provides what a single per-request protocol instance cannot:
   changes apply atomically across shards (``epoch``),
 * bounded admission queues with typed ``Overloaded`` load shedding and
   in-flight dedup (``admission``),
+* per-ticket fault isolation (typed ``Errored`` outcomes), supervised
+  worker restarts with circuit breaking (``supervisor``), liveness and
+  readiness probes (``health``), and a deterministic fault injector for
+  adversarial testing (``chaos``),
 * an open-loop workload driver with latency percentiles (``loadgen``).
 
-See DESIGN.md §9 for the architecture and request lifecycle.
+See DESIGN.md §9 for the architecture and request lifecycle, §11 for
+the supervision and failure model.
 """
 
-from .admission import Overloaded, ShardQueue, Ticket, request_fingerprint
+from .admission import (
+    CircuitOpen,
+    Errored,
+    Overloaded,
+    ShardQueue,
+    Ticket,
+    request_fingerprint,
+)
+from .chaos import ChaosConfig, FaultInjector, InjectedFault, WorkerKilled
 from .epoch import Epoch, EpochManager, PolicyEntry
+from .health import ShardHealth, health_report, liveness, readiness
 from .loadgen import LoadgenConfig, LoadgenReport, run_loadgen
 from .service import AuthorizationService, ServiceError
 from .sharding import ShardWorker, shard_for, shard_key
+from .supervisor import CircuitBreaker, RestartEvent, WorkerSupervisor
 
 __all__ = [
     "AuthorizationService",
     "ServiceError",
     "Overloaded",
+    "CircuitOpen",
+    "Errored",
     "Ticket",
     "ShardQueue",
     "request_fingerprint",
+    "ChaosConfig",
+    "FaultInjector",
+    "InjectedFault",
+    "WorkerKilled",
     "Epoch",
     "EpochManager",
     "PolicyEntry",
+    "ShardHealth",
+    "health_report",
+    "liveness",
+    "readiness",
     "LoadgenConfig",
     "LoadgenReport",
     "run_loadgen",
     "ShardWorker",
     "shard_for",
     "shard_key",
+    "CircuitBreaker",
+    "RestartEvent",
+    "WorkerSupervisor",
 ]

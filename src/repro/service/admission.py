@@ -23,7 +23,14 @@ from typing import Deque, Optional, Tuple
 from ..coalition.protocol import AuthorizationDecision
 from ..coalition.requests import JointAccessRequest
 
-__all__ = ["Overloaded", "Ticket", "ShardQueue", "request_fingerprint"]
+__all__ = [
+    "Overloaded",
+    "CircuitOpen",
+    "Errored",
+    "Ticket",
+    "ShardQueue",
+    "request_fingerprint",
+]
 
 
 @dataclass
@@ -41,6 +48,38 @@ class Overloaded(AuthorizationDecision):
 
     @property
     def shed(self) -> bool:
+        return True
+
+
+@dataclass
+class CircuitOpen(Overloaded):
+    """Shed because the shard's circuit breaker is open (shard FAILED).
+
+    Issued both at admission time (new requests for a failed shard)
+    and by the give-up failover that resolves the tickets a failed
+    shard had already queued.  ``restarts`` records how many restarts
+    the shard burned before the supervisor gave up on it.
+    """
+
+    restarts: int = 0
+
+
+@dataclass
+class Errored(AuthorizationDecision):
+    """Evaluation raised: the request has no policy answer, only a fault.
+
+    Per-ticket fault isolation (DESIGN.md §11) converts an exception
+    inside the evaluation path into this decision instead of letting
+    it kill the shard worker.  ``granted`` is always False — fail
+    closed — and ``error_type`` records the exception class so callers
+    and metrics can distinguish "denied by policy" from "errored".
+    """
+
+    shard: int = -1
+    error_type: str = ""
+
+    @property
+    def errored(self) -> bool:
         return True
 
 
@@ -148,19 +187,57 @@ class ShardQueue:
             self._not_empty.notify()
             return True
 
-    def pop(self, timeout: Optional[float] = None) -> Optional[Ticket]:
-        """Next ticket in admission order, or None on timeout."""
+    def pop(
+        self,
+        timeout: Optional[float] = None,
+        stop: Optional[threading.Event] = None,
+    ) -> Optional[Ticket]:
+        """Next ticket in admission order, or None on timeout/stop/wake.
+
+        With ``timeout=None`` this blocks on the queue condition until
+        an item arrives or :meth:`wake` is called — no polling.  The
+        optional ``stop`` event short-circuits the wait when a
+        shutdown was requested before the pop (``wake`` notifies under
+        the queue lock, so a stop can never slip between the check and
+        the wait).
+        """
         with self._lock:
             if not self._items:
+                if stop is not None and stop.is_set():
+                    return None
                 self._not_empty.wait(timeout)
             if not self._items:
                 return None
             return self._items.popleft()
 
+    def wake(self) -> None:
+        """Nudge any blocked :meth:`pop` (shutdown / supervision)."""
+        with self._lock:
+            self._not_empty.notify_all()
+
+    def drain_all(self) -> "list[Ticket]":
+        """Remove and return every queued ticket (give-up failover)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            return items
+
     def peek_seq(self) -> Optional[int]:
         """Sequence number of the head ticket (for ordered manual pumps)."""
         with self._lock:
             return self._items[0].seq if self._items else None
+
+    def head_epoch_id(self) -> Optional[int]:
+        """Epoch id the head (oldest) queued ticket pinned, if any.
+
+        Queues are FIFO and epochs are pinned monotonically at
+        admission, so the head is the stalest — health probes report
+        ``current_epoch - head_epoch`` as the shard's epoch staleness.
+        """
+        with self._lock:
+            if not self._items:
+                return None
+            return self._items[0].epoch.epoch_id
 
 
 def request_fingerprint(

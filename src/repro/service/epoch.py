@@ -115,6 +115,15 @@ class EpochManager:
     def current(self) -> Epoch:
         return self._epoch
 
+    def staleness_of(self, epoch_id: int) -> int:
+        """How many epochs behind ``current`` an observed id is (>= 0).
+
+        Health probes use this for queued-ticket and restarted-worker
+        epoch staleness; the reference is a single read of the current
+        epoch, so no lock is needed.
+        """
+        return max(0, self._epoch.epoch_id - epoch_id)
+
     # ------------------------------------------------------- publishing
 
     def _fork_protocols(self) -> Tuple[AuthorizationProtocol, ...]:

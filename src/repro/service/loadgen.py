@@ -28,7 +28,8 @@ from ..coalition import (
     build_joint_request,
 )
 from ..pki import ValidityPeriod
-from .admission import Overloaded, Ticket
+from .admission import Errored, Overloaded, Ticket
+from .chaos import ChaosConfig, FaultInjector
 from .service import AuthorizationService
 
 __all__ = ["LoadgenConfig", "LoadgenReport", "ServiceFixture", "run_loadgen"]
@@ -53,6 +54,17 @@ class LoadgenConfig:
     drain_timeout_s: float = 60.0
     tracing: bool = False
     trace_export: Optional[str] = None
+    # Supervision (DESIGN.md §11): worker restarts and circuit breaking.
+    supervise: bool = True
+    max_restarts: int = 3
+    restart_backoff_s: float = 0.05
+    # Chaos (repro.service.chaos): all inert at their defaults.
+    chaos_raise_every: int = 0
+    chaos_slow_every: int = 0
+    chaos_slow_s: float = 0.0
+    chaos_kill_shard: int = -1
+    chaos_kill_after: int = 10
+    chaos_seed: int = 0
 
 
 @dataclass
@@ -76,6 +88,10 @@ class LoadgenReport:
     max_ms: float = 0.0
     nonce_cache_peak: int = 0
     queue_depth_peak: int = 0
+    errored: int = 0
+    worker_crashes: int = 0
+    worker_restarts: int = 0
+    stranded: int = 0  # tickets still unresolved after the drain (must be 0)
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -92,6 +108,7 @@ class ServiceFixture:
     write_cert: object
     victim_certs: List[object] = field(default_factory=list)
     object_names: List[str] = field(default_factory=list)
+    chaos: Optional[FaultInjector] = None
 
 
 def percentile(sorted_values: List[float], q: float) -> float:
@@ -130,6 +147,22 @@ def build_fixture(config: LoadgenConfig) -> ServiceFixture:
     ]
     coalition = Coalition("loadgen", key_bits=config.key_bits)
     coalition.form(domains)
+    chaos: Optional[FaultInjector] = None
+    if (
+        config.chaos_raise_every
+        or config.chaos_slow_every
+        or config.chaos_kill_shard >= 0
+    ):
+        chaos = FaultInjector(
+            ChaosConfig(
+                raise_every=config.chaos_raise_every,
+                slow_every=config.chaos_slow_every,
+                slow_s=config.chaos_slow_s,
+                kill_shard=config.chaos_kill_shard,
+                kill_after=config.chaos_kill_after,
+                seed=config.chaos_seed,
+            )
+        )
     service = AuthorizationService(
         name="ServiceP",
         num_shards=config.num_shards,
@@ -139,6 +172,10 @@ def build_fixture(config: LoadgenConfig) -> ServiceFixture:
         mode=config.mode,
         tracing=config.tracing,
         trace_export=config.trace_export,
+        supervise=config.supervise,
+        max_restarts=config.max_restarts,
+        restart_backoff_s=config.restart_backoff_s,
+        chaos=chaos,
     )
     coalition.attach_server(service)
     object_names = [f"Obj{i}" for i in range(config.num_objects)]
@@ -172,6 +209,7 @@ def build_fixture(config: LoadgenConfig) -> ServiceFixture:
         write_cert=write_cert,
         victim_certs=victim_certs,
         object_names=object_names,
+        chaos=chaos,
     )
 
 
@@ -233,8 +271,14 @@ def run_loadgen(
     # sample once more after the drain so the peak reflects the full run.
     nonce_peak = max(nonce_peak, len(service.nonce_ledger))
 
-    shed = [t for t in tickets if isinstance(t.result(0), Overloaded)]
-    served = [t for t in tickets if not isinstance(t.result(0), Overloaded)]
+    stranded = sum(1 for t in tickets if not t.done())
+    shed = [t for t in tickets if t.done() and isinstance(t.result(0), Overloaded)]
+    served = [
+        t
+        for t in tickets
+        if t.done() and not isinstance(t.result(0), Overloaded)
+    ]
+    errored = [t for t in served if isinstance(t.result(0), Errored)]
     latencies = sorted(
         t.latency_s for t in served if t.latency_s is not None
     )
@@ -257,6 +301,10 @@ def run_loadgen(
         max_ms=(latencies[-1] * 1000) if latencies else 0.0,
         nonce_cache_peak=nonce_peak,
         queue_depth_peak=depth_peak,
+        errored=len(errored),
+        worker_crashes=stats["health"]["worker_crashes"],
+        worker_restarts=stats["health"]["worker_restarts"],
+        stranded=stranded,
     )
     return report
 

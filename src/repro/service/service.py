@@ -1,4 +1,4 @@
-"""The sharded, epoched, backpressured authorization service.
+"""The sharded, epoched, backpressured, supervised authorization service.
 
 :class:`AuthorizationService` is the serving layer in front of
 :class:`~repro.coalition.protocol.AuthorizationProtocol`:
@@ -17,12 +17,22 @@
   same-nonce tickets are chained (each waits for its predecessor), so
   grant/deny decisions are byte-identical to a single sequential
   protocol evaluating the same admission stream.
+* **Supervision** — per-ticket fault isolation converts evaluation
+  exceptions into typed :class:`~repro.service.admission.Errored`
+  decisions; a :class:`~repro.service.supervisor.WorkerSupervisor`
+  restarts crashed workers within a per-shard
+  :class:`~repro.service.supervisor.CircuitBreaker` budget, and a shard
+  that exhausts its budget fails over: queued and future requests shed
+  with typed :class:`~repro.service.admission.CircuitOpen` decisions.
+  No admitted ticket is ever stranded (DESIGN.md §11).
 
 Execution modes: ``threaded`` (one worker thread per shard),
 ``manual`` (tickets queue until :meth:`pump`, deterministic — what the
 epoch tests drive), and ``inline`` (evaluate during :meth:`submit`).
 The evaluation path is identical in all three; threading only changes
-*when* it runs.
+*when* it runs.  In serialized modes a "worker crash" (chaos
+``WorkerKilled``) burns the same restart budget, but the restart is
+logical — the pump simply keeps draining.
 """
 
 from __future__ import annotations
@@ -43,9 +53,18 @@ from ..coalition.requests import JointAccessRequest
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer, TraceSpan
 from ..pki.certificates import RevocationCertificate
-from .admission import Overloaded, ShardQueue, Ticket, request_fingerprint
+from .admission import (
+    CircuitOpen,
+    Errored,
+    Overloaded,
+    ShardQueue,
+    Ticket,
+    request_fingerprint,
+)
+from .chaos import FaultInjector, WorkerKilled
 from .epoch import Epoch, EpochManager, PolicyEntry
 from .sharding import ShardWorker, shard_for
+from .supervisor import CircuitBreaker, WorkerSupervisor
 
 __all__ = ["AuthorizationService", "ServiceError"]
 
@@ -78,7 +97,7 @@ class _TrustFanout:
 
 
 class AuthorizationService:
-    """Sharded authorization with epoch snapshots and load shedding."""
+    """Sharded authorization with epochs, load shedding and supervision."""
 
     def __init__(
         self,
@@ -92,6 +111,11 @@ class AuthorizationService:
         tracing: bool = False,
         trace_export: Optional[str] = None,
         audit_log: Optional[AuditLog] = None,
+        supervise: bool = True,
+        max_restarts: int = 3,
+        restart_backoff_s: float = 0.05,
+        restart_backoff_cap_s: float = 2.0,
+        chaos: Optional[FaultInjector] = None,
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
@@ -118,7 +142,22 @@ class AuthorizationService:
         self.epochs = EpochManager(protocols, self._shard_locks)
         self.protocol = _TrustFanout(self)
         self._queues = [ShardQueue(queue_depth) for _ in range(num_shards)]
-        self._workers: List[ShardWorker] = []
+        # One worker slot per shard (None until started / after removal);
+        # the supervisor swaps in replacement incarnations on crash.
+        self._workers: List[Optional[ShardWorker]] = [None] * num_shards
+        # Supervision: one crash budget per shard.  supervise only has
+        # meaning in threaded mode (serialized modes restart logically).
+        self._supervise = supervise and mode == "threaded"
+        self._breakers = [
+            CircuitBreaker(
+                max_restarts=max_restarts,
+                backoff_base_s=restart_backoff_s,
+                backoff_cap_s=restart_backoff_cap_s,
+            )
+            for _ in range(num_shards)
+        ]
+        self.supervisor: Optional[WorkerSupervisor] = None
+        self.chaos = chaos
         # Admission bookkeeping: global sequence, per-shard in-flight
         # dedup tables, and the tail ticket per nonce (replay chaining).
         self._admission_lock = threading.Lock()
@@ -142,15 +181,19 @@ class AuthorizationService:
         self.granted = self.metrics.counter("granted")
         self.denied = self.metrics.counter("denied")
         self.overloaded = self.metrics.counter("overloaded")
+        self.errored = self.metrics.counter("errored")
         self.coalesced = self.metrics.counter("coalesced")
         self.barrier_waits = self.metrics.counter("barrier_waits")
+        self.worker_crashes = self.metrics.counter("worker_crashes")
+        self.worker_restarts = self.metrics.counter("worker_restarts")
+        self.circuit_open_sheds = self.metrics.counter("circuit_open_sheds")
         self._queue_wait_hist = self.metrics.histogram("queue_wait_s")
         self._latency_hist = self.metrics.histogram("request_latency_s")
         # Decision tracing: zero-cost when off (the default) — begin()
         # returns None and every instrumentation site checks for it.
         self.tracer = Tracer(enabled=tracing, export_path=trace_export)
         # Optional hash-chained audit log; every resolved decision
-        # (including sheds) is appended with its trace id.
+        # (including sheds and errors) is appended with its trace id.
         self.audit_log = audit_log
         if mode == "threaded":
             self._start_workers()
@@ -219,7 +262,8 @@ class AuthorizationService:
 
         Never blocks on evaluation.  Returns a ticket that resolves to
         the decision — immediately with :class:`Overloaded` when the
-        target shard's queue is full.
+        target shard's queue is full, or :class:`CircuitOpen` when the
+        shard's circuit breaker has tripped.
         """
         if self._closed:
             raise ServiceError("service is closed")
@@ -229,6 +273,31 @@ class AuthorizationService:
         nonces = sorted({part.nonce for part in request.parts})
         with self._admission_lock:
             self.submitted.inc()
+            breaker = self._breakers[shard]
+            if breaker.is_open:
+                # Admission-time circuit breaking: the shard is FAILED,
+                # shed immediately instead of queueing work nobody will
+                # ever drain.  Held under the admission lock so a trip's
+                # failover sweep and this check can never interleave.
+                return self._shed_locked(
+                    request,
+                    now,
+                    shard,
+                    CircuitOpen(
+                        granted=False,
+                        reason=(
+                            f"circuit open: shard {shard} exceeded its "
+                            f"restart budget ({breaker.restarts} restarts, "
+                            f"last error {breaker.last_error})"
+                        ),
+                        operation=request.operation,
+                        object_name=request.object_name,
+                        checked_at=now,
+                        shard=shard,
+                        queue_depth=len(self._queues[shard]),
+                        restarts=breaker.restarts,
+                    ),
+                )
             if self.dedup:
                 fingerprint = request_fingerprint(request, now)
                 existing = self._inflight[shard].get(fingerprint)
@@ -298,6 +367,39 @@ class AuthorizationService:
             self._pump_until(ticket)
         return ticket
 
+    def _shed_locked(
+        self,
+        request: JointAccessRequest,
+        now: int,
+        shard: int,
+        decision: Overloaded,
+    ) -> Ticket:
+        """Resolve a fresh ticket as shed at admission (lock held)."""
+        ticket = Ticket(
+            request=request, now=now, epoch=self.epochs.current,
+            shard=shard, seq=self._next_seq,
+        )
+        self._next_seq += 1
+        root = self.tracer.begin(
+            "request",
+            trace_id=f"{self.name}-{ticket.seq:08d}",
+            operation=request.operation,
+            object=request.object_name,
+            seq=ticket.seq,
+            now=now,
+        )
+        ticket.trace = root
+        self.overloaded.inc()
+        if isinstance(decision, CircuitOpen):
+            self.circuit_open_sheds.inc()
+        if root is not None:
+            root.child("shed", reason=decision.reason).end()
+        ticket.resolve(decision)
+        if self.audit_log is not None:
+            self.audit_log.append(decision, trace_id=ticket.trace_id)
+        self.tracer.finish(root)
+        return ticket
+
     def authorize(
         self, request: JointAccessRequest, now: int
     ) -> AuthorizationDecision:
@@ -310,7 +412,23 @@ class AuthorizationService:
     # -------------------------------------------------------- evaluation
 
     def _evaluate(self, ticket: Ticket) -> None:
-        """Decide one ticket against its pinned epoch (worker context)."""
+        """Decide one ticket, isolating per-ticket faults (worker context).
+
+        Any ``Exception`` the decision path raises becomes a typed
+        :class:`Errored` decision — the worker keeps draining, the
+        submitter gets an answer, the trace records the exception class.
+        ``BaseException`` (chaos ``WorkerKilled``, interpreter shutdown)
+        still propagates: that is the worker-crash path the supervisor
+        owns.
+        """
+        try:
+            decision: AuthorizationDecision = self._decide(ticket)
+        except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+            decision = self._errored_decision(ticket, exc)
+        self._complete(ticket, decision)
+
+    def _decide(self, ticket: Ticket) -> AuthorizationDecision:
+        """The raising decision path: barrier, epoch pin, derivation."""
         root: Optional[TraceSpan] = ticket.trace
         predecessor = ticket.predecessor
         if predecessor is not None and not predecessor.done():
@@ -328,6 +446,10 @@ class AuthorizationService:
         )
         if ticket.queue_span is not None:
             ticket.queue_span.end()
+        if self.chaos is not None:
+            # Chaos hook: may sleep, raise InjectedFault (isolated to
+            # this ticket) or raise WorkerKilled (kills the worker).
+            self.chaos.before_evaluate(ticket)
         epoch: Epoch = ticket.epoch
         request = ticket.request
         entry = epoch.acls.get(request.object_name)
@@ -364,35 +486,185 @@ class AuthorizationService:
                 attrs["axioms"] = list(counts)
                 attrs["axiom_counts"] = counts
             derivation_span.end(**attrs)
-        ticket.resolve(decision)
-        if ticket.latency_s is not None:
-            self._latency_hist.observe(ticket.latency_s)
-        if self.audit_log is not None:
-            audit_span = None
-            if root is not None:
-                audit_span = root.child("audit_append")
-            audit_entry = self.audit_log.append(
-                decision, trace_id=ticket.trace_id
-            )
-            if audit_span is not None:
-                audit_span.end(sequence=audit_entry.sequence)
-        self.tracer.finish(root)
+        return decision
+
+    def _errored_decision(
+        self, ticket: Ticket, exc: BaseException
+    ) -> Errored:
+        """Build the fail-closed decision for a faulted evaluation."""
+        if ticket.trace is not None:
+            ticket.trace.record_error(exc)
+        return Errored(
+            granted=False,
+            reason=(
+                f"errored: evaluation raised "
+                f"{type(exc).__name__}: {exc}"
+            ),
+            operation=ticket.request.operation,
+            object_name=ticket.request.object_name,
+            checked_at=ticket.now,
+            shard=ticket.shard,
+            error_type=type(exc).__name__,
+        )
+
+    def _complete(self, ticket: Ticket, decision: AuthorizationDecision) -> None:
+        """Resolve and account one *admitted* ticket, exactly once.
+
+        Shared by normal evaluation, fault isolation, circuit-breaker
+        failover and close()-time stranded resolution.  The ``finally``
+        guarantees the accounting and dedup/nonce cleanup run even if
+        audit or trace export raises — outstanding can never leak.
+        """
+        try:
+            if ticket.queue_span is not None:
+                ticket.queue_span.end()
+            ticket.resolve(decision)
+            if (
+                not isinstance(decision, Overloaded)
+                and ticket.latency_s is not None
+            ):
+                self._latency_hist.observe(ticket.latency_s)
+            root = ticket.trace
+            if self.audit_log is not None:
+                audit_span = None
+                if root is not None:
+                    audit_span = root.child("audit_append")
+                audit_entry = self.audit_log.append(
+                    decision, trace_id=ticket.trace_id
+                )
+                if audit_span is not None:
+                    audit_span.end(sequence=audit_entry.sequence)
+            self.tracer.finish(root)
+        finally:
+            with self._admission_lock:
+                if isinstance(decision, Errored):
+                    self.errored.inc()
+                elif isinstance(decision, Overloaded):
+                    self.overloaded.inc()
+                    if isinstance(decision, CircuitOpen):
+                        self.circuit_open_sheds.inc()
+                else:
+                    self.evaluated.inc()
+                    if decision.granted:
+                        self.granted.inc()
+                    else:
+                        self.denied.inc()
+                if self.dedup:
+                    fingerprint = request_fingerprint(
+                        ticket.request, ticket.now
+                    )
+                    if self._inflight[ticket.shard].get(fingerprint) is ticket:
+                        del self._inflight[ticket.shard][fingerprint]
+                for part in ticket.request.parts:
+                    if self._nonce_tail.get(part.nonce) is ticket:
+                        del self._nonce_tail[part.nonce]
+                self._outstanding -= 1
+                if self._outstanding == 0:
+                    self._drained.notify_all()
+
+    # ------------------------------------------------------- supervision
+
+    def _worker_crashed(self, worker: ShardWorker, exc: BaseException) -> None:
+        """Crash report from a dying worker thread (its last act)."""
+        self._handle_crash(worker.shard, exc, worker.current_ticket)
+
+    def _handle_crash(
+        self,
+        shard: int,
+        exc: BaseException,
+        ticket: Optional[Ticket],
+    ) -> None:
+        """Shared crash path: worker threads, liveness sweep, manual pump.
+
+        Resolves the in-hand ticket (if any) as errored, charges the
+        shard's restart budget, and either schedules a replacement
+        worker (threaded), performs a logical restart (serialized
+        modes), or trips the breaker and fails the queue over.
+        """
+        error_type = type(exc).__name__
+        if ticket is not None and not ticket.done():
+            # The ticket dies with the worker, but its submitter must
+            # not: resolve it errored before anything else.
+            self._complete(ticket, self._errored_decision(ticket, exc))
         with self._admission_lock:
-            self.evaluated.inc()
-            if decision.granted:
-                self.granted.inc()
-            else:
-                self.denied.inc()
-            if self.dedup:
-                fingerprint = request_fingerprint(request, ticket.now)
-                if self._inflight[ticket.shard].get(fingerprint) is ticket:
-                    del self._inflight[ticket.shard][fingerprint]
-            for part in request.parts:
-                if self._nonce_tail.get(part.nonce) is ticket:
-                    del self._nonce_tail[part.nonce]
-            self._outstanding -= 1
-            if self._outstanding == 0:
+            self.worker_crashes.inc()
+            if self._closed:
+                return
+            if self.mode == "threaded" and not self._supervise:
+                # No supervisor: nothing will restart this shard.  Wake
+                # drain() waiters so they detect the stranded shard
+                # immediately instead of burning their full timeout.
                 self._drained.notify_all()
+                return
+        backoff = self._breakers[shard].record_crash(error_type)
+        if backoff is None:
+            self._trip_breaker(shard)
+            return
+        if self.mode == "threaded":
+            assert self.supervisor is not None
+            self.supervisor.schedule_restart(shard, backoff, error_type)
+        else:
+            # Serialized modes have no thread to replace: the restart is
+            # logical (the pump keeps draining) but burns the same budget.
+            with self._admission_lock:
+                self.worker_restarts.inc()
+
+    def _trip_breaker(self, shard: int) -> None:
+        """Give up on a shard: fail its queued tickets over as shed.
+
+        The breaker is already open (set inside ``record_crash``), so —
+        because admission checks it under the admission lock — draining
+        the queue under that same lock guarantees no new ticket can
+        slip into the dead shard's queue after the sweep.
+        """
+        breaker = self._breakers[shard]
+        with self._admission_lock:
+            stranded = self._queues[shard].drain_all()
+        for ticket in stranded:
+            decision = CircuitOpen(
+                granted=False,
+                reason=(
+                    f"circuit open: shard {shard} exceeded its restart "
+                    f"budget ({breaker.restarts} restarts, last error "
+                    f"{breaker.last_error})"
+                ),
+                operation=ticket.request.operation,
+                object_name=ticket.request.object_name,
+                checked_at=ticket.now,
+                shard=shard,
+                queue_depth=0,
+                restarts=breaker.restarts,
+            )
+            if ticket.trace is not None:
+                ticket.trace.child(
+                    "shed", reason=decision.reason, circuit="open"
+                ).end()
+            self._complete(ticket, decision)
+
+    def _restart_worker(self, shard: int) -> Optional[ShardWorker]:
+        """Replace a crashed worker (supervisor context), or refuse.
+
+        Returns ``None`` when the service closed or the breaker tripped
+        while the restart was pending — the supervisor treats both as
+        "this shard is done".
+        """
+        with self._admission_lock:
+            if self._closed or self._breakers[shard].is_open:
+                return None
+            old = self._workers[shard]
+            worker = ShardWorker(
+                shard,
+                self._queues[shard],
+                self._evaluate,
+                chaos=self.chaos,
+                on_crash=self._worker_crashed,
+                epoch_id=self.epochs.current.epoch_id,
+                incarnation=(old.incarnation + 1) if old is not None else 1,
+            )
+            self._workers[shard] = worker
+            self.worker_restarts.inc()
+        worker.start()
+        return worker
 
     # ----------------------------------------------- manual/inline pumping
 
@@ -411,7 +683,11 @@ class AuthorizationService:
             return False
         ticket = self._queues[best_shard].pop(timeout=0)
         assert ticket is not None
-        self._evaluate(ticket)
+        try:
+            self._evaluate(ticket)
+        except WorkerKilled as exc:
+            # Serialized-mode "worker crash": same budget, logical restart.
+            self._handle_crash(best_shard, exc, ticket)
         return True
 
     def pump(self, max_tickets: Optional[int] = None) -> int:
@@ -431,35 +707,111 @@ class AuthorizationService:
     # --------------------------------------------------------- lifecycle
 
     def _start_workers(self) -> None:
+        epoch_id = self.epochs.current.epoch_id
         for shard, queue in enumerate(self._queues):
-            worker = ShardWorker(shard, queue, self._evaluate)
-            self._workers.append(worker)
+            worker = ShardWorker(
+                shard,
+                queue,
+                self._evaluate,
+                chaos=self.chaos,
+                on_crash=self._worker_crashed,
+                epoch_id=epoch_id,
+            )
+            self._workers[shard] = worker
             worker.start()
+        if self._supervise:
+            self.supervisor = WorkerSupervisor(self)
+            self.supervisor.start()
+
+    def _stranded_reason_locked(self) -> Optional[str]:
+        """Why outstanding work can never finish, or None (lock held).
+
+        Only unsupervised threaded services can strand work: a crashed
+        worker with tickets still queued and nothing that will restart
+        it.  Supervised services either restart the worker or fail the
+        queue over, so their drains always terminate.
+        """
+        if self._supervise:
+            return None
+        for shard, worker in enumerate(self._workers):
+            if worker is None or not worker.crashed:
+                continue
+            queued = len(self._queues[shard])
+            if queued:
+                exc = worker.crash_exc
+                return (
+                    f"shard {shard} worker is dead "
+                    f"({type(exc).__name__}: {exc}) with {queued} queued "
+                    f"ticket(s) and no supervisor; run with supervise=True "
+                    f"or close() the service to fail the tickets over"
+                )
+        return None
 
     def drain(self, timeout: Optional[float] = None) -> bool:
-        """Wait until every admitted ticket has resolved."""
+        """Wait until every admitted ticket has resolved.
+
+        Raises :class:`ServiceError` *immediately* (not after the
+        timeout) when outstanding work is stranded behind a dead,
+        unsupervised worker — the crash handler wakes waiters the
+        moment the worker dies.
+        """
         if self.mode != "threaded":
             self.pump()
             return True
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
         with self._admission_lock:
-            if self._outstanding == 0:
-                return True
-            return self._drained.wait_for(
-                lambda: self._outstanding == 0, timeout
-            )
+            while self._outstanding > 0:
+                reason = self._stranded_reason_locked()
+                if reason is not None:
+                    raise ServiceError(reason)
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._drained.wait(remaining)
+            return True
 
     def close(self, timeout: Optional[float] = 10.0) -> None:
-        """Stop accepting work, finish the queues, join the workers."""
+        """Stop accepting work, finish the queues, resolve the stranded.
+
+        The supervisor stops first (no restarts during shutdown), live
+        workers drain their queues and exit, and any ticket left behind
+        by a dead worker is resolved as :class:`Errored` — a caller
+        blocked on ``ticket.result()`` is never stranded by ``close``.
+        """
         if self._closed:
             return
         self._closed = True
         if self.mode != "threaded":
             self.pump()
             return
-        for worker in self._workers:
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        workers = [w for w in self._workers if w is not None]
+        for worker in workers:
             worker.stop()
-        for worker in self._workers:
-            worker.join(timeout)
+        for worker in workers:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            worker.join(remaining)
+        # Live workers drained their queues on the way out; whatever is
+        # left sat behind a crashed (or join-timed-out) worker.
+        for shard in range(self.num_shards):
+            for ticket in self._queues[shard].drain_all():
+                if ticket.done():
+                    continue
+                exc = ServiceError(
+                    f"service closed: shard {shard} worker was dead, "
+                    f"ticket seq={ticket.seq} never evaluated"
+                )
+                self._complete(ticket, self._errored_decision(ticket, exc))
 
     def __enter__(self) -> "AuthorizationService":
         return self
@@ -472,8 +824,27 @@ class AuthorizationService:
     def queue_depths(self) -> List[int]:
         return [len(queue) for queue in self._queues]
 
+    def workers_alive(self) -> int:
+        """Live worker threads (serialized modes: every shard counts)."""
+        if self.mode != "threaded":
+            return self.num_shards
+        return sum(
+            1
+            for worker in self._workers
+            if worker is not None and worker.is_alive()
+        )
+
+    def breakers_open(self) -> int:
+        return sum(1 for breaker in self._breakers if breaker.is_open)
+
+    def health(self) -> Dict[str, object]:
+        """Liveness/readiness probe report (see :mod:`.health`)."""
+        from .health import health_report
+
+        return health_report(self)
+
     def stats(self) -> Dict[str, Dict[str, int]]:
-        """Namespaced service/epoch counters (shed is never silent)."""
+        """Namespaced service/epoch/health counters (shed is never silent)."""
         epoch = self.epochs.current
         return {
             "service": {
@@ -484,6 +855,7 @@ class AuthorizationService:
                 "granted": self.granted.value,
                 "denied": self.denied.value,
                 "overloaded": self.overloaded.value,
+                "errored": self.errored.value,
                 "coalesced": self.coalesced.value,
                 "barrier_waits": self.barrier_waits.value,
                 "outstanding": self._outstanding,
@@ -499,6 +871,14 @@ class AuthorizationService:
                     self.epochs.stats.policy_updates_published
                 ),
                 "forks_taken": self.epochs.stats.forks_taken,
+            },
+            "health": {
+                "supervised": int(self._supervise),
+                "workers_alive": self.workers_alive(),
+                "worker_crashes": self.worker_crashes.value,
+                "worker_restarts": self.worker_restarts.value,
+                "breakers_open": self.breakers_open(),
+                "circuit_open_sheds": self.circuit_open_sheds.value,
             },
         }
 
@@ -527,6 +907,8 @@ class AuthorizationService:
             ),
             "forks_taken": self.epochs.stats.forks_taken,
             "traces_finished": self.tracer.spans_finished,
+            "workers_alive": self.workers_alive(),
+            "breakers_open": self.breakers_open(),
         }
         for name, value in gauges.items():
             self.metrics.gauge(name).set(value)

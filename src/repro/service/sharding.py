@@ -10,17 +10,24 @@ processes and runs — benchmarks and the parity fuzzer rely on that.
 A :class:`ShardWorker` is one daemon thread draining one bounded queue.
 Everything it does is also correct fully serialized (the ``inline`` and
 ``manual`` service modes drive the same evaluation path without
-threads).
+threads).  Idle workers block on the queue's condition variable —
+there is no poll cadence; ``stop()`` wakes a blocked worker through
+the queue.  A worker that exits its loop with an exception (including
+a chaos :class:`~repro.service.chaos.WorkerKilled`) records the crash
+and reports it through ``on_crash`` so the supervision layer
+(:mod:`repro.service.supervisor`) can restart or fail the shard over —
+never a silent thread death.
 """
 
 from __future__ import annotations
 
 import threading
 import zlib
-from typing import Callable
+from typing import Callable, Optional
 
 from ..coalition.requests import JointAccessRequest
 from .admission import ShardQueue, Ticket
+from .chaos import FaultInjector
 
 __all__ = ["shard_key", "shard_for", "ShardWorker"]
 
@@ -39,32 +46,78 @@ def shard_for(request: JointAccessRequest, num_shards: int) -> int:
 class ShardWorker(threading.Thread):
     """Drains one shard queue, evaluating tickets in admission order."""
 
-    _POLL_S = 0.05  # wake cadence to observe the stop flag
-
     def __init__(
         self,
         shard: int,
         queue: ShardQueue,
         evaluate: Callable[[Ticket], None],
+        chaos: Optional[FaultInjector] = None,
+        on_crash: Optional[Callable[["ShardWorker", BaseException], None]] = None,
+        epoch_id: int = 0,
+        incarnation: int = 0,
     ):
-        super().__init__(name=f"auth-shard-{shard}", daemon=True)
+        suffix = f"-r{incarnation}" if incarnation else ""
+        super().__init__(name=f"auth-shard-{shard}{suffix}", daemon=True)
         self.shard = shard
         self.queue = queue
         self._evaluate = evaluate
+        self._chaos = chaos
+        self._on_crash = on_crash
+        # The epoch this worker was pinned to when it (re)started;
+        # individual tickets still pin their own admission-time epoch.
+        self.epoch_id = epoch_id
+        self.incarnation = incarnation
         # NB: not named _stop — that would shadow Thread._stop(), which
         # Thread.join() calls internally.
         self._stop_requested = threading.Event()
+        self.started = False
         self.tickets_processed = 0
+        self.current_ticket: Optional[Ticket] = None
+        self.crashed = False
+        self.crash_exc: Optional[BaseException] = None
+
+    @property
+    def stopping(self) -> bool:
+        """True once a clean shutdown was requested via :meth:`stop`."""
+        return self._stop_requested.is_set()
+
+    def start(self) -> None:
+        self.started = True
+        super().start()
 
     def stop(self) -> None:
+        """Request a clean exit; wakes the worker if it is idle-blocked."""
         self._stop_requested.set()
+        self.queue.wake()
 
     def run(self) -> None:
+        try:
+            self._drain_loop()
+        except BaseException as exc:  # noqa: BLE001 - crash is the contract
+            # Crash path: record what killed us and hand the in-flight
+            # ticket (if any) plus the restart decision to the service.
+            self.crashed = True
+            self.crash_exc = exc
+            if self._on_crash is not None:
+                self._on_crash(self, exc)
+
+    def _drain_loop(self) -> None:
         while True:
-            ticket = self.queue.pop(timeout=self._POLL_S)
+            if self._chaos is not None:
+                # May raise WorkerKilled at the loop top (no ticket in
+                # hand; the queue stays intact for a replacement worker).
+                self._chaos.on_worker_loop(self.shard, self.tickets_processed)
+            # Blocks on the queue condition until work or a stop() wake;
+            # idle shards never busy-wake (the old 50 ms poll is gone).
+            ticket = self.queue.pop(timeout=None, stop=self._stop_requested)
             if ticket is None:
                 if self._stop_requested.is_set() and len(self.queue) == 0:
                     return
                 continue
+            # current_ticket is cleared only on success: if _evaluate
+            # escapes (WorkerKilled, internal bug), the crash handler
+            # reads it to resolve the in-hand ticket as errored.
+            self.current_ticket = ticket
             self._evaluate(ticket)
+            self.current_ticket = None
             self.tickets_processed += 1

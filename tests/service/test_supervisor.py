@@ -1,0 +1,286 @@
+"""Supervision: restart budgets, circuit breaking, stranded detection.
+
+Covers the DESIGN.md §11 lifecycle end to end: a shard worker that
+keeps dying burns its bounded restart budget (exponential backoff),
+the breaker then trips open, queued work fails over as typed
+``CircuitOpen`` sheds, admission sheds new traffic for the failed
+shard, and unaffected shards keep serving byte-identical results.
+Threaded and manual modes exercise the same budget accounting.
+"""
+
+import time
+
+import pytest
+
+from repro.coalition import build_joint_request
+from repro.service import (
+    ChaosConfig,
+    CircuitBreaker,
+    CircuitOpen,
+    Errored,
+    FaultInjector,
+    ServiceError,
+)
+
+
+def _read(users, cert, obj, now, nonce):
+    return build_joint_request(
+        users[0], [], "read", obj, cert, now=now, nonce=nonce
+    )
+
+
+# Kills every evaluation on shard 0 (ObjectO's shard at 2 shards),
+# across restarts: each replacement incarnation dies on its first pop.
+def _always_kill_shard0():
+    return FaultInjector(
+        ChaosConfig(kill_shard=0, kill_in_flight=True, kill_times=100)
+    )
+
+
+class TestCircuitBreaker:
+    def test_backoff_doubles_until_budget_then_opens(self):
+        breaker = CircuitBreaker(
+            max_restarts=3, backoff_base_s=0.05, backoff_cap_s=2.0
+        )
+        assert breaker.record_crash("E1") == pytest.approx(0.05)
+        assert breaker.record_crash("E2") == pytest.approx(0.10)
+        assert breaker.record_crash("E3") == pytest.approx(0.20)
+        assert not breaker.is_open and breaker.restarts == 3
+        assert breaker.record_crash("E4") is None
+        assert breaker.is_open and breaker.state == "open"
+        assert breaker.crashes == 4 and breaker.restarts == 3
+        assert breaker.last_error == "E4"
+
+    def test_backoff_is_capped(self):
+        breaker = CircuitBreaker(
+            max_restarts=10, backoff_base_s=0.5, backoff_cap_s=1.0
+        )
+        breaker.record_crash("E")
+        breaker.record_crash("E")
+        assert breaker.record_crash("E") == pytest.approx(1.0)  # not 2.0
+
+    def test_zero_budget_opens_on_first_crash(self):
+        breaker = CircuitBreaker(max_restarts=0)
+        assert breaker.record_crash("E") is None
+        assert breaker.is_open
+
+
+class TestThreadedRestartBudget:
+    def test_budget_restarts_then_trip_and_failover(self, service_coalition):
+        ctx, make_service = service_coalition
+        service = make_service(
+            mode="threaded",
+            num_shards=2,
+            queue_depth=32,
+            dedup=False,
+            chaos=_always_kill_shard0(),
+            max_restarts=2,
+            restart_backoff_s=0.005,
+        )
+        users, cert = ctx["users"], ctx["read_cert"]
+        doomed = [
+            service.submit(_read(users, cert, "ObjectO", 5, f"tb-o-{i}"), now=5)
+            for i in range(8)
+        ]
+        healthy = [
+            service.submit(_read(users, cert, "ObjectP", 5, f"tb-p-{i}"), now=5)
+            for i in range(6)
+        ]
+        assert service.drain(timeout=20), "supervised drain must terminate"
+
+        # Shard 0: 3 crashes (initial + 2 replacement incarnations),
+        # each taking its in-hand ticket down as Errored; the rest of
+        # the queue failed over as CircuitOpen when the breaker tripped.
+        results = [t.result(0) for t in doomed]
+        errored = [r for r in results if isinstance(r, Errored)]
+        shed = [r for r in results if isinstance(r, CircuitOpen)]
+        assert len(errored) == 3
+        assert all(r.error_type == "WorkerKilled" for r in errored)
+        assert len(shed) == 5
+        assert all(r.shed and r.restarts == 2 for r in shed)
+
+        health = service.stats()["health"]
+        assert health["worker_crashes"] == 3
+        assert health["worker_restarts"] == 2, "restarts are bounded"
+        assert health["breakers_open"] == 1
+        assert health["circuit_open_sheds"] == 5
+        assert service._breakers[0].is_open
+
+        # The supervisor recorded both replacements, re-pinned to the
+        # epoch current at restart time.
+        events = service.supervisor.events
+        assert [e.incarnation for e in events] == [1, 2]
+        assert all(e.error_type == "WorkerKilled" for e in events)
+        assert all(
+            e.epoch_id == service.epochs.current.epoch_id for e in events
+        )
+        assert events[1].backoff_s == pytest.approx(0.010)
+
+        # The unaffected shard served everything.
+        assert all(t.result(0).granted for t in healthy)
+
+    def test_admission_sheds_for_open_breaker(self, service_coalition):
+        ctx, make_service = service_coalition
+        service = make_service(
+            mode="threaded",
+            num_shards=2,
+            chaos=_always_kill_shard0(),
+            max_restarts=0,
+            restart_backoff_s=0.001,
+        )
+        users, cert = ctx["users"], ctx["read_cert"]
+        service.submit(_read(users, cert, "ObjectO", 5, "as-0"), now=5)
+        assert service.drain(timeout=10)
+        assert service._breakers[0].is_open
+        ticket = service.submit(_read(users, cert, "ObjectO", 5, "as-1"), now=5)
+        assert ticket.done(), "open-breaker shed resolves at admission"
+        decision = ticket.result(0)
+        assert isinstance(decision, CircuitOpen)
+        assert "circuit open" in decision.reason
+        # The healthy shard still admits and serves.
+        assert service.authorize(
+            _read(users, cert, "ObjectP", 5, "as-2"), now=5
+        ).granted
+
+    def test_unaffected_shard_results_match_chaos_free_service(
+        self, service_coalition
+    ):
+        """Byte-identical decisions on the surviving shard: same grant,
+        reason, operation, object and timestamp as a chaos-free run of
+        the same stream."""
+        ctx, make_service = service_coalition
+        users, cert = ctx["users"], ctx["read_cert"]
+        chaotic = make_service(
+            mode="threaded",
+            num_shards=2,
+            dedup=False,
+            chaos=_always_kill_shard0(),
+            max_restarts=1,
+            restart_backoff_s=0.002,
+        )
+        oracle = make_service(mode="manual", num_shards=2, dedup=False)
+
+        def stream(service):
+            tickets = []
+            for i in range(6):
+                obj = "ObjectO" if i % 2 == 0 else "ObjectP"
+                tickets.append(
+                    service.submit(
+                        _read(users, cert, obj, 5, f"ba-{i}"), now=5
+                    )
+                )
+            return tickets
+
+        chaotic_tickets = stream(chaotic)
+        assert chaotic.drain(timeout=20)
+        oracle_tickets = stream(oracle)
+        oracle.pump()
+        for got_t, want_t in zip(chaotic_tickets, oracle_tickets):
+            if got_t.shard == 0:
+                continue  # the sacrificed shard
+            got, want = got_t.result(0), want_t.result(0)
+            assert (
+                got.granted,
+                got.reason,
+                got.operation,
+                got.object_name,
+                got.checked_at,
+            ) == (
+                want.granted,
+                want.reason,
+                want.operation,
+                want.object_name,
+                want.checked_at,
+            )
+
+
+class TestManualRestartBudget:
+    def test_logical_restarts_burn_the_same_budget(self, service_coalition):
+        ctx, make_service = service_coalition
+        service = make_service(
+            mode="manual",
+            num_shards=2,
+            dedup=False,
+            chaos=_always_kill_shard0(),
+            max_restarts=2,
+        )
+        users, cert = ctx["users"], ctx["read_cert"]
+        doomed = [
+            service.submit(_read(users, cert, "ObjectO", 5, f"mb-{i}"), now=5)
+            for i in range(8)
+        ]
+        other = service.submit(_read(users, cert, "ObjectP", 5, "mb-p"), now=5)
+        service.pump()
+        results = [t.result(0) for t in doomed]
+        assert sum(isinstance(r, Errored) for r in results) == 3
+        assert sum(isinstance(r, CircuitOpen) for r in results) == 5
+        health = service.stats()["health"]
+        assert health["worker_crashes"] == 3
+        assert health["worker_restarts"] == 2
+        assert health["breakers_open"] == 1
+        assert other.result(0).granted
+        # Post-trip admission sheds without pumping.
+        late = service.submit(_read(users, cert, "ObjectO", 5, "mb-l"), now=5)
+        assert isinstance(late.result(0), CircuitOpen)
+
+
+class TestUnsupervisedDetection:
+    def _dead_shard_service(self, make_service):
+        """An unsupervised service whose shard-0 worker dies after one
+        ticket, leaving the rest of its queue stranded."""
+        return make_service(
+            mode="threaded",
+            num_shards=2,
+            dedup=False,
+            supervise=False,
+            chaos=FaultInjector(
+                ChaosConfig(kill_shard=0, kill_after=1, kill_times=1)
+            ),
+        )
+
+    def test_drain_raises_immediately_not_after_timeout(
+        self, service_coalition
+    ):
+        ctx, make_service = service_coalition
+        service = self._dead_shard_service(make_service)
+        users, cert = ctx["users"], ctx["read_cert"]
+        tickets = [
+            service.submit(_read(users, cert, "ObjectO", 5, f"ud-{i}"), now=5)
+            for i in range(4)
+        ]
+        worker = service._workers[0]
+        worker.join(timeout=10)
+        assert worker.crashed
+        start = time.perf_counter()
+        with pytest.raises(ServiceError, match="shard 0 worker is dead"):
+            service.drain(timeout=30)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5, "detection must not burn the drain timeout"
+        assert tickets[0].done(), "the in-hand ticket was still resolved"
+
+    def test_close_resolves_stranded_tickets(self, service_coalition):
+        ctx, make_service = service_coalition
+        service = self._dead_shard_service(make_service)
+        users, cert = ctx["users"], ctx["read_cert"]
+        tickets = [
+            service.submit(_read(users, cert, "ObjectO", 5, f"uc-{i}"), now=5)
+            for i in range(4)
+        ]
+        service._workers[0].join(timeout=10)
+        service.close(timeout=10)
+        assert all(t.done() for t in tickets), "close leaves nobody waiting"
+        stranded = [
+            t.result(0)
+            for t in tickets
+            if isinstance(t.result(0), Errored)
+            and "service closed" in t.result(0).reason
+        ]
+        assert len(stranded) >= 1
+
+    def test_idle_close_is_fast(self, service_coalition):
+        _, make_service = service_coalition
+        service = make_service(mode="threaded", num_shards=4)
+        start = time.perf_counter()
+        service.close(timeout=10)
+        assert time.perf_counter() - start < 2
+        assert service.workers_alive() == 0

@@ -91,3 +91,37 @@ class TestCommands:
         assert snapshot["schema"] == SCHEMA
         assert snapshot["counters"]["service.submitted"] == 20
         assert "service.request_latency_s" in snapshot["histograms"]
+
+    def test_health_ready_service_exits_zero(self, capsys):
+        assert main(
+            ["health", "--requests", "20", "--shards", "2", "--bits", "256"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "live=True" in out
+        assert "ready=True" in out
+        assert "stranded=0" in out
+
+    def test_health_chaos_survives_and_reports(self, capsys):
+        assert main(
+            [
+                "health", "--requests", "40", "--shards", "2",
+                "--bits", "256", "--chaos-raise-every", "8",
+                "--kill-shard", "0", "--kill-after", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "crashes=1" in out
+        assert "restarts=1" in out
+        assert "stranded=0" in out
+
+    def test_health_json(self, capsys):
+        import json
+
+        assert main(
+            ["health", "--requests", "20", "--shards", "2",
+             "--bits", "256", "--json"]
+        ) == 0
+        probe = json.loads(capsys.readouterr().out)
+        assert probe["liveness"]["live"] is True
+        assert probe["readiness"]["ready"] is True
+        assert len(probe["shards"]) == 2

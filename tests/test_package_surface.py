@@ -59,10 +59,13 @@ PACKAGES = [
     "repro.obs.trace",
     "repro.service",
     "repro.service.admission",
+    "repro.service.chaos",
     "repro.service.epoch",
+    "repro.service.health",
     "repro.service.loadgen",
     "repro.service.service",
     "repro.service.sharding",
+    "repro.service.supervisor",
     "repro.semantics",
     "repro.semantics.bridge",
     "repro.semantics.events",
