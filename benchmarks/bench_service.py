@@ -25,6 +25,10 @@ from repro.service.loadgen import (
 SMOKE = os.environ.get("SERVICE_BENCH_SMOKE") == "1"
 TOTAL_REQUESTS = 60 if SMOKE else 300
 SHARD_SWEEP = [1, 2, 4]
+# Process-parallel scaling can only manifest with real cores to run
+# on: the strict shards-4 > shards-1 assertion is gated on the box,
+# not assumed (a 1-core container serializes the workers again).
+NPROC = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else 1
 
 BASE_CONFIG = LoadgenConfig(
     total_requests=TOTAL_REQUESTS,
@@ -53,6 +57,85 @@ def test_throughput_by_shard_count(service_report, num_shards):
     assert report.granted > 0
     assert report.revocations_published > 0
     assert report.p50_ms <= report.p95_ms <= report.p99_ms <= report.max_ms
+
+
+def test_scaling_efficiency_process_batched(service_report):
+    """E17 — batched dispatch + process workers: sharding must *scale*.
+
+    The shard sweep above shows threaded sharding under the GIL; this
+    sweep runs the same workload with per-shard worker processes and a
+    batched client, recording a ``scaling_efficiency`` series
+    (rps(n) / (n * rps(1))) into ``BENCH_service.json``.  On a
+    multi-core box the strict acceptance holds: 4 shards must beat 1.
+    """
+    reports = {}
+    for num_shards in SHARD_SWEEP:
+        report = run_loadgen(
+            replace(
+                BASE_CONFIG,
+                num_shards=num_shards,
+                mode="process",
+                batch_size=16,
+                revoke_every=0,
+            )
+        )
+        reports[num_shards] = report
+        base_rps = reports[1].throughput_rps
+        efficiency = (
+            report.throughput_rps / (num_shards * base_rps)
+            if base_rps > 0
+            else 0.0
+        )
+        service_report(
+            f"scaling-process-shards-{num_shards}",
+            report,
+            scaling_efficiency=round(efficiency, 4),
+            nproc=NPROC,
+        )
+        assert report.stranded == 0
+        assert report.worker_crashes == 0
+        assert report.evaluated == report.submitted
+        assert report.granted > 0
+    if NPROC >= 2 and not SMOKE:
+        assert (
+            reports[4].throughput_rps > reports[1].throughput_rps
+        ), (
+            f"process-parallel sharding failed to scale on {NPROC} cores: "
+            f"shards-4 {reports[4].throughput_rps:.0f} rps vs "
+            f"shards-1 {reports[1].throughput_rps:.0f} rps"
+        )
+
+
+def test_paced_queue_latency_p50(service_report):
+    """E17 — paced arrivals collapse queue wait at shards-1.
+
+    The open-loop max-pressure sweep front-loads the entire stream, so
+    shards-1 p50 (~54ms in the seed) measures backlog depth, not the
+    service.  A paced run at a sustainable rate holds the queue near
+    empty: p50 must sit >=5x below that baseline (<10.8ms), and the
+    absolute-deadline driver must actually keep its schedule.
+    """
+    rate = 400.0
+    report = run_loadgen(
+        replace(
+            BASE_CONFIG,
+            num_shards=1,
+            arrival_rate=rate,
+            revoke_every=0,
+        )
+    )
+    service_report("paced-shards-1", report)
+    assert report.stranded == 0
+    assert report.evaluated == report.submitted
+    assert report.target_rps == rate
+    # Driver fidelity: submission must track the configured schedule
+    # (a driver-bound run would make the latency numbers meaningless).
+    assert report.achieved_rps >= 0.5 * rate
+    if not SMOKE:
+        assert report.p50_ms < 10.8, (
+            f"paced p50 {report.p50_ms:.2f}ms did not drop >=5x below the "
+            f"~54ms open-loop baseline"
+        )
 
 
 def test_overdriven_service_sheds_typed(service_report):

@@ -150,10 +150,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             queue_depth=queue_depth,
             total_requests=args.requests,
             arrival_rate=args.rate,
+            batch_size=args.batch,
             read_fraction=args.read_fraction,
             revoke_every=args.revoke_every,
             num_objects=args.objects,
             key_bits=args.bits,
+            mode=args.mode,
             seed=args.seed,
         )
 
@@ -176,14 +178,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         )
         return 0
     print(
-        f"{'run':>20} {'rps':>8} {'p50ms':>8} {'p95ms':>8} {'p99ms':>8} "
-        f"{'granted':>8} {'denied':>7} {'shed':>5} {'epochs':>7}"
+        f"{'run':>20} {'rps':>8} {'arps':>8} {'p50ms':>8} {'p95ms':>8} "
+        f"{'p99ms':>8} {'granted':>8} {'denied':>7} {'shed':>5} {'epochs':>7}"
     )
     for name, r in reports:
         print(
-            f"{name:>20} {r.throughput_rps:>8.1f} {r.p50_ms:>8.2f} "
-            f"{r.p95_ms:>8.2f} {r.p99_ms:>8.2f} {r.granted:>8} "
-            f"{r.denied:>7} {r.overloaded:>5} {r.epochs_published:>7}"
+            f"{name:>20} {r.throughput_rps:>8.1f} {r.achieved_rps:>8.1f} "
+            f"{r.p50_ms:>8.2f} {r.p95_ms:>8.2f} {r.p99_ms:>8.2f} "
+            f"{r.granted:>8} {r.denied:>7} {r.overloaded:>5} "
+            f"{r.epochs_published:>7}"
         )
     return 0
 
@@ -414,6 +417,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="open-loop arrival rate in req/s (0 = max pressure)",
     )
     serve.add_argument("--queue-depth", type=int, default=256)
+    serve.add_argument(
+        "--mode", choices=["threaded", "process", "manual", "inline"],
+        default="threaded",
+        help="worker mode (process = per-shard worker processes)",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=1,
+        help="client batch size: submit_batch every k arrivals",
+    )
     serve.add_argument("--read-fraction", type=float, default=0.5)
     serve.add_argument(
         "--revoke-every", type=int, default=25,

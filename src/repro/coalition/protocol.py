@@ -97,6 +97,42 @@ class NonceLedger:
                     purged += 1
         return purged
 
+    def entries(self) -> List[Tuple[str, int]]:
+        """A consistent ``(nonce, forget_after)`` snapshot of the ledger.
+
+        Process-mode shard workers (:mod:`repro.service.procworker`)
+        use this to seed a replacement worker's replay window with
+        every nonce the service has already accepted — a restarted
+        process must keep denying replays of pre-crash grants.
+        """
+        with self._lock:
+            return list(self._seen.items())
+
+    def absorb(self, entries: List[Tuple[str, int]]) -> None:
+        """Merge ``(nonce, forget_after)`` pairs from another ledger."""
+        with self._lock:
+            for nonce, forget_after in entries:
+                if self._seen.get(nonce, -1) < forget_after:
+                    self._seen[nonce] = forget_after
+                    self._expiry.append((forget_after, nonce))
+
+    # The ledger travels inside pickled epoch snapshots when shard
+    # workers run as separate processes; the lock is process-local
+    # state and is recreated on load.
+    def __getstate__(self):
+        with self._lock:
+            return {
+                "freshness_window": self.freshness_window,
+                "_seen": dict(self._seen),
+                "_expiry": list(self._expiry),
+            }
+
+    def __setstate__(self, state) -> None:
+        self.freshness_window = state["freshness_window"]
+        self._seen = state["_seen"]
+        self._expiry = deque(state["_expiry"])
+        self._lock = threading.Lock()
+
 
 @dataclass
 class AuthorizationDecision:

@@ -187,6 +187,40 @@ class ShardQueue:
             self._not_empty.notify()
             return True
 
+    def try_push_batch(self, tickets: "list[Ticket]") -> int:
+        """Admit a prefix of ``tickets``; return how many fit.
+
+        One lock acquisition and one condvar notify for the whole
+        batch — the amortization ``submit_batch`` relies on.  Tickets
+        past the remaining capacity are *not* queued; the caller sheds
+        them (FIFO order within the batch is preserved: the accepted
+        prefix is exactly ``tickets[:returned]``).
+        """
+        with self._lock:
+            room = self.depth - len(self._items)
+            if room <= 0:
+                return 0
+            accepted = tickets[:room]
+            self._items.extend(accepted)
+            self._not_empty.notify()
+            return len(accepted)
+
+    def push_front_batch(self, tickets: "list[Ticket]") -> None:
+        """Return un-evaluated tickets to the *head* of the queue.
+
+        The crash path uses this: a worker that dies mid-batch hands
+        its untouched remainder back so the replacement worker sees the
+        original admission order (a plain ``try_push`` would file them
+        behind tickets admitted later).  Deliberately ignores ``depth``
+        — these tickets were already admitted once and must not be
+        shed for a bound they previously fit inside.
+        """
+        with self._lock:
+            for ticket in reversed(tickets):
+                self._items.appendleft(ticket)
+            if self._items:
+                self._not_empty.notify()
+
     def pop(
         self,
         timeout: Optional[float] = None,
@@ -209,6 +243,38 @@ class ShardQueue:
             if not self._items:
                 return None
             return self._items.popleft()
+
+    def pop_batch(
+        self,
+        max_batch: int,
+        timeout: Optional[float] = None,
+        stop: Optional[threading.Event] = None,
+    ) -> "list[Ticket]":
+        """Drain up to ``max_batch`` tickets in one condvar wakeup.
+
+        Blocks (like :meth:`pop`) only while the queue is *empty*: the
+        moment at least one ticket is available, everything queued — up
+        to ``max_batch`` — is taken under a single lock acquisition,
+        without waiting for more arrivals.  So a burst is drained in
+        one wakeup, while a lone ticket still departs immediately
+        (batching never adds latency, it only amortizes lock/condvar
+        traffic that was already being paid per ticket).
+
+        Returns ``[]`` on timeout, on a :meth:`wake` with nothing
+        queued, or when ``stop`` was set before the wait — a partial
+        (possibly empty) batch, never a lost ticket.
+        """
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        with self._lock:
+            if not self._items:
+                if stop is not None and stop.is_set():
+                    return []
+                self._not_empty.wait(timeout)
+            if not self._items:
+                return []
+            take = min(max_batch, len(self._items))
+            return [self._items.popleft() for _ in range(take)]
 
     def wake(self) -> None:
         """Nudge any blocked :meth:`pop` (shutdown / supervision)."""

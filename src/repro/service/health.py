@@ -74,7 +74,7 @@ def shard_health(service: "AuthorizationService") -> List[ShardHealth]:
     out: List[ShardHealth] = []
     for shard in range(service.num_shards):
         worker = service._workers[shard]
-        if service.mode == "threaded":
+        if service.mode in ("threaded", "process"):
             alive = worker is not None and worker.is_alive()
             pinned = worker.epoch_id if worker is not None else current_epoch
         else:

@@ -10,6 +10,15 @@ overload inside a closed feedback loop.
 
 Request signing is done up front (it is requestor-side work, not
 server load); the timed region covers admission through decision.
+
+Pacing uses **absolute deadlines** (arrival *i* is due at ``start +
+i/rate``, accumulated, never re-derived from "now"), and the report
+records achieved vs. target rate so a driver-bound run is visible as
+such.  ``batch_size > 1`` switches the client to batched submission:
+arrivals buffer client-side and go down in one
+:meth:`~repro.service.service.AuthorizationService.submit_batch` call,
+amortizing the admission pass the way a network front-end batching
+concurrent clients would.
 """
 
 from __future__ import annotations
@@ -43,6 +52,8 @@ class LoadgenConfig:
     queue_depth: int = 64
     total_requests: int = 200
     arrival_rate: float = 0.0  # requests/s; 0 = maximum pressure, no pacing
+    batch_size: int = 1  # client-side batching: submit_batch every k arrivals
+    max_batch: int = 0  # worker-side batch cap; 0 = service default
     read_fraction: float = 0.5
     revoke_every: int = 0  # publish a revocation every k arrivals (0 = off)
     num_objects: int = 8
@@ -74,6 +85,14 @@ class LoadgenReport:
     config: Dict[str, object]
     wall_s: float = 0.0
     throughput_rps: float = 0.0
+    # Pacing fidelity (paced runs only): the configured arrival rate,
+    # the rate the driver actually achieved, and the worst lateness of
+    # any single arrival against its absolute deadline.  A paced run
+    # whose achieved_rps sags below target_rps is *driver-bound* — its
+    # latency numbers understate the load the config asked for.
+    target_rps: float = 0.0
+    achieved_rps: float = 0.0
+    max_pacing_lag_ms: float = 0.0
     submitted: int = 0
     evaluated: int = 0
     granted: int = 0
@@ -163,6 +182,9 @@ def build_fixture(config: LoadgenConfig) -> ServiceFixture:
                 seed=config.chaos_seed,
             )
         )
+    service_kwargs = {}
+    if config.max_batch > 0:
+        service_kwargs["max_batch"] = config.max_batch
     service = AuthorizationService(
         name="ServiceP",
         num_shards=config.num_shards,
@@ -170,6 +192,7 @@ def build_fixture(config: LoadgenConfig) -> ServiceFixture:
         freshness_window=config.freshness_window,
         dedup=config.dedup,
         mode=config.mode,
+        **service_kwargs,
         tracing=config.tracing,
         trace_export=config.trace_export,
         supervise=config.supervise,
@@ -240,33 +263,67 @@ def _build_requests(config: LoadgenConfig, fixture: ServiceFixture) -> List[obje
 def run_loadgen(
     config: LoadgenConfig, fixture: Optional[ServiceFixture] = None
 ) -> LoadgenReport:
-    """Drive one open-loop run and summarize it."""
+    """Drive one open-loop run and summarize it.
+
+    A fixture built here is also closed here (workers — threads or
+    processes — are reaped before returning); a caller-provided
+    fixture stays open, so its service can be inspected afterwards.
+    """
+    owned = fixture is None
     fixture = fixture or build_fixture(config)
     service = fixture.service
     requests = _build_requests(config, fixture)
     victims = list(fixture.victim_certs)
 
     tickets: List[Ticket] = []
+    pending: List[tuple] = []
     nonce_peak = 0
     depth_peak = 0
+    max_lag = 0.0
+    batch_size = max(1, config.batch_size)
+    interval = 1.0 / config.arrival_rate if config.arrival_rate > 0 else 0.0
     start = time.perf_counter()
+    submit_end = start
+    # Absolute-deadline pacing: the i-th arrival is due at
+    # ``start + i * interval``, accumulated (``next_deadline +=
+    # interval``) rather than re-derived from "now".  Sleep jitter and
+    # slow submits therefore never stretch the schedule — a late
+    # arrival eats its own lag instead of pushing every later deadline
+    # back, which is what relative sleeps silently do.
+    next_deadline = start
+
+    def flush() -> None:
+        nonlocal submit_end, nonce_peak, depth_peak
+        if not pending:
+            return
+        tickets.extend(service.submit_batch(pending))
+        pending.clear()
+        submit_end = time.perf_counter()
+        nonce_peak = max(nonce_peak, len(service.nonce_ledger))
+        depth_peak = max(depth_peak, max(service.queue_depths(), default=0))
+
     for i, request in enumerate(requests):
-        if config.arrival_rate > 0:
-            target = start + i / config.arrival_rate
-            delay = target - time.perf_counter()
+        if interval:
+            delay = next_deadline - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
+            else:
+                max_lag = max(max_lag, -delay)
+            next_deadline += interval
         if config.revoke_every and i and i % config.revoke_every == 0 and victims:
+            flush()  # the epoch boundary must fall between batches
             revocation = fixture.coalition.authority.revoke_certificate(
                 victims.pop(), now=i
             )
             service.publish_revocation(revocation, now=i)
-        tickets.append(service.submit(request, now=i + 1))
-        nonce_peak = max(nonce_peak, len(service.nonce_ledger))
-        depth_peak = max(depth_peak, max(service.queue_depths(), default=0))
+        pending.append((request, i + 1))
+        if len(pending) >= batch_size:
+            flush()
+    flush()
     if not service.drain(timeout=config.drain_timeout_s):
         raise RuntimeError("loadgen drain timed out; service wedged?")
     wall = time.perf_counter() - start
+    submit_window = submit_end - start
     # Grants remember nonces at evaluation, which trails submission —
     # sample once more after the drain so the peak reflects the full run.
     nonce_peak = max(nonce_peak, len(service.nonce_ledger))
@@ -287,6 +344,11 @@ def run_loadgen(
         config=asdict(config),
         wall_s=wall,
         throughput_rps=(len(served) / wall) if wall > 0 else 0.0,
+        target_rps=config.arrival_rate,
+        achieved_rps=(
+            len(requests) / submit_window if submit_window > 0 else 0.0
+        ),
+        max_pacing_lag_ms=max_lag * 1000,
         submitted=stats["service"]["submitted"],
         evaluated=stats["service"]["evaluated"],
         granted=stats["service"]["granted"],
@@ -306,6 +368,8 @@ def run_loadgen(
         worker_restarts=stats["health"]["worker_restarts"],
         stranded=stranded,
     )
+    if owned:
+        service.close(timeout=10.0)
     return report
 
 

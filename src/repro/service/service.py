@@ -27,12 +27,22 @@
   No admitted ticket is ever stranded (DESIGN.md §11).
 
 Execution modes: ``threaded`` (one worker thread per shard),
-``manual`` (tickets queue until :meth:`pump`, deterministic — what the
-epoch tests drive), and ``inline`` (evaluate during :meth:`submit`).
-The evaluation path is identical in all three; threading only changes
-*when* it runs.  In serialized modes a "worker crash" (chaos
-``WorkerKilled``) burns the same restart budget, but the restart is
-logical — the pump simply keeps draining.
+``process`` (one worker **process** per shard, fed over a pipe —
+see :mod:`repro.service.procworker`), ``manual`` (tickets queue until
+:meth:`pump`, deterministic — what the epoch tests drive), and
+``inline`` (evaluate during :meth:`submit`).  The evaluation path is
+identical in all four; the mode only changes *where/when* it runs.
+In serialized modes a "worker crash" (chaos ``WorkerKilled``) burns
+the same restart budget, but the restart is logical — the pump simply
+keeps draining.
+
+Admission and completion are **batched** (DESIGN.md §12): callers can
+admit N requests under one pass of the admission path
+(:meth:`AuthorizationService.submit_batch`), workers drain bursts of
+tickets in one condvar wakeup (``ShardQueue.pop_batch``), and a
+drained batch's tickets are accounted with a single admission-lock
+sweep — the per-ticket lock/condvar round-trips that made sharding
+scale *backwards* are amortized across the burst.
 """
 
 from __future__ import annotations
@@ -63,12 +73,15 @@ from .admission import (
 )
 from .chaos import FaultInjector, WorkerKilled
 from .epoch import Epoch, EpochManager, PolicyEntry
-from .sharding import ShardWorker, shard_for
+from .sharding import DEFAULT_MAX_BATCH, ShardWorker, shard_for
 from .supervisor import CircuitBreaker, WorkerSupervisor
 
 __all__ = ["AuthorizationService", "ServiceError"]
 
-_MODES = ("threaded", "manual", "inline")
+_MODES = ("threaded", "process", "manual", "inline")
+# Modes with live per-shard workers (threads or processes) vs. the
+# serialized modes where the caller's pump is the worker.
+_WORKER_MODES = ("threaded", "process")
 
 
 class ServiceError(Exception):
@@ -116,16 +129,20 @@ class AuthorizationService:
         restart_backoff_s: float = 0.05,
         restart_backoff_cap_s: float = 2.0,
         chaos: Optional[FaultInjector] = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
         if mode not in _MODES:
             raise ServiceError(f"unknown mode {mode!r}; pick one of {_MODES}")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
         self.name = name
         self.num_shards = num_shards
         self.queue_depth = queue_depth
         self.dedup = dedup
         self.mode = mode
+        self.max_batch = max_batch
         # One replay ledger across every shard and epoch: replays must
         # deny globally, unlike belief state which shards and snapshots.
         self.nonce_ledger = NonceLedger(freshness_window)
@@ -144,10 +161,12 @@ class AuthorizationService:
         self._queues = [ShardQueue(queue_depth) for _ in range(num_shards)]
         # One worker slot per shard (None until started / after removal);
         # the supervisor swaps in replacement incarnations on crash.
+        # In ``process`` mode the slots hold ProcessShardWorker objects,
+        # which duck-type the ShardWorker surface supervision uses.
         self._workers: List[Optional[ShardWorker]] = [None] * num_shards
         # Supervision: one crash budget per shard.  supervise only has
-        # meaning in threaded mode (serialized modes restart logically).
-        self._supervise = supervise and mode == "threaded"
+        # meaning in worker modes (serialized modes restart logically).
+        self._supervise = supervise and mode in _WORKER_MODES
         self._breakers = [
             CircuitBreaker(
                 max_restarts=max_restarts,
@@ -160,7 +179,19 @@ class AuthorizationService:
         self.chaos = chaos
         # Admission bookkeeping: global sequence, per-shard in-flight
         # dedup tables, and the tail ticket per nonce (replay chaining).
+        # The global _admission_lock guards only the O(1)-per-request
+        # bookkeeping (seq, dedup probe, nonce chaining, breaker fast
+        # check, shed accounting); the queue push and the ``submitted``
+        # counting happen under per-shard locks so concurrent
+        # submitters for different shards never serialize on the push.
         self._admission_lock = threading.Lock()
+        self._shard_admission_locks = [
+            threading.Lock() for _ in range(num_shards)
+        ]
+        # Per-shard submitted counts (owned by the per-shard admission
+        # locks); the global `submitted` counter is lazily synced from
+        # these in stats()/metrics_snapshot().
+        self._shard_submitted = [0] * num_shards
         self._next_seq = 0
         self._inflight: List[Dict[tuple, Ticket]] = [
             {} for _ in range(num_shards)
@@ -195,7 +226,7 @@ class AuthorizationService:
         # Optional hash-chained audit log; every resolved decision
         # (including sheds and errors) is appended with its trace id.
         self.audit_log = audit_log
-        if mode == "threaded":
+        if mode in _WORKER_MODES:
             self._start_workers()
 
     # ------------------------------------------------------ configuration
@@ -265,140 +296,225 @@ class AuthorizationService:
         target shard's queue is full, or :class:`CircuitOpen` when the
         shard's circuit breaker has tripped.
         """
+        return self._admit([(request, now)])[0]
+
+    def submit_batch(
+        self, batch: Iterable[tuple]
+    ) -> List[Ticket]:
+        """Admit ``(request, now)`` pairs under one admission pass.
+
+        Semantically identical to calling :meth:`submit` per pair — the
+        same tickets resolve to the same decisions, in the same global
+        sequence order — but the O(1) bookkeeping for the whole batch
+        runs under one acquisition of the admission lock and the queue
+        pushes group into one ``try_push_batch`` per target shard, so
+        the per-request lock traffic amortizes across the batch.
+        """
+        pairs = list(batch)
+        if not pairs:
+            return []
+        return self._admit(pairs)
+
+    def _admit(self, pairs: List[tuple]) -> List[Ticket]:
+        """The admission path: one global pass, then per-shard pushes.
+
+        Phase 1 (global ``_admission_lock``): per request, the breaker
+        fast-check, the dedup probe, sequence assignment, nonce-tail
+        chaining and the outstanding count — all O(1).  Phase 2 (one
+        per-shard lock per target shard): ``submitted`` counting, a
+        breaker re-check, and the queue push.  Tickets the push could
+        not place (queue full, or the breaker opened between the
+        phases) resolve as typed sheds through the normal completion
+        path, so accounting stays exact.
+        """
         if self._closed:
             raise ServiceError("service is closed")
         self._sealed = True
-        epoch = self.epochs.current
-        shard = shard_for(request, self.num_shards)
-        nonces = sorted({part.nonce for part in request.parts})
+        results: List[Optional[Ticket]] = [None] * len(pairs)
+        # shard -> [(ticket, admission_span)] awaiting the phase-2 push.
+        to_push: Dict[int, List[tuple]] = {}
+        # shard -> arrivals in this call (submitted counting, phase 2).
+        arrivals: Dict[int, int] = {}
+        breaker_sheds: List[tuple] = []
         with self._admission_lock:
-            self.submitted.inc()
-            breaker = self._breakers[shard]
-            if breaker.is_open:
-                # Admission-time circuit breaking: the shard is FAILED,
-                # shed immediately instead of queueing work nobody will
-                # ever drain.  Held under the admission lock so a trip's
-                # failover sweep and this check can never interleave.
-                return self._shed_locked(
-                    request,
-                    now,
-                    shard,
-                    CircuitOpen(
+            epoch = self.epochs.current
+            for idx, (request, now) in enumerate(pairs):
+                shard = shard_for(request, self.num_shards)
+                arrivals[shard] = arrivals.get(shard, 0) + 1
+                breaker = self._breakers[shard]
+                if breaker.is_open:
+                    # Admission-time circuit breaking: the shard is
+                    # FAILED, shed immediately instead of queueing work
+                    # nobody will ever drain.  Shed *accounting* stays
+                    # under the global lock (satellite contract); the
+                    # resolve/audit runs after release.
+                    ticket = Ticket(
+                        request=request, now=now, epoch=epoch,
+                        shard=shard, seq=self._next_seq,
+                    )
+                    self._next_seq += 1
+                    ticket.trace = self._begin_trace(ticket)
+                    self.overloaded.inc()
+                    self.circuit_open_sheds.inc()
+                    decision = self._circuit_open_decision(
+                        request, now, shard, len(self._queues[shard])
+                    )
+                    breaker_sheds.append((ticket, decision))
+                    results[idx] = ticket
+                    continue
+                if self.dedup:
+                    fingerprint = request_fingerprint(request, now)
+                    existing = self._inflight[shard].get(fingerprint)
+                    if existing is not None and not existing.done():
+                        existing.coalesced += 1
+                        self.coalesced.inc()
+                        if existing.trace is not None:
+                            existing.trace.attrs["coalesced"] = (
+                                existing.coalesced
+                            )
+                        results[idx] = existing
+                        continue
+                ticket = Ticket(
+                    request=request, now=now, epoch=epoch, shard=shard,
+                    seq=self._next_seq,
+                )
+                self._next_seq += 1
+                root = self._begin_trace(ticket)
+                ticket.trace = root
+                admission_span: Optional[TraceSpan] = None
+                if root is not None:
+                    admission_span = root.child(
+                        "admission", shard=shard, epoch_id=epoch.epoch_id
+                    )
+                if self.dedup:
+                    self._inflight[shard][fingerprint] = ticket
+                # Chain same-nonce tickets across shards: the worker
+                # waits for the predecessor, so replay checks observe
+                # exactly the sequential admission order.  This must
+                # stay atomic with sequence assignment (one global
+                # section), or two same-nonce submitters could both
+                # miss each other's tail and race the replay check.
+                for nonce in sorted({p.nonce for p in request.parts}):
+                    tail = self._nonce_tail.get(nonce)
+                    if tail is not None and not tail.done():
+                        if (
+                            ticket.predecessor is None
+                            or tail.seq > ticket.predecessor.seq
+                        ):
+                            ticket.predecessor = tail
+                    self._nonce_tail[nonce] = ticket
+                self._outstanding += 1
+                results[idx] = ticket
+                to_push.setdefault(shard, []).append((ticket, admission_span))
+        for ticket, decision in breaker_sheds:
+            root = ticket.trace
+            if root is not None:
+                root.child("shed", reason=decision.reason).end()
+            ticket.resolve(decision)
+            if self.audit_log is not None:
+                self.audit_log.append(decision, trace_id=ticket.trace_id)
+            self.tracer.finish(root)
+        for shard, group in to_push.items():
+            self._push_group(shard, group, arrivals.pop(shard))
+        # Shards whose arrivals all coalesced or shed at the breaker
+        # fast-check still own their submitted counts.
+        for shard, count in arrivals.items():
+            with self._shard_admission_locks[shard]:
+                self._shard_submitted[shard] += count
+        if self.mode == "inline":
+            for ticket in results:
+                if not ticket.done():
+                    self._pump_until(ticket)
+        return results
+
+    def _push_group(
+        self, shard: int, group: List[tuple], arrived: int
+    ) -> None:
+        """Phase 2 of admission: push one shard's tickets (shard lock).
+
+        Failover interleaving argument (why per-shard locks stay safe):
+        ``CircuitBreaker.record_crash`` sets the breaker open *before*
+        ``_trip_breaker`` drains the queue, and both the breaker
+        re-check + push here and the trip's drain hold this shard's
+        admission lock.  So for any push racing a trip, either the
+        whole {re-check, push} section wins the lock first — the push
+        happens before the drain, and the drain catches the ticket —
+        or the drain wins, in which case the open flag was already set
+        and the re-check sheds instead of pushing.  A ticket can never
+        be pushed into a dead shard's queue after its failover sweep.
+        """
+        queue = self._queues[shard]
+        with self._shard_admission_locks[shard]:
+            self._shard_submitted[shard] += arrived
+            if self._breakers[shard].is_open:
+                accepted, circuit = 0, True
+            else:
+                accepted = queue.try_push_batch([t for t, _ in group])
+                circuit = False
+        for ticket, admission_span in group[:accepted]:
+            if admission_span is not None:
+                admission_span.end(outcome="queued")
+                ticket.queue_span = ticket.trace.child("queue_wait")
+        acct: List[tuple] = []
+        try:
+            for ticket, admission_span in group[accepted:]:
+                if circuit:
+                    decision = self._circuit_open_decision(
+                        ticket.request, ticket.now, shard, len(queue)
+                    )
+                else:
+                    decision = Overloaded(
                         granted=False,
                         reason=(
-                            f"circuit open: shard {shard} exceeded its "
-                            f"restart budget ({breaker.restarts} restarts, "
-                            f"last error {breaker.last_error})"
+                            f"overloaded: shard {shard} admission queue "
+                            f"at depth {self.queue_depth}"
                         ),
-                        operation=request.operation,
-                        object_name=request.object_name,
-                        checked_at=now,
+                        operation=ticket.request.operation,
+                        object_name=ticket.request.object_name,
+                        checked_at=ticket.now,
                         shard=shard,
-                        queue_depth=len(self._queues[shard]),
-                        restarts=breaker.restarts,
-                    ),
-                )
-            if self.dedup:
-                fingerprint = request_fingerprint(request, now)
-                existing = self._inflight[shard].get(fingerprint)
-                if existing is not None and not existing.done():
-                    existing.coalesced += 1
-                    self.coalesced.inc()
-                    if existing.trace is not None:
-                        existing.trace.attrs["coalesced"] = existing.coalesced
-                    return existing
-            ticket = Ticket(
-                request=request, now=now, epoch=epoch, shard=shard,
-                seq=self._next_seq,
-            )
-            self._next_seq += 1
-            root = self.tracer.begin(
-                "request",
-                trace_id=f"{self.name}-{ticket.seq:08d}",
-                operation=request.operation,
-                object=request.object_name,
-                seq=ticket.seq,
-                now=now,
-            )
-            ticket.trace = root
-            admission_span: Optional[TraceSpan] = None
-            if root is not None:
-                admission_span = root.child(
-                    "admission", shard=shard, epoch_id=epoch.epoch_id
-                )
-            if not self._queues[shard].try_push(ticket):
-                self.overloaded.inc()
-                decision = Overloaded(
-                    granted=False,
-                    reason=(
-                        f"overloaded: shard {shard} admission queue at "
-                        f"depth {self.queue_depth}"
-                    ),
-                    operation=request.operation,
-                    object_name=request.object_name,
-                    checked_at=now,
-                    shard=shard,
-                    queue_depth=self.queue_depth,
-                )
-                if root is not None:
+                        queue_depth=self.queue_depth,
+                    )
+                acct.append((ticket, decision))
+                if admission_span is not None:
                     admission_span.end(outcome="shed")
-                    root.child("shed", reason=decision.reason).end()
+                    ticket.trace.child("shed", reason=decision.reason).end()
                 ticket.resolve(decision)
                 if self.audit_log is not None:
                     self.audit_log.append(decision, trace_id=ticket.trace_id)
-                self.tracer.finish(root)
-                return ticket
-            self._outstanding += 1
-            if root is not None:
-                admission_span.end(outcome="queued")
-                ticket.queue_span = root.child("queue_wait")
-            if self.dedup:
-                self._inflight[shard][fingerprint] = ticket
-            # Chain same-nonce tickets across shards: the worker waits
-            # for the predecessor, so replay checks observe exactly the
-            # sequential admission order.
-            for nonce in nonces:
-                tail = self._nonce_tail.get(nonce)
-                if tail is not None and not tail.done():
-                    if ticket.predecessor is None or tail.seq > ticket.predecessor.seq:
-                        ticket.predecessor = tail
-                self._nonce_tail[nonce] = ticket
-        if self.mode == "inline":
-            self._pump_until(ticket)
-        return ticket
+                self.tracer.finish(ticket.trace)
+        finally:
+            self._account_batch(acct)
 
-    def _shed_locked(
-        self,
-        request: JointAccessRequest,
-        now: int,
-        shard: int,
-        decision: Overloaded,
-    ) -> Ticket:
-        """Resolve a fresh ticket as shed at admission (lock held)."""
-        ticket = Ticket(
-            request=request, now=now, epoch=self.epochs.current,
-            shard=shard, seq=self._next_seq,
-        )
-        self._next_seq += 1
-        root = self.tracer.begin(
+    def _begin_trace(self, ticket: Ticket) -> Optional[TraceSpan]:
+        return self.tracer.begin(
             "request",
             trace_id=f"{self.name}-{ticket.seq:08d}",
-            operation=request.operation,
-            object=request.object_name,
+            operation=ticket.request.operation,
+            object=ticket.request.object_name,
             seq=ticket.seq,
-            now=now,
+            now=ticket.now,
         )
-        ticket.trace = root
-        self.overloaded.inc()
-        if isinstance(decision, CircuitOpen):
-            self.circuit_open_sheds.inc()
-        if root is not None:
-            root.child("shed", reason=decision.reason).end()
-        ticket.resolve(decision)
-        if self.audit_log is not None:
-            self.audit_log.append(decision, trace_id=ticket.trace_id)
-        self.tracer.finish(root)
-        return ticket
+
+    def _circuit_open_decision(
+        self, request: JointAccessRequest, now: int, shard: int,
+        queue_depth: int,
+    ) -> CircuitOpen:
+        breaker = self._breakers[shard]
+        return CircuitOpen(
+            granted=False,
+            reason=(
+                f"circuit open: shard {shard} exceeded its "
+                f"restart budget ({breaker.restarts} restarts, "
+                f"last error {breaker.last_error})"
+            ),
+            operation=request.operation,
+            object_name=request.object_name,
+            checked_at=now,
+            shard=shard,
+            queue_depth=queue_depth,
+            restarts=breaker.restarts,
+        )
 
     def authorize(
         self, request: JointAccessRequest, now: int
@@ -507,36 +623,47 @@ class AuthorizationService:
             error_type=type(exc).__name__,
         )
 
-    def _complete(self, ticket: Ticket, decision: AuthorizationDecision) -> None:
-        """Resolve and account one *admitted* ticket, exactly once.
+    def _resolve_ticket(
+        self, ticket: Ticket, decision: AuthorizationDecision
+    ) -> None:
+        """Wake the submitter: Event.set, latency, audit, trace finish.
 
-        Shared by normal evaluation, fault isolation, circuit-breaker
-        failover and close()-time stranded resolution.  The ``finally``
-        guarantees the accounting and dedup/nonce cleanup run even if
-        audit or trace export raises — outstanding can never leak.
+        Lock-free — a same-nonce successor blocked on this ticket's
+        barrier (possibly in the *same* drained batch) can proceed the
+        moment the event fires, so batched completion can never
+        deadlock an intra-batch nonce chain.
         """
-        try:
-            if ticket.queue_span is not None:
-                ticket.queue_span.end()
-            ticket.resolve(decision)
-            if (
-                not isinstance(decision, Overloaded)
-                and ticket.latency_s is not None
-            ):
-                self._latency_hist.observe(ticket.latency_s)
-            root = ticket.trace
-            if self.audit_log is not None:
-                audit_span = None
-                if root is not None:
-                    audit_span = root.child("audit_append")
-                audit_entry = self.audit_log.append(
-                    decision, trace_id=ticket.trace_id
-                )
-                if audit_span is not None:
-                    audit_span.end(sequence=audit_entry.sequence)
-            self.tracer.finish(root)
-        finally:
-            with self._admission_lock:
+        if ticket.queue_span is not None:
+            ticket.queue_span.end()
+        ticket.resolve(decision)
+        if (
+            not isinstance(decision, Overloaded)
+            and ticket.latency_s is not None
+        ):
+            self._latency_hist.observe(ticket.latency_s)
+        root = ticket.trace
+        if self.audit_log is not None:
+            audit_span = None
+            if root is not None:
+                audit_span = root.child("audit_append")
+            audit_entry = self.audit_log.append(
+                decision, trace_id=ticket.trace_id
+            )
+            if audit_span is not None:
+                audit_span.end(sequence=audit_entry.sequence)
+        self.tracer.finish(root)
+
+    def _account_batch(self, resolved: List[tuple]) -> None:
+        """One admission-lock sweep accounting a batch of resolutions.
+
+        Counters, dedup/nonce-tail cleanup and the outstanding count
+        for every ``(ticket, decision)`` pair run under a single lock
+        acquisition — the batched half of completion.
+        """
+        if not resolved:
+            return
+        with self._admission_lock:
+            for ticket, decision in resolved:
                 if isinstance(decision, Errored):
                     self.errored.inc()
                 elif isinstance(decision, Overloaded):
@@ -559,8 +686,66 @@ class AuthorizationService:
                     if self._nonce_tail.get(part.nonce) is ticket:
                         del self._nonce_tail[part.nonce]
                 self._outstanding -= 1
-                if self._outstanding == 0:
-                    self._drained.notify_all()
+            if self._outstanding == 0:
+                self._drained.notify_all()
+
+    def _complete(self, ticket: Ticket, decision: AuthorizationDecision) -> None:
+        """Resolve and account one *admitted* ticket, exactly once.
+
+        Shared by fault isolation, load shedding, circuit-breaker
+        failover and close()-time stranded resolution.  The ``finally``
+        guarantees the accounting and dedup/nonce cleanup run even if
+        audit or trace export raises — outstanding can never leak.
+        """
+        try:
+            self._resolve_ticket(ticket, decision)
+        finally:
+            self._account_batch([(ticket, decision)])
+
+    def _evaluate_batch(
+        self, batch: List[Ticket], worker: Optional[ShardWorker] = None
+    ) -> None:
+        """Worker engine: decide a drained batch, account it in one sweep.
+
+        Per ticket: the chaos loop-top hook (kill_after counts tickets,
+        not wakeups — batch draining must not move where in the stream
+        a kill lands), the decision, and an immediate
+        :meth:`_resolve_ticket`.  The admission-lock accounting for the
+        whole batch is deferred to a single :meth:`_account_batch`
+        flush in the ``finally`` — including on a mid-batch
+        ``WorkerKilled``, so crash accounting is exact.  ``batch`` is
+        consumed in place: after a crash it holds exactly the
+        unresolved suffix for the worker's re-queue path.
+        """
+        acct: List[tuple] = []
+        try:
+            while batch:
+                ticket = batch[0]
+                if worker is not None:
+                    if worker._chaos is not None:
+                        # Raises WorkerKilled with no ticket in hand:
+                        # current_ticket is still clear, so the crash
+                        # path re-queues the whole remaining batch.
+                        worker._chaos.on_worker_loop(
+                            worker.shard, worker.tickets_processed
+                        )
+                    worker.current_ticket = ticket
+                try:
+                    decision: AuthorizationDecision = self._decide(ticket)
+                except Exception as exc:  # noqa: BLE001 - fault isolation
+                    decision = self._errored_decision(ticket, exc)
+                try:
+                    self._resolve_ticket(ticket, decision)
+                finally:
+                    # Even if audit/trace export raised, the event is
+                    # set — the ticket must be accounted exactly once.
+                    acct.append((ticket, decision))
+                    batch.pop(0)
+                if worker is not None:
+                    worker.current_ticket = None
+                    worker.tickets_processed += 1
+        finally:
+            self._account_batch(acct)
 
     # ------------------------------------------------------- supervision
 
@@ -590,7 +775,7 @@ class AuthorizationService:
             self.worker_crashes.inc()
             if self._closed:
                 return
-            if self.mode == "threaded" and not self._supervise:
+            if self.mode in _WORKER_MODES and not self._supervise:
                 # No supervisor: nothing will restart this shard.  Wake
                 # drain() waiters so they detect the stranded shard
                 # immediately instead of burning their full timeout.
@@ -600,7 +785,7 @@ class AuthorizationService:
         if backoff is None:
             self._trip_breaker(shard)
             return
-        if self.mode == "threaded":
+        if self.mode in _WORKER_MODES:
             assert self.supervisor is not None
             self.supervisor.schedule_restart(shard, backoff, error_type)
         else:
@@ -612,13 +797,18 @@ class AuthorizationService:
     def _trip_breaker(self, shard: int) -> None:
         """Give up on a shard: fail its queued tickets over as shed.
 
-        The breaker is already open (set inside ``record_crash``), so —
-        because admission checks it under the admission lock — draining
-        the queue under that same lock guarantees no new ticket can
-        slip into the dead shard's queue after the sweep.
+        The breaker is already open (set inside ``record_crash``), and
+        admission re-checks it under the *per-shard* admission lock in
+        the same critical section as its queue push (see
+        :meth:`_push_group` for the full interleaving argument).
+        Draining under that same per-shard lock therefore guarantees no
+        ticket can land in the dead shard's queue after this sweep:
+        a racing push either completed before the drain (its ticket is
+        in ``stranded``) or its re-check observed the open breaker and
+        shed without pushing.
         """
         breaker = self._breakers[shard]
-        with self._admission_lock:
+        with self._shard_admission_locks[shard]:
             stranded = self._queues[shard].drain_all()
         for ticket in stranded:
             decision = CircuitOpen(
@@ -652,19 +842,37 @@ class AuthorizationService:
             if self._closed or self._breakers[shard].is_open:
                 return None
             old = self._workers[shard]
-            worker = ShardWorker(
+            worker = self._make_worker(
                 shard,
-                self._queues[shard],
-                self._evaluate,
-                chaos=self.chaos,
-                on_crash=self._worker_crashed,
-                epoch_id=self.epochs.current.epoch_id,
                 incarnation=(old.incarnation + 1) if old is not None else 1,
             )
             self._workers[shard] = worker
             self.worker_restarts.inc()
         worker.start()
         return worker
+
+    def _make_worker(self, shard: int, incarnation: int = 0):
+        """Build (not start) the worker object for ``shard`` (by mode)."""
+        if self.mode == "process":
+            from .procworker import ProcessShardWorker
+
+            return ProcessShardWorker(
+                self,
+                shard,
+                epoch_id=self.epochs.current.epoch_id,
+                incarnation=incarnation,
+            )
+        return ShardWorker(
+            shard,
+            self._queues[shard],
+            self._evaluate,
+            chaos=self.chaos,
+            on_crash=self._worker_crashed,
+            epoch_id=self.epochs.current.epoch_id,
+            incarnation=incarnation,
+            evaluate_batch=self._evaluate_batch,
+            max_batch=self.max_batch,
+        )
 
     # ----------------------------------------------- manual/inline pumping
 
@@ -707,16 +915,8 @@ class AuthorizationService:
     # --------------------------------------------------------- lifecycle
 
     def _start_workers(self) -> None:
-        epoch_id = self.epochs.current.epoch_id
-        for shard, queue in enumerate(self._queues):
-            worker = ShardWorker(
-                shard,
-                queue,
-                self._evaluate,
-                chaos=self.chaos,
-                on_crash=self._worker_crashed,
-                epoch_id=epoch_id,
-            )
+        for shard in range(self.num_shards):
+            worker = self._make_worker(shard)
             self._workers[shard] = worker
             worker.start()
         if self._supervise:
@@ -755,7 +955,7 @@ class AuthorizationService:
         unsupervised worker — the crash handler wakes waiters the
         moment the worker dies.
         """
-        if self.mode != "threaded":
+        if self.mode not in _WORKER_MODES:
             self.pump()
             return True
         deadline = (
@@ -785,7 +985,7 @@ class AuthorizationService:
         if self._closed:
             return
         self._closed = True
-        if self.mode != "threaded":
+        if self.mode not in _WORKER_MODES:
             self.pump()
             return
         if self.supervisor is not None:
@@ -825,8 +1025,8 @@ class AuthorizationService:
         return [len(queue) for queue in self._queues]
 
     def workers_alive(self) -> int:
-        """Live worker threads (serialized modes: every shard counts)."""
-        if self.mode != "threaded":
+        """Live workers (serialized modes: every shard counts)."""
+        if self.mode not in _WORKER_MODES:
             return self.num_shards
         return sum(
             1
@@ -843,6 +1043,21 @@ class AuthorizationService:
 
         return health_report(self)
 
+    def _sync_submitted(self) -> int:
+        """Fold the per-shard submitted counts into the global counter.
+
+        ``submitted`` is counted under the per-shard admission locks
+        (hot path); readers reconcile lazily here.  The counter only
+        ever moves forward, so concurrent syncs are safe under the
+        admission lock.
+        """
+        total = sum(self._shard_submitted)
+        with self._admission_lock:
+            delta = total - self.submitted.value
+            if delta > 0:
+                self.submitted.inc(delta)
+            return self.submitted.value
+
     def stats(self) -> Dict[str, Dict[str, int]]:
         """Namespaced service/epoch/health counters (shed is never silent)."""
         epoch = self.epochs.current
@@ -850,7 +1065,7 @@ class AuthorizationService:
             "service": {
                 "shards": self.num_shards,
                 "queue_depth": self.queue_depth,
-                "submitted": self.submitted.value,
+                "submitted": self._sync_submitted(),
                 "evaluated": self.evaluated.value,
                 "granted": self.granted.value,
                 "denied": self.denied.value,
@@ -895,6 +1110,7 @@ class AuthorizationService:
         store.  Same-named shard metrics sum pointwise, so the result
         reads like one logical protocol regardless of ``num_shards``.
         """
+        self._sync_submitted()
         epoch = self.epochs.current
         gauges = {
             "outstanding": self._outstanding,

@@ -1,10 +1,10 @@
-"""Loadgen percentile: deterministic nearest-rank (ceil) semantics."""
+"""Loadgen: percentile semantics, pacing fidelity, batched client mode."""
 
 import random
 import statistics
 from math import ceil, floor
 
-from repro.service.loadgen import percentile
+from repro.service.loadgen import LoadgenConfig, percentile, run_loadgen
 
 
 class TestNearestRank:
@@ -67,3 +67,62 @@ class TestNearestRank:
         data = sorted(rng.random() for _ in range(100))
         results = {percentile(data, 0.95) for _ in range(10)}
         assert len(results) == 1
+
+
+def _small_config(**overrides):
+    base = dict(
+        num_shards=2,
+        queue_depth=256,
+        total_requests=40,
+        num_objects=4,
+        key_bits=256,
+        dedup=False,
+        seed=0,
+    )
+    base.update(overrides)
+    return LoadgenConfig(**base)
+
+
+class TestRunReports:
+    def test_paced_run_records_achieved_vs_target(self):
+        report = run_loadgen(_small_config(arrival_rate=400.0))
+        assert report.target_rps == 400.0
+        assert report.achieved_rps > 0
+        # Absolute-deadline pacing: a run this small on an idle box
+        # must land near its schedule, and never run *fast* (arrival i
+        # is never submitted before start + i/rate).
+        assert report.achieved_rps <= 440.0
+        assert report.stranded == 0
+        assert report.submitted == 40
+
+    def test_max_pressure_run_reports_no_target(self):
+        report = run_loadgen(_small_config(arrival_rate=0.0))
+        assert report.target_rps == 0.0
+        assert report.achieved_rps > 0  # raw submission rate, unpaced
+        assert report.max_pacing_lag_ms == 0.0
+        assert report.stranded == 0
+
+    def test_batched_client_mode_accounts_every_arrival(self):
+        report = run_loadgen(_small_config(batch_size=8))
+        assert report.submitted == 40
+        assert report.stranded == 0
+        assert (
+            report.evaluated + report.errored + report.overloaded
+            == report.submitted
+        )
+        assert report.granted > 0 and report.denied >= 0
+
+    def test_process_mode_smoke(self):
+        """The CI process smoke: worker processes serve a batched run."""
+        report = run_loadgen(
+            _small_config(mode="process", batch_size=4, revoke_every=10)
+        )
+        assert report.submitted == 40
+        assert report.stranded == 0
+        assert report.granted > 0
+        assert report.worker_crashes == 0
+        assert report.revocations_published > 0  # epochs shipped mid-run
+        assert (
+            report.evaluated + report.errored + report.overloaded
+            == report.submitted
+        )

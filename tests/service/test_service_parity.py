@@ -110,6 +110,21 @@ def test_manual_mode_parity_fuzz(service_coalition, num_shards, seed):
     _assert_parity(paired)
 
 
+def test_inline_mode_parity_fuzz(service_coalition):
+    """Inline mode pumps at submit time; decisions still match."""
+    ctx, make_service = service_coalition
+    service = make_service(
+        mode="inline", num_shards=2, queue_depth=512,
+        dedup=False, freshness_window=FRESHNESS,
+    )
+    server = _oracle_server(ctx)
+    paired = _drive(
+        service, server, ctx["coalition"], ctx["users"], ctx["read_cert"],
+        seed=4,
+    )
+    _assert_parity(paired)
+
+
 @pytest.mark.parametrize("num_shards", [2, 4])
 def test_threaded_mode_parity_fuzz(service_coalition, num_shards):
     """Live worker threads: ordering differs, decisions must not."""
