@@ -1,0 +1,143 @@
+"""E18 — WAL append overhead and torn-tail recovery time.
+
+Two series land in ``BENCH_service.json`` via the ``service_report``
+fixture:
+
+* ``wal_append_overhead`` — steady-state audit appends with the WAL
+  off, with batched fsync (``sync_every=64``), with fsync per append
+  (``sync_every=1``), and with fsync only on close (``sync_every=0``),
+  each reported as per-append microseconds plus the ratio against the
+  WAL-less baseline.
+* ``recovery_time`` — time to scan + heal a torn WAL as a function of
+  log size, with the recovered-entry throughput.
+
+``SERVICE_BENCH_SMOKE=1`` shrinks both sweeps for CI smoke runs.
+"""
+
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict
+
+import pytest
+
+from repro.coalition.audit import AuditLog
+from repro.coalition.protocol import AuthorizationDecision
+from repro.storage.recovery import open_wal_log, recover
+from repro.storage.wal import list_segments
+
+SMOKE = os.environ.get("SERVICE_BENCH_SMOKE") == "1"
+APPENDS = 200 if SMOKE else 1500
+RECOVERY_SIZES = [100, 300] if SMOKE else [500, 1500, 4000]
+KEY_BITS = 256
+
+
+@dataclass
+class WalBenchRow:
+    """Minimal ``service_report``-compatible row (has ``as_dict``)."""
+
+    config: Dict[str, object] = field(default_factory=dict)
+    wall_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def _decision(i: int) -> AuthorizationDecision:
+    return AuthorizationDecision(
+        granted=(i % 4 != 0),
+        reason="bench grant" if i % 4 else "denied: bench",
+        operation="read" if i % 2 else "write",
+        object_name=f"Obj{i % 8}",
+        checked_at=i + 1,
+    )
+
+
+def _time_appends(log, n: int) -> float:
+    decisions = [_decision(i) for i in range(n)]
+    start = time.perf_counter()
+    for decision in decisions:
+        log.append(decision)
+    return time.perf_counter() - start
+
+
+def test_append_overhead_sync_sweep(service_report, tmp_path):
+    """Appending through the WAL must not dominate the signing cost."""
+    signer = AuditLog(key_bits=KEY_BITS)
+    baseline_log = AuditLog(signer=signer.keypair)
+    baseline_s = _time_appends(baseline_log, APPENDS)
+    baseline_us = baseline_s / APPENDS * 1e6
+    service_report(
+        "wal-append-baseline",
+        WalBenchRow(
+            config={"appends": APPENDS, "key_bits": KEY_BITS, "wal": "off"},
+            wall_s=baseline_s,
+        ),
+        per_append_us=round(baseline_us, 3),
+    )
+    for label, sync_every in (
+        ("sync-close-only", 0),
+        ("sync-64", 64),
+        ("sync-every", 1),
+    ):
+        wal_dir = str(tmp_path / f"wal-{label}")
+        log, wal, _ = open_wal_log(
+            wal_dir, key_bits=KEY_BITS, sync_every=sync_every
+        )
+        elapsed = _time_appends(log, APPENDS)
+        stats = wal.stats()
+        wal.close()
+        per_us = elapsed / APPENDS * 1e6
+        overhead = per_us / baseline_us if baseline_us > 0 else 0.0
+        service_report(
+            f"wal-append-{label}",
+            WalBenchRow(
+                config={
+                    "appends": APPENDS,
+                    "key_bits": KEY_BITS,
+                    "sync_every": sync_every,
+                },
+                wall_s=elapsed,
+            ),
+            per_append_us=round(per_us, 3),
+            wal_append_overhead=round(overhead, 4),
+            syncs=stats["syncs"],
+            bytes_appended=stats["bytes_appended"],
+        )
+        # Everything written is recoverable, whatever the sync policy
+        # (the process exited cleanly; batching only defers fsync).
+        recovered = recover(wal_dir, truncate=False)
+        assert recovered.clean
+        assert len(recovered.entries) == APPENDS
+
+
+@pytest.mark.parametrize("n_entries", RECOVERY_SIZES)
+def test_recovery_time_vs_log_size(service_report, tmp_path, n_entries):
+    """Recovery is a linear scan: time it against the log size."""
+    wal_dir = str(tmp_path / f"wal-{n_entries}")
+    log, wal, _ = open_wal_log(wal_dir, key_bits=KEY_BITS, sync_every=0)
+    for i in range(n_entries):
+        log.append(_decision(i))
+    wal.close()
+    # Tear the tail mid-frame so recovery does real healing work.
+    last = list_segments(wal_dir)[-1]
+    with open(last, "ab") as handle:
+        handle.truncate(os.path.getsize(last) - 9)
+    start = time.perf_counter()
+    recovered = recover(wal_dir, truncate=True)
+    elapsed = time.perf_counter() - start
+    assert recovered.torn is not None
+    assert len(recovered.entries) == n_entries - 1
+    service_report(
+        f"wal-recovery-{n_entries}",
+        WalBenchRow(
+            config={"entries": n_entries, "key_bits": KEY_BITS},
+            wall_s=elapsed,
+        ),
+        recovery_time=round(elapsed, 6),
+        entries_recovered=len(recovered.entries),
+        entries_per_s=round(len(recovered.entries) / elapsed, 1)
+        if elapsed > 0
+        else 0.0,
+        truncated_bytes=recovered.truncated_bytes,
+    )

@@ -368,6 +368,80 @@ def _cmd_health(args: argparse.Namespace) -> int:
         fixture.service.close()
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Record a WAL-backed workload and/or replay one deterministically.
+
+    ``--record`` drives a fresh manifest-described workload into
+    ``--wal-dir`` (optionally tearing the tail afterwards with
+    ``--truncate-tail`` to simulate a crash).  Without ``--record`` the
+    directory must already hold a WAL; it is recovered (torn tail
+    healed), the manifest stored in its META record regenerates the
+    workload in a scratch service, and every recovered entry is
+    compared byte-for-byte against its replayed twin.  Exit code 0 iff
+    the chain verifies and every entry (and epoch record) matches.
+    """
+    import json
+    import os
+
+    from repro.storage.replay import ReplayManifest, replay_wal, run_scenario
+
+    manifest = ReplayManifest(
+        total_requests=args.requests,
+        num_shards=args.shards,
+        num_objects=args.objects,
+        read_fraction=args.read_fraction,
+        deny_fraction=args.deny_fraction,
+        revoke_every=args.revoke_every,
+        key_bits=args.bits,
+        seed=args.seed,
+    )
+    if args.record:
+        result = run_scenario(manifest, args.wal_dir)
+        if not args.json:
+            print(
+                f"recorded {len(result.entries)} decisions "
+                f"({result.granted} granted, {result.denied} denied, "
+                f"{result.revocations_published} revocations) into "
+                f"{args.wal_dir}"
+            )
+        if args.truncate_tail > 0:
+            from repro.storage.wal import list_segments
+
+            last = list_segments(args.wal_dir)[-1]
+            size = os.path.getsize(last)
+            cut = max(0, size - args.truncate_tail)
+            with open(last, "ab") as handle:
+                handle.truncate(cut)
+            if not args.json:
+                print(
+                    f"tore the tail: truncated {os.path.basename(last)} "
+                    f"from {size} to {cut} bytes"
+                )
+
+    report = replay_wal(args.wal_dir)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"recovered {report.recovered_entries} entries "
+            f"(+{report.recovered_epoch_records} epoch records), "
+            f"chain verified: {report.chain_verified}"
+        )
+        if report.torn:
+            print(
+                f"healed torn tail: {report.torn_reason} "
+                f"({report.truncated_bytes} bytes dropped, "
+                f"{report.quarantined_segments} segment(s) quarantined)"
+            )
+        print(
+            f"replayed {report.replayed_entries} decisions; byte parity: "
+            f"{'OK' if report.entries_matched else f'MISMATCH at entry {report.mismatch_index}'}"
+            f", epoch records: "
+            f"{'OK' if report.epoch_records_matched else 'MISMATCH'}"
+        )
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -488,6 +562,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     health.add_argument("--json", action="store_true")
     health.set_defaults(func=_cmd_health)
+
+    replay = sub.add_parser(
+        "replay",
+        help="recover a decision WAL and re-derive it byte-for-byte",
+    )
+    replay.add_argument(
+        "--wal-dir", required=True, help="WAL directory to recover/replay"
+    )
+    replay.add_argument(
+        "--record", action="store_true",
+        help="first record a fresh workload into --wal-dir",
+    )
+    replay.add_argument("--requests", type=int, default=200)
+    replay.add_argument("--shards", type=int, default=1)
+    replay.add_argument("--objects", type=int, default=4)
+    replay.add_argument("--read-fraction", type=float, default=0.4)
+    replay.add_argument(
+        "--deny-fraction", type=float, default=0.2,
+        help="fraction of writes presented with the read cert (denied)",
+    )
+    replay.add_argument(
+        "--revoke-every", type=int, default=0,
+        help="publish a revocation epoch every k arrivals (0 = off)",
+    )
+    replay.add_argument("--bits", type=int, default=128)
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument(
+        "--truncate-tail", type=int, default=0, metavar="BYTES",
+        help="after recording, tear BYTES off the last segment (crash sim)",
+    )
+    replay.add_argument("--json", action="store_true")
+    replay.set_defaults(func=_cmd_replay)
 
     return parser
 

@@ -60,6 +60,11 @@ class AuditEntry:
     # off.  Part of the signed, hash-chained payload, so the trace an
     # operator replays is bound to the entry an auditor verified.
     trace_id: str = ""
+    # "" for genuine authorization decisions; the flow-event kind (e.g.
+    # "flow-degraded") for entries recorded via ``append_event``.  An
+    # explicit, signed marker — classification must not depend on what
+    # a decision reason happens to start with.
+    event_kind: str = ""
 
     def payload_bytes(self) -> bytes:
         return canonical_bytes(
@@ -74,6 +79,7 @@ class AuditEntry:
                 "proof_digest": self.proof_digest,
                 "previous_digest": self.previous_digest,
                 "trace_id": self.trace_id,
+                "event_kind": self.event_kind,
             }
         )
 
@@ -91,10 +97,44 @@ class AuditLog:
         # lock makes that read-extend atomic so shard workers of the
         # sharded service can share one log.
         self._lock = threading.RLock()
+        # Optional durability sink (repro.storage.wal.WriteAheadLog):
+        # when bound, every signed entry is appended to the WAL inside
+        # the same critical section that extends the chain, so the
+        # on-disk order is exactly the chain order.
+        self._wal = None
 
     @property
     def public_key(self) -> RSAPublicKey:
         return self._signer.public
+
+    @property
+    def keypair(self) -> RSAKeyPair:
+        return self._signer
+
+    def bind_wal(self, wal) -> None:
+        """Mirror every future append into ``wal`` (a WriteAheadLog)."""
+        with self._lock:
+            self._wal = wal
+
+    @classmethod
+    def reseed(
+        cls,
+        entries: List[AuditEntry],
+        signer: RSAKeyPair,
+        verify: bool = True,
+    ) -> "AuditLog":
+        """Rebuild a log from recovered entries, resuming the chain.
+
+        This is the healing half of ``verify_chain(expected_length=)``:
+        recovery hands back the longest verifiable prefix of the
+        on-disk chain, and the reseeded log continues appending from
+        its tail digest as if the crash never happened.
+        """
+        if verify:
+            cls.verify_chain(entries, signer.public)
+        log = cls(signer=signer)
+        log._entries = list(entries)
+        return log
 
     def __len__(self) -> int:
         with self._lock:
@@ -162,14 +202,16 @@ class AuditLog:
                 proof_digest=_GENESIS,
                 previous_digest=previous,
                 trace_id=trace_id,
+                event_kind=kind,
             )
             return self._append_signed(entry)
 
     def events(self, kind: Optional[str] = None) -> List[AuditEntry]:
         """Entries recorded via :meth:`append_event` (optionally by kind)."""
-        out = [e for e in self._entries if e.reason.startswith("flow-")]
+        with self._lock:
+            out = [e for e in self._entries if e.event_kind]
         if kind is not None:
-            out = [e for e in out if e.reason.split(":", 1)[0] == kind]
+            out = [e for e in out if e.event_kind == kind]
         return out
 
     def _append_signed(self, entry: AuditEntry) -> AuditEntry:
@@ -180,6 +222,8 @@ class AuditLog:
         )
         with self._lock:
             self._entries.append(signed)
+            if self._wal is not None:
+                self._wal.append_entry(signed)
         return signed
 
     @staticmethod

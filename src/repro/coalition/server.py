@@ -54,6 +54,10 @@ class CoalitionServer:
         freshness_window: int = 50,
         trust_epoch: int = 0,
         access_log_limit: int = DEFAULT_ACCESS_LOG_LIMIT,
+        audit_log=None,
+        wal_dir: Optional[str] = None,
+        wal_sync_every: int = 64,
+        wal_segment_bytes: int = 1 << 20,
     ):
         self.name = name
         self.protocol = AuthorizationProtocol(
@@ -62,6 +66,24 @@ class CoalitionServer:
             trust_epoch=trust_epoch,
         )
         self.objects: Dict[str, CoalitionObject] = {}
+        # Optional hash-chained audit log; with ``wal_dir`` it becomes
+        # durable — every decision streams into the segmented WAL and
+        # an existing directory is recovered (torn tail healed, chain
+        # resumed) before the server takes traffic.  Imported lazily:
+        # repro.storage depends on this package.
+        self.audit_log = audit_log
+        self.wal = None
+        self.recovered = None
+        self._revocations_seen = 0
+        if wal_dir is not None:
+            from ..storage.recovery import open_wal_log
+
+            self.audit_log, self.wal, self.recovered = open_wal_log(
+                wal_dir,
+                audit_log=audit_log,
+                segment_bytes=wal_segment_bytes,
+                sync_every=wal_sync_every,
+            )
         # The retained decision log is bounded (oldest entries fall off)
         # so sustained traffic cannot grow server memory without limit;
         # grant_rate()/requests_handled run on O(1) counters covering
@@ -93,6 +115,8 @@ class CoalitionServer:
     def _record_decision(self, decision: AuthorizationDecision) -> None:
         """Append to the bounded log and bump the full-history counters."""
         self.access_log.append(decision)
+        if self.audit_log is not None:
+            self.audit_log.append(decision)
         self._requests_handled.inc()
         if decision.granted:
             self._granted_total.inc()
@@ -204,6 +228,25 @@ class CoalitionServer:
     ) -> None:
         """Admit a revocation pushed by the coalition RA."""
         self.protocol.apply_revocation(revocation, now)
+        self._revocations_seen += 1
+        if self.wal is not None:
+            from ..storage.wal import EpochRecord
+
+            self.wal.append_epoch(
+                EpochRecord(
+                    kind="revocation",
+                    epoch_id=self._revocations_seen,
+                    detail=revocation.revoked_serial,
+                    timestamp=now,
+                )
+            )
+
+    # --------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Flush and close the WAL, if one is bound (idempotent)."""
+        if self.wal is not None:
+            self.wal.close()
 
     # ----------------------------------------------------------- metrics
 

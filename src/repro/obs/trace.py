@@ -152,6 +152,12 @@ class Tracer:
         self.export_path = export_path
         self._buffer: Deque[TraceSpan] = deque(maxlen=buffer_size)
         self._lock = threading.Lock()
+        # Export I/O runs under its own lock so shard workers recording
+        # spans never serialize behind a disk write; the handle is
+        # opened once, lazily, and line-buffered so each trace is
+        # visible to tail-readers as soon as it is written.
+        self._io_lock = threading.Lock()
+        self._export_fh = None
         self.spans_started = 0
         self.spans_finished = 0
 
@@ -159,7 +165,8 @@ class Tracer:
         """Open a root span, or ``None`` when tracing is disabled."""
         if not self.enabled:
             return None
-        self.spans_started += 1
+        with self._lock:
+            self.spans_started += 1
         return TraceSpan(name, trace_id=trace_id, **attrs)
 
     def finish(self, span: Optional[TraceSpan]) -> None:
@@ -173,9 +180,20 @@ class Tracer:
         with self._lock:
             self.spans_finished += 1
             self._buffer.append(span)
-            if line is not None:
-                with open(self.export_path, "a", encoding="utf-8") as fh:
-                    fh.write(line + "\n")
+        if line is not None:
+            with self._io_lock:
+                if self._export_fh is None:
+                    self._export_fh = open(
+                        self.export_path, "a", encoding="utf-8", buffering=1
+                    )
+                self._export_fh.write(line + "\n")
+
+    def close(self) -> None:
+        """Flush and close the export handle (idempotent)."""
+        with self._io_lock:
+            if self._export_fh is not None:
+                self._export_fh.close()
+                self._export_fh = None
 
     def recent(self, n: Optional[int] = None) -> List[TraceSpan]:
         """The most recent finished root spans, oldest first."""

@@ -8,6 +8,8 @@ revoked serial so freshness checks are O(1).
 
 from __future__ import annotations
 
+import os
+import tempfile
 from collections import defaultdict
 from typing import Dict, List, Optional
 
@@ -96,14 +98,30 @@ class CertificateStore:
 
         Revocations are stored like any certificate and re-indexed on
         load, so a reloaded store gives identical revocation answers.
+        The write is atomic: content lands in a temp file in the same
+        directory, is fsynced, then renamed over ``path`` — a writer
+        crashing mid-stream leaves the previous directory intact
+        instead of a torn file ``load`` chokes on.
         """
         from .encoding import encode_certificate
 
+        path = os.fspath(path)
         certificates = self.all_certificates()
-        with open(path, "w", encoding="utf-8") as handle:
-            for cert in certificates:
-                handle.write(encode_certificate(cert))
-                handle.write("\n")
+        directory = os.path.dirname(path) or "."
+        fd, tmp = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for cert in certificates:
+                    handle.write(encode_certificate(cert))
+                    handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
         return len(certificates)
 
     @classmethod

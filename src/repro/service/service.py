@@ -75,6 +75,7 @@ from .chaos import FaultInjector, WorkerKilled
 from .epoch import Epoch, EpochManager, PolicyEntry
 from .sharding import DEFAULT_MAX_BATCH, ShardWorker, shard_for
 from .supervisor import CircuitBreaker, WorkerSupervisor
+from ..storage.wal import EpochRecord
 
 __all__ = ["AuthorizationService", "ServiceError"]
 
@@ -130,6 +131,11 @@ class AuthorizationService:
         restart_backoff_cap_s: float = 2.0,
         chaos: Optional[FaultInjector] = None,
         max_batch: int = DEFAULT_MAX_BATCH,
+        wal_dir: Optional[str] = None,
+        wal_sync_every: int = 64,
+        wal_sync_interval_s: float = 0.0,
+        wal_segment_bytes: int = 1 << 20,
+        wal_manifest: Optional[Dict[str, object]] = None,
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
@@ -225,7 +231,26 @@ class AuthorizationService:
         self.tracer = Tracer(enabled=tracing, export_path=trace_export)
         # Optional hash-chained audit log; every resolved decision
         # (including sheds and errors) is appended with its trace id.
-        self.audit_log = audit_log
+        # With ``wal_dir`` the log is durable: entries and epoch
+        # publications stream into a segmented write-ahead log, and an
+        # existing directory is recovered (torn tail healed, chain
+        # re-seeded and resumed) before the service starts — see
+        # repro.storage and DESIGN.md §13.
+        self.wal = None
+        self.recovered = None
+        if wal_dir is not None:
+            from ..storage.recovery import open_wal_log
+
+            self.audit_log, self.wal, self.recovered = open_wal_log(
+                wal_dir,
+                audit_log=audit_log,
+                manifest=wal_manifest,
+                segment_bytes=wal_segment_bytes,
+                sync_every=wal_sync_every,
+                sync_interval_s=wal_sync_interval_s,
+            )
+        else:
+            self.audit_log = audit_log
         if mode in _WORKER_MODES:
             self._start_workers()
 
@@ -245,9 +270,28 @@ class AuthorizationService:
                 with lock:
                     getattr(protocol, method)(*args, **kwargs)
             return
-        self.epochs.publish_mutation(
+        epoch = self.epochs.publish_mutation(
             lambda protocol: getattr(protocol, method)(*args, **kwargs)
         )
+        self._record_epoch("trust", epoch, detail=method)
+
+    def _record_epoch(
+        self, kind: str, epoch: Epoch, detail: str = "", timestamp: int = 0
+    ) -> None:
+        """Log an epoch publication to the WAL (when one is bound).
+
+        ``timestamp`` is logical protocol time, so recorded epochs are
+        byte-stable across process restarts (replay depends on it).
+        """
+        if self.wal is not None:
+            self.wal.append_epoch(
+                EpochRecord(
+                    kind=kind,
+                    epoch_id=epoch.epoch_id,
+                    detail=detail,
+                    timestamp=timestamp,
+                )
+            )
 
     def register_object(
         self,
@@ -261,14 +305,20 @@ class AuthorizationService:
             raise ValueError(f"object {name!r} already registered")
         entry = PolicyEntry(acl=ACL(list(acl_entries)), admin_group=admin_group)
         self._sealed = True
-        return self.epochs.publish_policy(name, entry)
+        epoch = self.epochs.publish_policy(name, entry)
+        self._record_epoch("policy", epoch, detail=name)
+        return epoch
 
     def update_acl(self, name: str, acl_entries: Iterable[ACLEntry]) -> Epoch:
         """Publish an ACL change for a registered object."""
         entry = self.epochs.current.acls.get(name)
         if entry is None:
             raise KeyError(f"object {name!r} is not registered")
-        return self.epochs.publish_policy(name, entry.updated(list(acl_entries)))
+        epoch = self.epochs.publish_policy(
+            name, entry.updated(list(acl_entries))
+        )
+        self._record_epoch("policy", epoch, detail=name)
+        return epoch
 
     # -------------------------------------------------------- revocation
 
@@ -277,7 +327,11 @@ class AuthorizationService:
     ) -> Epoch:
         """Admit a revocation as a new epoch (atomic across shards)."""
         self._sealed = True
-        return self.epochs.publish_revocation(revocation, now)
+        epoch = self.epochs.publish_revocation(revocation, now)
+        self._record_epoch(
+            "revocation", epoch, detail=revocation.revoked_serial, timestamp=now
+        )
+        return epoch
 
     # CoalitionServer-compatible spelling, so coalition dynamics can
     # push re-key revocations to an attached service unchanged.
@@ -985,33 +1039,42 @@ class AuthorizationService:
         if self._closed:
             return
         self._closed = True
-        if self.mode not in _WORKER_MODES:
-            self.pump()
-            return
-        if self.supervisor is not None:
-            self.supervisor.stop()
-        deadline = (
-            None if timeout is None else time.monotonic() + timeout
-        )
-        workers = [w for w in self._workers if w is not None]
-        for worker in workers:
-            worker.stop()
-        for worker in workers:
-            remaining = None
-            if deadline is not None:
-                remaining = max(0.0, deadline - time.monotonic())
-            worker.join(remaining)
-        # Live workers drained their queues on the way out; whatever is
-        # left sat behind a crashed (or join-timed-out) worker.
-        for shard in range(self.num_shards):
-            for ticket in self._queues[shard].drain_all():
-                if ticket.done():
-                    continue
-                exc = ServiceError(
-                    f"service closed: shard {shard} worker was dead, "
-                    f"ticket seq={ticket.seq} never evaluated"
-                )
-                self._complete(ticket, self._errored_decision(ticket, exc))
+        try:
+            if self.mode not in _WORKER_MODES:
+                self.pump()
+                return
+            if self.supervisor is not None:
+                self.supervisor.stop()
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
+            workers = [w for w in self._workers if w is not None]
+            for worker in workers:
+                worker.stop()
+            for worker in workers:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                worker.join(remaining)
+            # Live workers drained their queues on the way out; whatever
+            # is left sat behind a crashed (or join-timed-out) worker.
+            for shard in range(self.num_shards):
+                for ticket in self._queues[shard].drain_all():
+                    if ticket.done():
+                        continue
+                    exc = ServiceError(
+                        f"service closed: shard {shard} worker was dead, "
+                        f"ticket seq={ticket.seq} never evaluated"
+                    )
+                    self._complete(
+                        ticket, self._errored_decision(ticket, exc)
+                    )
+        finally:
+            # Durability last: every decision resolved above has already
+            # passed through the audit lock into the WAL.
+            self.tracer.close()
+            if self.wal is not None:
+                self.wal.close()
 
     def __enter__(self) -> "AuthorizationService":
         return self

@@ -1,0 +1,22 @@
+"""Durable storage for the coalition audit chain (DESIGN.md §13).
+
+``wal`` is the append-only segmented write-ahead log; ``recovery``
+scans it, heals torn tails, and re-seeds a resumable
+:class:`~repro.coalition.audit.AuditLog`; ``replay`` (imported on
+demand — it pulls in the service layer) re-derives a recovered log
+byte-for-byte from its manifest.
+"""
+
+from .recovery import RecoveredLog, TornTail, open_wal_log, recover
+from .wal import EpochRecord, FrameError, WalError, WriteAheadLog
+
+__all__ = [
+    "EpochRecord",
+    "FrameError",
+    "RecoveredLog",
+    "TornTail",
+    "WalError",
+    "WriteAheadLog",
+    "open_wal_log",
+    "recover",
+]

@@ -1,0 +1,267 @@
+"""Crash recovery for the decision WAL: scan, truncate the torn tail, heal.
+
+Recovery scans segments in append order and decodes frames until it
+hits either a **physical** fault (partial header, short payload, insane
+length field, CRC mismatch, unknown kind — see
+:func:`repro.storage.wal.decode_frame_at`) or a **structural** fault
+(an entry whose sequence or previous-digest does not extend the chain
+recovered so far).  Everything before the fault is the recovered
+prefix; everything from the fault on is the torn tail.
+
+Healing is destructive on purpose: the torn segment is truncated at
+the bad frame's offset and any *later* segments are quarantined
+(renamed ``*.quarantined``), so a subsequent open appends cleanly at
+the new tail.  The argument for why this is safe is in DESIGN.md §13:
+the WAL is written append-only with frames never spanning segments, so
+a fault at offset *o* implies nothing after *o* was acknowledged
+durable — the truncated suffix is at most the un-fsynced batch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..coalition.audit import AuditLog, AuditEntry, AuditVerificationError
+from ..crypto.rsa import RSAKeyPair, generate_keypair
+from .wal import (
+    RT_ENTRY,
+    RT_EPOCH,
+    RT_META,
+    SIGNER_FILE,
+    EpochRecord,
+    FrameError,
+    WalError,
+    WriteAheadLog,
+    decode_frame_at,
+    entry_from_payload,
+    epoch_from_payload,
+    list_segments,
+    load_keypair,
+    public_key_doc,
+    public_key_from_doc,
+    save_keypair,
+)
+
+__all__ = ["TornTail", "RecoveredLog", "recover", "open_wal_log", "WAL_FORMAT"]
+
+WAL_FORMAT = "repro.wal/v1"
+
+_GENESIS = "0" * 64
+
+
+@dataclass(frozen=True)
+class TornTail:
+    """Where and why the scan stopped before the end of the data."""
+
+    segment: str
+    offset: int
+    reason: str
+
+
+@dataclass
+class RecoveredLog:
+    """The verifiable prefix recovered from a WAL directory."""
+
+    entries: List[AuditEntry] = field(default_factory=list)
+    epoch_records: List[EpochRecord] = field(default_factory=list)
+    meta: Optional[Dict[str, object]] = None
+    segments_scanned: int = 0
+    records_scanned: int = 0
+    torn: Optional[TornTail] = None
+    truncated_bytes: int = 0
+    quarantined_segments: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.torn is None
+
+
+def _scan_segment(
+    path: str,
+    recovered: RecoveredLog,
+    previous_digest: str,
+) -> Tuple[str, Optional[TornTail], int]:
+    """Decode one segment; returns (tail digest, torn fault, good offset)."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    offset = 0
+    while offset < len(data):
+        try:
+            kind, payload, next_offset = decode_frame_at(data, offset)
+        except FrameError as exc:
+            return previous_digest, TornTail(path, offset, exc.reason), offset
+        if kind == RT_META:
+            try:
+                meta = json.loads(payload.decode("utf-8"))
+            except ValueError:
+                return (
+                    previous_digest,
+                    TornTail(path, offset, "undecodable meta payload"),
+                    offset,
+                )
+            if recovered.meta is None:
+                recovered.meta = meta
+        elif kind == RT_ENTRY:
+            try:
+                entry = entry_from_payload(payload)
+            except (ValueError, KeyError, TypeError):
+                return (
+                    previous_digest,
+                    TornTail(path, offset, "undecodable entry payload"),
+                    offset,
+                )
+            if entry.sequence != len(recovered.entries):
+                return (
+                    previous_digest,
+                    TornTail(
+                        path,
+                        offset,
+                        f"sequence {entry.sequence} breaks chain at "
+                        f"{len(recovered.entries)}",
+                    ),
+                    offset,
+                )
+            if entry.previous_digest != previous_digest:
+                return (
+                    previous_digest,
+                    TornTail(path, offset, "previous-digest mismatch"),
+                    offset,
+                )
+            recovered.entries.append(entry)
+            previous_digest = entry.digest()
+        elif kind == RT_EPOCH:
+            try:
+                record = epoch_from_payload(payload)
+            except (ValueError, KeyError, TypeError):
+                return (
+                    previous_digest,
+                    TornTail(path, offset, "undecodable epoch payload"),
+                    offset,
+                )
+            recovered.epoch_records.append(record)
+        recovered.records_scanned += 1
+        offset = next_offset
+    return previous_digest, None, offset
+
+
+def recover(wal_dir: str, truncate: bool = True) -> RecoveredLog:
+    """Scan a WAL directory; optionally heal the torn tail in place.
+
+    With ``truncate=True`` (the default) the torn segment is truncated
+    at the first bad frame and later segments are renamed
+    ``*.quarantined``; the directory is then clean for
+    :class:`~repro.storage.wal.WriteAheadLog` to resume appending.
+    With ``truncate=False`` the scan is read-only (for inspection).
+    """
+    recovered = RecoveredLog()
+    previous_digest = _GENESIS
+    segments = list_segments(wal_dir)
+    torn_at: Optional[int] = None  # index into segments of the torn one
+    good_offset = 0
+    for i, path in enumerate(segments):
+        recovered.segments_scanned += 1
+        previous_digest, torn, good_offset = _scan_segment(
+            path, recovered, previous_digest
+        )
+        if torn is not None:
+            recovered.torn = torn
+            torn_at = i
+            break
+    if recovered.torn is None:
+        return recovered
+    torn_segment = segments[torn_at]
+    recovered.truncated_bytes = os.path.getsize(torn_segment) - good_offset
+    for path in segments[torn_at + 1 :]:
+        recovered.truncated_bytes += os.path.getsize(path)
+        recovered.quarantined_segments.append(path)
+    if truncate:
+        if good_offset == 0 and torn_at > 0:
+            # Nothing valid in the torn segment: quarantine it whole
+            # rather than leaving an empty segment in the sequence.
+            os.replace(torn_segment, torn_segment + ".quarantined")
+            recovered.quarantined_segments.insert(0, torn_segment)
+        else:
+            with open(torn_segment, "ab") as handle:
+                handle.truncate(good_offset)
+        for path in segments[torn_at + 1 :]:
+            os.replace(path, path + ".quarantined")
+    return recovered
+
+
+def open_wal_log(
+    wal_dir: str,
+    audit_log: Optional[AuditLog] = None,
+    key_bits: int = 256,
+    manifest: Optional[Dict[str, object]] = None,
+    segment_bytes: int = 1 << 20,
+    sync_every: int = 64,
+    sync_interval_s: float = 0.0,
+) -> Tuple[AuditLog, WriteAheadLog, Optional[RecoveredLog]]:
+    """Open (or create) a durable audit log backed by ``wal_dir``.
+
+    Fresh directory: persists the signer next to the log, writes the
+    META record, binds the given (or a new) :class:`AuditLog` to the
+    WAL.  Existing directory: runs :func:`recover` (healing any torn
+    tail), verifies the recovered prefix against the persisted signer,
+    re-seeds an :class:`AuditLog` from it, and resumes appending.
+
+    Returns ``(audit_log, wal, recovered)`` where ``recovered`` is
+    ``None`` for a fresh log.
+    """
+    os.makedirs(wal_dir, exist_ok=True)
+    signer_path = os.path.join(wal_dir, SIGNER_FILE)
+    existing = bool(list_segments(wal_dir))
+    if not existing:
+        log = audit_log if audit_log is not None else AuditLog(key_bits=key_bits)
+        if len(log) > 0:
+            raise WalError(
+                "cannot start a fresh WAL from a non-empty AuditLog; "
+                "entries before the WAL opened would never be durable"
+            )
+        save_keypair(signer_path, log.keypair)
+        wal = WriteAheadLog(
+            wal_dir,
+            segment_bytes=segment_bytes,
+            sync_every=sync_every,
+            sync_interval_s=sync_interval_s,
+        )
+        wal.append_meta(
+            {
+                "format": WAL_FORMAT,
+                "public_key": public_key_doc(log.public_key),
+                "manifest": manifest or {},
+            }
+        )
+        log.bind_wal(wal)
+        return log, wal, None
+
+    recovered = recover(wal_dir, truncate=True)
+    if not os.path.exists(signer_path):
+        raise WalError(f"existing WAL at {wal_dir} has no {SIGNER_FILE}")
+    signer = load_keypair(signer_path)
+    if recovered.meta is not None:
+        meta_key = public_key_from_doc(recovered.meta["public_key"])
+        if meta_key != signer.public:
+            raise WalError(
+                "persisted signer does not match the WAL meta record"
+            )
+    try:
+        log = AuditLog.reseed(recovered.entries, signer, verify=True)
+    except AuditVerificationError as exc:
+        raise WalError(f"recovered prefix failed verification: {exc}") from exc
+    wal = WriteAheadLog(
+        wal_dir,
+        segment_bytes=segment_bytes,
+        sync_every=sync_every,
+        sync_interval_s=sync_interval_s,
+    )
+    log.bind_wal(wal)
+    return log, wal, recovered
+
+
+def fresh_signer(key_bits: int = 256) -> RSAKeyPair:
+    """Convenience for tests and benchmarks."""
+    return generate_keypair(bits=key_bits)

@@ -165,3 +165,85 @@ class TestTraceIds:
         entries[1] = dataclasses.replace(entries[1], trace_id="svc-99999999")
         with pytest.raises(AuditVerificationError):
             AuditLog.verify_chain(entries, log.public_key)
+
+
+class TestEvents:
+    def test_events_classified_by_marker_not_reason_prefix(
+        self, formed_coalition, write_certificate
+    ):
+        """A decision whose reason starts with ``flow-`` is NOT an event.
+
+        Classification must come from the signed ``event_kind`` marker,
+        not from string-sniffing the reason text.
+        """
+        log = AuditLog()
+        decision = _decisions(formed_coalition, write_certificate, count=1)[0]
+        tricky = dataclasses.replace(
+            decision, reason="flow-looking reason on a real decision"
+        )
+        log.append(tricky)
+        log.append_event(
+            timestamp=9, operation="write", object_name="ObjectO",
+            kind="flow-degraded", detail="2 of 3 signers",
+        )
+        events = log.events()
+        assert len(events) == 1
+        assert events[0].event_kind == "flow-degraded"
+        assert log.events("flow-degraded") == events
+        assert log.events("flow-timed-out") == []
+        # The decision entry carries no event marker.
+        assert log.entries()[0].event_kind == ""
+        log.verify(expected_length=2)
+
+    def test_event_kind_is_signed(self, formed_coalition, write_certificate):
+        log = AuditLog()
+        log.append_event(
+            timestamp=1, operation="read", object_name="ObjectO",
+            kind="flow-timed-out",
+        )
+        entries = log.entries()
+        entries[0] = dataclasses.replace(entries[0], event_kind="")
+        with pytest.raises(AuditVerificationError):
+            AuditLog.verify_chain(entries, log.public_key)
+
+    def test_events_snapshot_under_concurrent_appends(
+        self, formed_coalition, write_certificate
+    ):
+        """events() takes the log lock: no torn reads mid-append."""
+        import threading
+
+        log = AuditLog(key_bits=128)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                log.append_event(
+                    timestamp=i, operation="op", object_name="O",
+                    kind="flow-degraded",
+                )
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    events = log.events()
+                    assert all(e.event_kind for e in events)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    stop.set()
+
+        threads = [
+            threading.Thread(target=writer),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []

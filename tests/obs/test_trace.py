@@ -90,3 +90,64 @@ class TestRender:
         assert "request" in text and "derivation" in text
         assert "op=read" in text and "granted=True" in text
         assert "ms" in text
+
+
+class TestExportHandle:
+    def test_persistent_handle_reused_across_finishes(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        tracer = Tracer(enabled=True, export_path=str(path))
+        tracer.finish(tracer.begin("request", trace_id="t-0"))
+        handle = tracer._export_fh
+        assert handle is not None
+        tracer.finish(tracer.begin("request", trace_id="t-1"))
+        assert tracer._export_fh is handle  # opened once, not per span
+        tracer.close()
+        assert tracer._export_fh is None
+        tracer.close()  # idempotent
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(l)["trace_id"] for l in lines] == ["t-0", "t-1"]
+
+    def test_concurrent_export_keeps_lines_whole(self, tmp_path):
+        import threading
+
+        path = tmp_path / "traces.jsonl"
+        tracer = Tracer(enabled=True, export_path=str(path), buffer_size=512)
+
+        def worker(worker_id):
+            for i in range(50):
+                span = tracer.begin(
+                    "request", trace_id=f"w{worker_id}-{i}", payload="x" * 200
+                )
+                span.child("derivation").end()
+                tracer.finish(span)
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        tracer.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 200
+        ids = {json.loads(line)["trace_id"] for line in lines}
+        assert len(ids) == 200  # every line parses, none interleaved
+        assert tracer.spans_started == 200
+        assert tracer.spans_finished == 200
+
+    def test_counters_exact_under_concurrent_begin(self):
+        import threading
+
+        tracer = Tracer(enabled=True)
+
+        def worker():
+            for _ in range(200):
+                tracer.begin("request", trace_id="t")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tracer.spans_started == 1600

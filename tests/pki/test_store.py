@@ -180,3 +180,89 @@ class TestPersistence:
         loaded = CertificateStore.load(path)
         assert len(loaded.for_subject("alice")) == 2
         assert loaded.identity_for("alice", now=5) is not None
+
+
+class TestAtomicSave:
+    def _populated(self, n=4):
+        store = CertificateStore()
+        for i in range(n):
+            store.publish(_identity(serial=f"i{i}", subject=f"user{i}"))
+        return store
+
+    def test_failed_save_leaves_previous_directory_intact(
+        self, tmp_path, monkeypatch
+    ):
+        """A writer dying mid-stream must not tear the published file."""
+        path = tmp_path / "directory.jsonl"
+        old = self._populated(3)
+        old.save(path)
+
+        import repro.pki.encoding as encoding
+
+        real_encode = encoding.encode_certificate
+        calls = {"n": 0}
+
+        def dying_encode(cert):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError("disk gone mid-write")
+            return real_encode(cert)
+
+        monkeypatch.setattr(encoding, "encode_certificate", dying_encode)
+        new = self._populated(5)
+        with pytest.raises(OSError, match="mid-write"):
+            new.save(path)
+        # The previous directory is untouched and fully loadable...
+        loaded = CertificateStore.load(path)
+        assert len(loaded) == 3
+        # ...and no temp file litter remains.
+        assert [p.name for p in tmp_path.iterdir()] == ["directory.jsonl"]
+
+    def test_killed_writer_process_leaves_previous_directory_intact(
+        self, tmp_path
+    ):
+        """Hard kill (os._exit) mid-save: the rename never happened."""
+        import subprocess
+        import sys
+
+        path = tmp_path / "directory.jsonl"
+        self._populated(3).save(path)
+        script = f"""
+import os
+import repro.pki.encoding as encoding
+from repro.pki.store import CertificateStore
+from repro.pki.certificates import IdentityCertificate, ValidityPeriod
+
+real = encoding.encode_certificate
+calls = [0]
+def dying(cert):
+    calls[0] += 1
+    if calls[0] == 3:
+        os._exit(9)  # the crash: no flush, no fsync, no rename
+    return real(cert)
+encoding.encode_certificate = dying
+
+store = CertificateStore()
+for i in range(5):
+    store.publish(IdentityCertificate(
+        serial=f"k{{i}}", subject=f"u{{i}}", subject_key_modulus=3233,
+        subject_key_exponent=17, issuer="CA", issuer_key_id="ck",
+        timestamp=1, validity=ValidityPeriod(0, 100),
+    ))
+store.save({str(path)!r})
+"""
+        import os
+
+        import repro
+
+        src_root = os.path.dirname(os.path.dirname(repro.__file__))
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env={**os.environ, "PYTHONPATH": src_root},
+            cwd=str(tmp_path),
+            capture_output=True,
+        )
+        assert proc.returncode == 9, proc.stderr.decode()
+        loaded = CertificateStore.load(path)
+        assert len(loaded) == 3
+        assert loaded.get("i0") is not None  # old content, not the torn new

@@ -1,0 +1,152 @@
+"""Crash-point fuzz: every torn tail must heal to a verifiable prefix.
+
+The WAL's durability argument (DESIGN.md §13) is that a crash can tear
+only the un-fsynced suffix, and recovery truncates exactly from the
+first bad frame.  These tests make that exhaustive on a small log:
+truncate at *every* byte offset of the final frame, corrupt every byte
+of it, and tear mid-rotation — recovery must always return a clean,
+``verify_chain``-passing prefix that a reopened WAL can extend.
+"""
+
+import os
+import shutil
+
+from repro.coalition.audit import AuditLog
+from repro.coalition.protocol import AuthorizationDecision
+from repro.storage.recovery import open_wal_log, recover
+from repro.storage.wal import list_segments
+
+
+def _decision(i):
+    return AuthorizationDecision(
+        granted=(i % 3 != 0),
+        reason=f"fuzz-{i}",
+        operation="read" if i % 2 else "write",
+        object_name=f"Obj{i % 4}",
+        checked_at=i + 1,
+    )
+
+
+def _write_wal(wal_dir, n_entries, segment_bytes=1 << 20, key_bits=128):
+    log, wal, _ = open_wal_log(
+        wal_dir, key_bits=key_bits, segment_bytes=segment_bytes
+    )
+    for i in range(n_entries):
+        log.append(_decision(i))
+    wal.close()
+    return log.public_key
+
+
+def _frame_offsets(path):
+    """Start offsets of every frame in a segment (clean log)."""
+    from repro.storage.wal import decode_frame_at
+
+    data = open(path, "rb").read()
+    offsets, offset = [], 0
+    while offset < len(data):
+        offsets.append(offset)
+        _, _, offset = decode_frame_at(data, offset)
+    return offsets, len(data)
+
+
+class TestTruncationFuzz:
+    def test_every_byte_offset_of_final_frame(self, tmp_path):
+        master = tmp_path / "master"
+        public = _write_wal(str(master), 6)
+        last = list_segments(str(master))[-1]
+        offsets, size = _frame_offsets(last)
+        final_frame_start = offsets[-1]
+        for cut in range(final_frame_start, size):
+            work = tmp_path / f"cut-{cut}"
+            shutil.copytree(str(master), str(work))
+            seg = list_segments(str(work))[-1]
+            with open(seg, "ab") as handle:
+                handle.truncate(cut)
+            recovered = recover(str(work), truncate=True)
+            # cut == frame start: the final frame vanishes cleanly;
+            # any other cut is a torn tail recovery must report.
+            if cut == final_frame_start:
+                assert recovered.clean
+            else:
+                assert recovered.torn is not None
+            assert len(recovered.entries) == 5
+            AuditLog.verify_chain(recovered.entries, public)
+            # Healed in place: a second scan is clean and identical.
+            again = recover(str(work), truncate=False)
+            assert again.clean
+            assert len(again.entries) == 5
+
+    def test_every_byte_corruption_of_final_frame(self, tmp_path):
+        master = tmp_path / "master"
+        public = _write_wal(str(master), 4)
+        last = list_segments(str(master))[-1]
+        offsets, size = _frame_offsets(last)
+        final_frame_start = offsets[-1]
+        for pos in range(final_frame_start, size):
+            work = tmp_path / f"flip-{pos}"
+            shutil.copytree(str(master), str(work))
+            seg = list_segments(str(work))[-1]
+            with open(seg, "r+b") as handle:
+                handle.seek(pos)
+                byte = handle.read(1)
+                handle.seek(pos)
+                handle.write(bytes([byte[0] ^ 0xFF]))
+            recovered = recover(str(work), truncate=True)
+            assert recovered.torn is not None
+            assert len(recovered.entries) == 3
+            AuditLog.verify_chain(recovered.entries, public)
+
+    def test_mid_rotation_truncation_quarantines_later_segments(
+        self, tmp_path
+    ):
+        wal_dir = str(tmp_path / "wal")
+        # Tiny segments force several rotations.
+        public = _write_wal(wal_dir, 12, segment_bytes=1024)
+        segments = list_segments(wal_dir)
+        assert len(segments) >= 3
+        # Tear the middle segment mid-frame: the chain prefix ends
+        # there, and every later segment must be quarantined.
+        victim = segments[1]
+        victim_offsets, victim_size = _frame_offsets(victim)
+        with open(victim, "ab") as handle:
+            handle.truncate(victim_size - 3)
+        recovered = recover(wal_dir, truncate=True)
+        assert recovered.torn is not None
+        assert recovered.torn.segment == victim
+        assert recovered.quarantined_segments == segments[2:]
+        AuditLog.verify_chain(recovered.entries, public)
+        leftover = list_segments(wal_dir)
+        assert leftover == segments[:2]
+        assert all(
+            os.path.exists(path + ".quarantined") for path in segments[2:]
+        )
+        again = recover(wal_dir, truncate=False)
+        assert again.clean
+        assert len(again.entries) == len(recovered.entries)
+
+    def test_healed_wal_resumes_appends(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        _write_wal(wal_dir, 5)
+        seg = list_segments(wal_dir)[-1]
+        with open(seg, "ab") as handle:
+            handle.truncate(os.path.getsize(seg) - 11)
+        log, wal, recovered = open_wal_log(wal_dir)
+        assert recovered.torn is not None
+        before = len(log)
+        log.append(_decision(99))
+        wal.close()
+        final = recover(wal_dir, truncate=False)
+        assert final.clean
+        assert len(final.entries) == before + 1
+        AuditLog.verify_chain(final.entries, log.public_key)
+
+    def test_fully_torn_first_segment_recovers_empty(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        _write_wal(wal_dir, 3)
+        seg = list_segments(wal_dir)[0]
+        with open(seg, "r+b") as handle:
+            handle.seek(0)
+            handle.write(b"\xff" * 8)
+        recovered = recover(wal_dir, truncate=True)
+        assert recovered.torn is not None
+        assert recovered.entries == []

@@ -1,0 +1,209 @@
+"""WAL framing, rotation, sync batching, and resume-append."""
+
+import os
+
+import pytest
+
+from repro.coalition.audit import AuditEntry, AuditLog
+from repro.coalition.protocol import AuthorizationDecision
+from repro.storage.recovery import open_wal_log, recover
+from repro.storage.wal import (
+    HEADER_BYTES,
+    RT_ENTRY,
+    RT_EPOCH,
+    RT_META,
+    EpochRecord,
+    FrameError,
+    WalError,
+    WriteAheadLog,
+    decode_frame_at,
+    encode_frame,
+    entry_from_payload,
+    entry_to_payload,
+    epoch_from_payload,
+    epoch_to_payload,
+    list_segments,
+    load_keypair,
+    save_keypair,
+)
+
+
+def _decision(i=0, granted=True):
+    return AuthorizationDecision(
+        granted=granted,
+        reason="test" if granted else "denied: test",
+        operation="read",
+        object_name=f"Obj{i}",
+        checked_at=i + 1,
+    )
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = encode_frame(RT_ENTRY, b"hello")
+        kind, payload, end = decode_frame_at(frame, 0)
+        assert (kind, payload, end) == (RT_ENTRY, b"hello", len(frame))
+
+    def test_short_header_raises(self):
+        with pytest.raises(FrameError, match="short header"):
+            decode_frame_at(b"\x01\x02", 0)
+
+    def test_short_payload_raises(self):
+        frame = encode_frame(RT_META, b"x" * 40)
+        with pytest.raises(FrameError, match="short payload"):
+            decode_frame_at(frame[:-1], 0)
+
+    def test_crc_mismatch_raises(self):
+        frame = bytearray(encode_frame(RT_EPOCH, b"payload"))
+        frame[-1] ^= 0xFF
+        with pytest.raises(FrameError, match="crc mismatch"):
+            decode_frame_at(bytes(frame), 0)
+
+    def test_insane_length_raises(self):
+        corrupt = b"\xff\xff\xff\xff" + b"\x00" * 5
+        with pytest.raises(FrameError, match="MAX_RECORD_BYTES"):
+            decode_frame_at(corrupt, 0)
+
+    def test_unknown_kind_raises_on_encode(self):
+        with pytest.raises(WalError, match="unknown record kind"):
+            encode_frame(99, b"")
+
+    def test_entry_codec_roundtrips_big_signature(self):
+        entry = AuditEntry(
+            sequence=7,
+            timestamp=3,
+            operation="write",
+            object_name="O",
+            group="G",
+            granted=False,
+            reason="denied: no quorum",
+            proof_digest="a" * 64,
+            previous_digest="b" * 64,
+            signature=2**510 + 12345,
+            trace_id="svc-00000007",
+            event_kind="",
+        )
+        assert entry_from_payload(entry_to_payload(entry)) == entry
+
+    def test_epoch_codec_roundtrips(self):
+        record = EpochRecord(
+            kind="revocation", epoch_id=4, detail="tac-000002", timestamp=9
+        )
+        assert epoch_from_payload(epoch_to_payload(record)) == record
+
+
+class TestWriteAheadLog:
+    def test_rotation_at_size_threshold(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_bytes=256, sync_every=0)
+        for _ in range(20):
+            wal.append(RT_META, b"x" * 60)
+        wal.close()
+        segments = list_segments(str(tmp_path))
+        assert len(segments) > 1
+        # No frame spans segments: every segment decodes end to end.
+        total = 0
+        for path in segments:
+            data = open(path, "rb").read()
+            assert len(data) <= 256
+            offset = 0
+            while offset < len(data):
+                _, _, offset = decode_frame_at(data, offset)
+                total += 1
+        assert total == 20
+        assert wal.rotations == len(segments) - 1
+
+    def test_sync_every_batches_fsyncs(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), sync_every=4)
+        for _ in range(10):
+            wal.append(RT_META, b"p")
+        assert wal.syncs == 2  # at appends 4 and 8
+        wal.close()
+        assert wal.syncs == 3  # close always syncs
+
+    def test_sync_interval_triggers(self, tmp_path):
+        wal = WriteAheadLog(
+            str(tmp_path), sync_every=0, sync_interval_s=0.0001
+        )
+        wal.append(RT_META, b"a")
+        import time
+
+        time.sleep(0.002)
+        wal.append(RT_META, b"b")
+        assert wal.syncs >= 1
+        wal.close()
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.close()
+        with pytest.raises(WalError, match="closed"):
+            wal.append(RT_META, b"")
+
+    def test_stats_counters(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), sync_every=2)
+        wal.append(RT_META, b"m")
+        wal.append(RT_EPOCH, b"e")
+        stats = wal.stats()
+        assert stats["records_appended"] == 2
+        assert stats["bytes_appended"] == 2 * (HEADER_BYTES + 1)
+        assert stats["syncs"] == 1
+        wal.close()
+
+
+class TestSignerPersistence:
+    def test_keypair_roundtrip(self, tmp_path):
+        log = AuditLog(key_bits=128)
+        path = str(tmp_path / "signer.json")
+        save_keypair(path, log.keypair)
+        loaded = load_keypair(path)
+        assert loaded.public == log.public_key
+        message = b"probe"
+        assert log.public_key.verify(
+            message, loaded.private.sign(message)
+        )
+
+
+class TestOpenWalLog:
+    def test_fresh_then_resume_continues_chain(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        log, wal, recovered = open_wal_log(wal_dir, key_bits=128)
+        assert recovered is None
+        for i in range(5):
+            log.append(_decision(i))
+        wal.close()
+
+        log2, wal2, recovered2 = open_wal_log(wal_dir)
+        assert recovered2 is not None and recovered2.clean
+        assert len(log2) == 5
+        # The resumed chain extends the recovered tail digest.
+        entry = log2.append(_decision(5))
+        assert entry.sequence == 5
+        assert entry.previous_digest == recovered2.entries[-1].digest()
+        wal2.close()
+        final = recover(wal_dir, truncate=False)
+        assert final.clean and len(final.entries) == 6
+        AuditLog.verify_chain(final.entries, log2.public_key)
+
+    def test_fresh_rejects_nonempty_audit_log(self, tmp_path):
+        log = AuditLog(key_bits=128)
+        log.append(_decision())
+        with pytest.raises(WalError, match="non-empty"):
+            open_wal_log(str(tmp_path / "w"), audit_log=log)
+
+    def test_resume_without_signer_raises(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        log, wal, _ = open_wal_log(wal_dir, key_bits=128)
+        log.append(_decision())
+        wal.close()
+        os.unlink(os.path.join(wal_dir, "signer.json"))
+        with pytest.raises(WalError, match="signer"):
+            open_wal_log(wal_dir)
+
+    def test_resume_with_wrong_signer_raises(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        log, wal, _ = open_wal_log(wal_dir, key_bits=128)
+        log.append(_decision())
+        wal.close()
+        other = AuditLog(key_bits=128)
+        save_keypair(os.path.join(wal_dir, "signer.json"), other.keypair)
+        with pytest.raises(WalError, match="does not match"):
+            open_wal_log(wal_dir)

@@ -66,6 +66,10 @@ PACKAGES = [
     "repro.service.service",
     "repro.service.sharding",
     "repro.service.supervisor",
+    "repro.storage",
+    "repro.storage.wal",
+    "repro.storage.recovery",
+    "repro.storage.replay",
     "repro.semantics",
     "repro.semantics.bridge",
     "repro.semantics.events",
