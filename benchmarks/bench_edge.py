@@ -1,0 +1,104 @@
+"""E19 — socket edge overhead: tail latency under connection churn.
+
+Drives the same seeded workload three ways and records all of them
+into ``BENCH_service.json`` (via the ``service_report`` fixture):
+
+* ``edge-inproc`` — in-process ``submit_batch`` (the E14 path), the
+  denominator for edge overhead;
+* ``edge-socket-closed`` — K closed-loop client connections through
+  the asyncio edge over real TCP, with connection churn (every
+  connection reconnects every k requests), measuring the tail cost of
+  framing + event loop + reconnect storms;
+* ``edge-socket-open`` — target-rps open-loop pacing over pipelined
+  socket connections, the "clients don't wait for each other" view.
+
+The ``edge-socket-closed`` row carries ``edge_overhead_ratio``
+(socket p50 / in-process p50) as a measured series, so successive PRs
+can see the front door getting cheaper or dearer.  Accounting is
+strict in every row: ``evaluated + errored + overloaded ==
+submitted`` must hold under churn, or responses were dropped on the
+wire.
+
+``SERVICE_BENCH_SMOKE=1`` shrinks the workload for CI smoke runs.
+"""
+
+import os
+from dataclasses import replace
+
+from repro.service.loadgen import (
+    LoadgenConfig,
+    run_loadgen,
+    run_socket_loadgen,
+)
+
+SMOKE = os.environ.get("SERVICE_BENCH_SMOKE") == "1"
+TOTAL_REQUESTS = 60 if SMOKE else 240
+
+BASE_CONFIG = LoadgenConfig(
+    num_shards=2,
+    total_requests=TOTAL_REQUESTS,
+    queue_depth=1024,  # measure evaluation + transport, not shed
+    read_fraction=0.5,
+    revoke_every=TOTAL_REQUESTS // 6,
+    num_objects=8,
+    key_bits=256,
+    mode="threaded",
+    seed=17,
+    socket_clients=4,
+    churn_every=max(4, TOTAL_REQUESTS // 12),
+)
+
+
+def _assert_accounted(report):
+    assert report.stranded == 0
+    assert (
+        report.evaluated + report.errored + report.overloaded
+        == report.submitted
+    )
+    assert report.granted > 0
+    assert report.p50_ms <= report.p95_ms <= report.p99_ms <= report.max_ms
+
+
+def test_edge_overhead_vs_inproc(service_report):
+    """The headline E19 series: socket closed-loop vs in-process."""
+    inproc = run_loadgen(replace(BASE_CONFIG, batch_size=4))
+    _assert_accounted(inproc)
+    service_report("edge-inproc", inproc)
+
+    socket = run_socket_loadgen(replace(BASE_CONFIG, socket_loop="closed"))
+    _assert_accounted(socket)
+    assert socket.transport == "socket"
+    assert socket.reconnects > 0, "churn must actually churn"
+    assert socket.connections > BASE_CONFIG.socket_clients
+    assert socket.revocations_published > 0  # epochs shipped mid-run
+    overhead = (
+        socket.p50_ms / inproc.p50_ms if inproc.p50_ms > 0 else 0.0
+    )
+    service_report(
+        "edge-socket-closed",
+        socket,
+        edge_overhead_ratio=overhead,
+        inproc_p50_ms=inproc.p50_ms,
+    )
+    # The edge adds real work (framing, loop hops, TCP) — it cannot be
+    # free — but a sane front door stays within an order of magnitude.
+    assert overhead > 0
+
+
+def test_edge_open_loop_paced(service_report):
+    """Open-loop socket pacing: pipelined connections, id-correlated."""
+    rate = 150.0 if SMOKE else 400.0
+    report = run_socket_loadgen(
+        replace(
+            BASE_CONFIG,
+            socket_loop="open",
+            churn_every=0,
+            arrival_rate=rate,
+            socket_clients=2,
+        )
+    )
+    _assert_accounted(report)
+    assert report.transport == "socket"
+    assert report.target_rps == rate
+    assert report.achieved_rps > 0
+    service_report("edge-socket-open", report)

@@ -141,6 +141,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.service.loadgen import (
         LoadgenConfig,
         run_loadgen,
+        run_socket_loadgen,
         sequential_baseline,
     )
 
@@ -157,16 +158,20 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             key_bits=args.bits,
             mode=args.mode,
             seed=args.seed,
+            socket_clients=args.socket_clients,
+            socket_loop=args.socket_loop,
+            churn_every=args.churn_every,
         )
 
+    run = run_socket_loadgen if args.transport == "socket" else run_loadgen
     reports = []
     baseline = sequential_baseline(config_for(1, args.queue_depth))
     reports.append(("sequential", baseline))
     for num_shards in args.shards:
-        report = run_loadgen(config_for(num_shards, args.queue_depth))
+        report = run(config_for(num_shards, args.queue_depth))
         reports.append((f"shards={num_shards}", report))
     if args.overdrive:
-        report = run_loadgen(config_for(max(args.shards), args.overdrive))
+        report = run(config_for(max(args.shards), args.overdrive))
         reports.append((f"overdrive(depth={args.overdrive})", report))
 
     if args.json:
@@ -189,6 +194,121 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             f"{r.epochs_published:>7}"
         )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio network edge in front of a demo coalition.
+
+    Builds the loadgen fixture (3 domains, read/write threshold
+    certificates, ``--objects`` registered objects), starts the edge on
+    ``--host``/``--port`` and serves until SIGTERM/SIGINT, then drains
+    gracefully: stop accepting, flush in-flight tickets, close the
+    service.  ``--client-bundle`` exports the signing material a
+    separate-process client (``edge-smoke``, a socket loadgen) needs to
+    produce requests this server will grant; ``--port-file`` writes the
+    bound port for scripts that passed ``--port 0``.
+    """
+    import signal
+    import threading
+
+    from repro.service.edge import serve_in_thread
+    from repro.service.loadgen import LoadgenConfig, build_fixture
+    from repro.service.wire import ClientBundle
+
+    config = LoadgenConfig(
+        num_shards=args.shards,
+        queue_depth=args.queue_depth,
+        num_objects=args.objects,
+        key_bits=args.bits,
+        mode=args.mode,
+        seed=args.seed,
+    )
+    fixture = build_fixture(config)
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal handler shape
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        handle = serve_in_thread(
+            fixture.service, host=args.host, port=args.port
+        )
+        if args.client_bundle:
+            ClientBundle(
+                users=fixture.users,
+                read_cert=fixture.read_cert,
+                write_cert=fixture.write_cert,
+                object_names=fixture.object_names,
+            ).save(args.client_bundle)
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle_file:
+                handle_file.write(str(handle.port))
+        print(
+            f"edge listening on {handle.host}:{handle.port} "
+            f"({args.shards} shards, mode={args.mode})",
+            flush=True,
+        )
+        stop.wait()
+        print("draining edge…", flush=True)
+        drained = handle.shutdown(timeout=args.drain_timeout)
+        stats = handle.stats()
+        print(
+            f"drained={drained} connections={stats['connections_total']} "
+            f"responses={stats['responses_out']} batches={stats['batches']}",
+            flush=True,
+        )
+        return 0 if drained else 1
+    finally:
+        fixture.service.close()
+
+
+def _cmd_edge_smoke(args: argparse.Namespace) -> int:
+    """Drive a running ``serve`` edge from a separate process.
+
+    Loads the ``--bundle`` the server exported, checks healthz/readyz,
+    then sends ``--requests`` signed authorize frames closed-loop and
+    verifies every response is a typed decision frame.  Exit 0 iff the
+    probes are green and every request got a granted decision.
+    """
+    from repro.coalition import build_joint_request
+    from repro.service.wire import ClientBundle, EdgeClient
+
+    bundle = ClientBundle.load(args.bundle)
+    with EdgeClient(args.host, args.port, timeout=args.timeout) as client:
+        health = client.healthz()
+        ready = client.readyz()
+        print(
+            f"healthz={health['status']} readyz={ready['status']} "
+            f"shards={health['report']['total_shards']}",
+            flush=True,
+        )
+        if health["status"] != 200 or ready["status"] != 200:
+            return 1
+        granted = other = 0
+        for i in range(args.requests):
+            obj = bundle.object_names[i % len(bundle.object_names)]
+            if i % 2 == 0:
+                request = build_joint_request(
+                    bundle.users[0], [], "read", obj,
+                    bundle.read_cert, now=i + 1, nonce=f"smoke-r-{i}",
+                )
+            else:
+                request = build_joint_request(
+                    bundle.users[0], [bundle.users[1]], "write", obj,
+                    bundle.write_cert, now=i + 1, nonce=f"smoke-w-{i}",
+                )
+            response = client.authorize(request, now=i + 1, req_id=i)
+            if (
+                response.get("kind") == "decision"
+                and response["decision"]["granted"]
+            ):
+                granted += 1
+            else:
+                other += 1
+    print(f"smoke: {granted} granted, {other} other", flush=True)
+    return 0 if granted == args.requests else 1
 
 
 def _traced_demo_service(bits: int):
@@ -513,7 +633,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra run with this tiny queue depth to show load shedding",
     )
     serve.add_argument("--json", action="store_true")
+    serve.add_argument(
+        "--transport", choices=["inproc", "socket"], default="inproc",
+        help="socket = drive the sweep through the asyncio edge over TCP",
+    )
+    serve.add_argument(
+        "--socket-loop", choices=["closed", "open"], default="closed",
+        help="socket transport loop discipline (open uses --rate pacing)",
+    )
+    serve.add_argument(
+        "--socket-clients", type=int, default=4,
+        help="concurrent client connections for the socket transport",
+    )
+    serve.add_argument(
+        "--churn-every", type=int, default=0,
+        help="closed-loop socket: reconnect each connection every k requests",
+    )
     serve.set_defaults(func=_cmd_serve_bench)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the asyncio network edge until SIGTERM (graceful drain)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=0, help="0 = pick a free port"
+    )
+    serve_cmd.add_argument("--shards", type=int, default=4)
+    serve_cmd.add_argument("--queue-depth", type=int, default=256)
+    serve_cmd.add_argument("--objects", type=int, default=8)
+    serve_cmd.add_argument("--bits", type=int, default=256)
+    serve_cmd.add_argument(
+        "--mode", choices=["threaded", "process"], default="threaded"
+    )
+    serve_cmd.add_argument("--seed", type=int, default=0)
+    serve_cmd.add_argument("--drain-timeout", type=float, default=30.0)
+    serve_cmd.add_argument(
+        "--client-bundle", default="", metavar="PATH",
+        help="export client signing material (users, certs) as JSON",
+    )
+    serve_cmd.add_argument(
+        "--port-file", default="", metavar="PATH",
+        help="write the bound port here once listening",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    smoke = sub.add_parser(
+        "edge-smoke",
+        help="drive a running serve edge from a separate process",
+    )
+    smoke.add_argument("--host", default="127.0.0.1")
+    smoke.add_argument("--port", type=int, required=True)
+    smoke.add_argument(
+        "--bundle", required=True,
+        help="client bundle the serve process exported",
+    )
+    smoke.add_argument("--requests", type=int, default=20)
+    smoke.add_argument("--timeout", type=float, default=30.0)
+    smoke.set_defaults(func=_cmd_edge_smoke)
 
     explain = sub.add_parser(
         "explain",

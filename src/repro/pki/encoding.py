@@ -22,7 +22,13 @@ from .certificates import (
     ValidityPeriod,
 )
 
-__all__ = ["encode_certificate", "decode_certificate", "EncodingError"]
+__all__ = [
+    "encode_certificate",
+    "decode_certificate",
+    "certificate_to_dict",
+    "certificate_from_dict",
+    "EncodingError",
+]
 
 
 class EncodingError(Exception):
@@ -145,6 +151,31 @@ def _from_dict(doc: Dict[str, Any]) -> Certificate:
     except (KeyError, TypeError, ValueError) as exc:
         raise EncodingError(f"malformed certificate document: {exc}") from exc
     raise EncodingError(f"unknown certificate kind {kind!r}")
+
+
+def certificate_to_dict(cert: Certificate) -> Dict[str, Any]:
+    """The JSON-safe document form of any certificate.
+
+    The same encoding :func:`encode_certificate` serializes, exposed as
+    a plain dict so composite wire documents (e.g. the network edge's
+    request frames, :mod:`repro.service.wire`) can embed certificates
+    without double-encoding JSON strings.
+    """
+    return _to_dict(cert)
+
+
+def certificate_from_dict(doc: Any) -> Certificate:
+    """Parse a certificate document (inverse of :func:`certificate_to_dict`).
+
+    Raises:
+        EncodingError: the document is not a valid certificate encoding.
+    """
+    if not isinstance(doc, dict):
+        raise EncodingError(
+            f"certificate document must be a JSON object, "
+            f"got {type(doc).__name__}"
+        )
+    return _from_dict(doc)
 
 
 def encode_certificate(cert: Certificate) -> str:

@@ -12,10 +12,13 @@ and provides what a single per-request protocol instance cannot:
   worker restarts with circuit breaking (``supervisor``), liveness and
   readiness probes (``health``), and a deterministic fault injector for
   adversarial testing (``chaos``),
-* an open-loop workload driver with latency percentiles (``loadgen``).
+* an open-loop workload driver with latency percentiles (``loadgen``),
+* an asyncio TCP front door speaking a length-prefixed JSON protocol
+  (``edge``/``wire``), with closed- and open-loop socket modes in the
+  workload driver.
 
 See DESIGN.md §9 for the architecture and request lifecycle, §11 for
-the supervision and failure model.
+the supervision and failure model, §14 for the network edge.
 """
 
 from .admission import (
@@ -27,12 +30,14 @@ from .admission import (
     request_fingerprint,
 )
 from .chaos import ChaosConfig, FaultInjector, InjectedFault, WorkerKilled
+from .edge import EdgeHandle, EdgeServer, serve_in_thread
 from .epoch import Epoch, EpochManager, PolicyEntry
 from .health import ShardHealth, health_report, liveness, readiness
-from .loadgen import LoadgenConfig, LoadgenReport, run_loadgen
+from .loadgen import LoadgenConfig, LoadgenReport, run_loadgen, run_socket_loadgen
 from .service import AuthorizationService, ServiceError
 from .sharding import ShardWorker, shard_for, shard_key
 from .supervisor import CircuitBreaker, RestartEvent, WorkerSupervisor
+from .wire import ClientBundle, EdgeClient, ProtocolError
 
 __all__ = [
     "AuthorizationService",
@@ -57,6 +62,13 @@ __all__ = [
     "LoadgenConfig",
     "LoadgenReport",
     "run_loadgen",
+    "run_socket_loadgen",
+    "EdgeServer",
+    "EdgeHandle",
+    "serve_in_thread",
+    "EdgeClient",
+    "ClientBundle",
+    "ProtocolError",
     "ShardWorker",
     "shard_for",
     "shard_key",

@@ -108,6 +108,8 @@ class Ticket:
         "queue_span",
         "_decision",
         "_done",
+        "_callbacks",
+        "_cb_lock",
     )
 
     def __init__(
@@ -134,6 +136,11 @@ class Ticket:
         self.queue_span = None
         self._decision: Optional[AuthorizationDecision] = None
         self._done = threading.Event()
+        # Completion callbacks (see add_done_callback): None until the
+        # first registration, swapped back to None when resolve() runs
+        # them, so the common no-callback ticket allocates nothing.
+        self._callbacks = None
+        self._cb_lock = threading.Lock()
 
     @property
     def trace_id(self) -> str:
@@ -143,6 +150,35 @@ class Ticket:
         self._decision = decision
         self.completed_at = time.perf_counter()
         self._done.set()
+        with self._cb_lock:
+            callbacks, self._callbacks = self._callbacks, None
+        for fn in callbacks or ():
+            try:
+                fn(decision)
+            except Exception:  # noqa: BLE001 - callbacks must not hurt workers
+                # A callback is a foreign waiter (e.g. the edge's event
+                # loop, possibly already closed).  Its failure must not
+                # poison the resolving worker's accounting path.
+                pass
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(decision)`` once this ticket resolves.
+
+        Runs immediately (on the calling thread) when the ticket is
+        already done; otherwise on the resolving thread, inline with
+        :meth:`resolve`.  Callbacks must be quick and non-blocking —
+        the network edge uses this to wake an asyncio future via
+        ``call_soon_threadsafe`` instead of parking a waiter thread per
+        in-flight request.  Each callback runs exactly once; exceptions
+        are swallowed (a dead waiter must not kill a shard worker).
+        """
+        with self._cb_lock:
+            if not self._done.is_set():
+                if self._callbacks is None:
+                    self._callbacks = []
+                self._callbacks.append(fn)
+                return
+        fn(self._decision)
 
     def done(self) -> bool:
         return self._done.is_set()

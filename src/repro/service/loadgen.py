@@ -24,6 +24,7 @@ concurrent clients would.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from math import ceil
@@ -41,7 +42,13 @@ from .admission import Errored, Overloaded, Ticket
 from .chaos import ChaosConfig, FaultInjector
 from .service import AuthorizationService
 
-__all__ = ["LoadgenConfig", "LoadgenReport", "ServiceFixture", "run_loadgen"]
+__all__ = [
+    "LoadgenConfig",
+    "LoadgenReport",
+    "ServiceFixture",
+    "run_loadgen",
+    "run_socket_loadgen",
+]
 
 
 @dataclass
@@ -76,6 +83,11 @@ class LoadgenConfig:
     chaos_kill_shard: int = -1
     chaos_kill_after: int = 10
     chaos_seed: int = 0
+    # Socket transport (run_socket_loadgen): requests travel through
+    # the asyncio edge (repro.service.edge) over real TCP connections.
+    socket_clients: int = 4  # concurrent client connections (K)
+    socket_loop: str = "closed"  # "closed" (K-way lockstep) or "open" (paced)
+    churn_every: int = 0  # reconnect a connection every k requests (0 = never)
 
 
 @dataclass
@@ -111,6 +123,11 @@ class LoadgenReport:
     worker_crashes: int = 0
     worker_restarts: int = 0
     stranded: int = 0  # tickets still unresolved after the drain (must be 0)
+    # Socket-transport runs only (zeros for in-process runs).
+    transport: str = "inproc"  # "inproc" | "socket"
+    connections: int = 0  # client connections opened over the run
+    reconnects: int = 0  # churn-forced reconnects within that total
+    edge_batches: int = 0  # submit_batch calls the edge issued
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -140,7 +157,18 @@ def percentile(sorted_values: List[float], q: float) -> float:
     for the same quantile (e.g. p50 of 4 vs 6 samples) — a bias that
     showed up as benchmark noise.  ``ceil`` never rounds down past the
     requested mass and has no tie cases.
+
+    ``q`` is a fraction in [0, 1].  A ``q > 1`` — almost always a
+    caller passing ``95`` where ``0.95`` was meant — used to be
+    silently clamped to the max by the ``min(len, ceil(q*n))`` rank
+    clamp, reporting a tail that looked plausible and was wrong; it is
+    now a :class:`ValueError`.
     """
+    if q > 1:
+        raise ValueError(
+            f"percentile fraction must be in [0, 1], got {q} "
+            "(did you pass a percent instead of a fraction?)"
+        )
     if not sorted_values:
         return 0.0
     if q <= 0:
@@ -266,11 +294,21 @@ def run_loadgen(
     """Drive one open-loop run and summarize it.
 
     A fixture built here is also closed here (workers — threads or
-    processes — are reaped before returning); a caller-provided
-    fixture stays open, so its service can be inspected afterwards.
+    processes — are reaped before returning, *on every exit path*,
+    including a drain timeout — a wedged run must not leak live worker
+    threads/processes into the caller); a caller-provided fixture
+    stays open, so its service can be inspected afterwards.
     """
     owned = fixture is None
     fixture = fixture or build_fixture(config)
+    try:
+        return _run_loadgen(config, fixture)
+    finally:
+        if owned:
+            fixture.service.close(timeout=10.0)
+
+
+def _run_loadgen(config: LoadgenConfig, fixture: ServiceFixture) -> LoadgenReport:
     service = fixture.service
     requests = _build_requests(config, fixture)
     victims = list(fixture.victim_certs)
@@ -368,9 +406,272 @@ def run_loadgen(
         worker_restarts=stats["health"]["worker_restarts"],
         stranded=stranded,
     )
-    if owned:
-        service.close(timeout=10.0)
     return report
+
+
+def run_socket_loadgen(
+    config: LoadgenConfig, fixture: Optional[ServiceFixture] = None
+) -> LoadgenReport:
+    """Drive the same workload through the asyncio edge over real TCP.
+
+    Starts an :class:`~repro.service.edge.EdgeServer` in front of the
+    fixture's service and replays the seeded stream through
+    :class:`~repro.service.wire.EdgeClient` connections, so the report
+    measures the *full* network path — framing, event loop, per-tick
+    batching, shard evaluation, response framing — against the same
+    requests ``run_loadgen`` submits in-process.
+
+    Two loop disciplines (``config.socket_loop``):
+
+    * ``"closed"`` — ``socket_clients`` worker threads, one connection
+      each, in lockstep: claim the next arrival index, send, block for
+      the response.  Concurrency is exactly K; ``churn_every`` forces
+      a reconnect every k requests per connection, which is the
+      connection-churn tail-latency experiment (E19).
+    * ``"open"`` — absolute-deadline pacing at ``arrival_rate``,
+      pipelined round-robin over ``socket_clients`` connections;
+      responses are correlated by request id on reader threads.
+      Churn is rejected here (a reconnect would abandon pipelined
+      in-flight responses — closed loop is the churn experiment).
+
+    Revocations publish in-process at the same arrival indices as
+    ``run_loadgen`` (epoch publication is operator-plane, not part of
+    the request wire protocol).  Latency is client-measured:
+    send-to-response over the socket, not ticket-internal.
+    """
+    owned = fixture is None
+    fixture = fixture or build_fixture(config)
+    try:
+        return _run_socket_loadgen(config, fixture)
+    finally:
+        if owned:
+            fixture.service.close(timeout=10.0)
+
+
+def _run_socket_loadgen(
+    config: LoadgenConfig, fixture: ServiceFixture
+) -> LoadgenReport:
+    from .edge import serve_in_thread
+    from .wire import EdgeClient, ProtocolError
+
+    if config.socket_loop not in ("closed", "open"):
+        raise ValueError(
+            f"socket_loop must be 'closed' or 'open', got {config.socket_loop!r}"
+        )
+    if config.socket_clients < 1:
+        raise ValueError("socket_clients must be >= 1")
+    if config.socket_loop == "open" and config.churn_every:
+        raise ValueError(
+            "churn_every requires the closed loop: an open-loop reconnect "
+            "would abandon pipelined in-flight responses"
+        )
+    service = fixture.service
+    requests = _build_requests(config, fixture)
+    victims = list(fixture.victim_certs)
+    total = len(requests)
+    # results[i] = (latency_s, response_doc); filled exactly once per index.
+    results: List[Optional[tuple]] = [None] * total
+    stats_lock = threading.Lock()
+    shared = {
+        "connections": 0,
+        "reconnects": 0,
+        "next_index": 0,
+        "depth_peak": 0,
+        "received": 0,
+    }
+    all_received = threading.Event()
+    pacing = {"max_lag": 0.0}
+
+    def claim_index() -> Optional[int]:
+        """Next arrival index; publishes due revocations at the boundary."""
+        with stats_lock:
+            i = shared["next_index"]
+            if i >= total:
+                return None
+            shared["next_index"] = i + 1
+            if config.revoke_every and i and i % config.revoke_every == 0 and victims:
+                revocation = fixture.coalition.authority.revoke_certificate(
+                    victims.pop(), now=i
+                )
+                service.publish_revocation(revocation, now=i)
+            if i % 8 == 0:
+                shared["depth_peak"] = max(
+                    shared["depth_peak"],
+                    max(service.queue_depths(), default=0),
+                )
+            return i
+
+    handle = serve_in_thread(service)
+    worker_errors: List[BaseException] = []
+    start = time.perf_counter()
+    submit_end = start
+
+    def closed_worker() -> None:
+        client = EdgeClient("127.0.0.1", handle.port)
+        with stats_lock:
+            shared["connections"] += 1
+        sent_on_conn = 0
+        try:
+            while True:
+                i = claim_index()
+                if i is None:
+                    break
+                if config.churn_every and sent_on_conn >= config.churn_every:
+                    client.close()
+                    client = EdgeClient("127.0.0.1", handle.port)
+                    with stats_lock:
+                        shared["connections"] += 1
+                        shared["reconnects"] += 1
+                    sent_on_conn = 0
+                t0 = time.perf_counter()
+                response = client.authorize(requests[i], now=i + 1, req_id=i)
+                results[i] = (time.perf_counter() - t0, response)
+                sent_on_conn += 1
+        except BaseException as exc:  # noqa: BLE001 - surfaced after join
+            worker_errors.append(exc)
+        finally:
+            client.close()
+
+    def open_reader(client: EdgeClient, send_times: Dict[int, float]) -> None:
+        try:
+            while True:
+                try:
+                    response = client.recv_frame()
+                except (ConnectionError, ProtocolError, OSError):
+                    return
+                i = response.get("id")
+                t0 = send_times.pop(i, None)
+                if t0 is None or not isinstance(i, int) or not 0 <= i < total:
+                    continue
+                results[i] = (time.perf_counter() - t0, response)
+                with stats_lock:
+                    shared["received"] += 1
+                    if shared["received"] >= total:
+                        all_received.set()
+        except BaseException as exc:  # noqa: BLE001 - surfaced after join
+            worker_errors.append(exc)
+
+    try:
+        if config.socket_loop == "closed":
+            threads = [
+                threading.Thread(target=closed_worker, daemon=True)
+                for _ in range(config.socket_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=config.drain_timeout_s)
+            submit_end = time.perf_counter()
+            if any(t.is_alive() for t in threads):
+                raise RuntimeError("socket loadgen workers wedged")
+        else:
+            clients = [
+                EdgeClient("127.0.0.1", handle.port)
+                for _ in range(config.socket_clients)
+            ]
+            shared["connections"] = len(clients)
+            send_times: List[Dict[int, float]] = [dict() for _ in clients]
+            readers = [
+                threading.Thread(
+                    target=open_reader, args=(c, st), daemon=True
+                )
+                for c, st in zip(clients, send_times)
+            ]
+            for t in readers:
+                t.start()
+            interval = (
+                1.0 / config.arrival_rate if config.arrival_rate > 0 else 0.0
+            )
+            next_deadline = time.perf_counter()
+            try:
+                for _ in range(total):
+                    if interval:
+                        delay = next_deadline - time.perf_counter()
+                        if delay > 0:
+                            time.sleep(delay)
+                        else:
+                            pacing["max_lag"] = max(pacing["max_lag"], -delay)
+                        next_deadline += interval
+                    i = claim_index()
+                    assert i is not None  # sole claimer in open loop
+                    k = i % len(clients)
+                    send_times[k][i] = time.perf_counter()
+                    clients[k].send_authorize(requests[i], now=i + 1, req_id=i)
+                submit_end = time.perf_counter()
+                if not all_received.wait(timeout=config.drain_timeout_s):
+                    raise RuntimeError(
+                        "socket loadgen: responses missing after drain timeout"
+                    )
+            finally:
+                for client in clients:
+                    client.close()
+                for t in readers:
+                    t.join(timeout=5.0)
+        if worker_errors:
+            raise worker_errors[0]
+        if not service.drain(timeout=config.drain_timeout_s):
+            raise RuntimeError("loadgen drain timed out; service wedged?")
+    finally:
+        handle.shutdown()
+    wall = time.perf_counter() - start
+    submit_window = submit_end - start
+
+    stranded = sum(1 for r in results if r is None)
+    evaluated = granted = denied = overloaded = errored = 0
+    latencies: List[float] = []
+    for entry in results:
+        if entry is None:
+            continue
+        latency, response = entry
+        kind = response.get("kind")
+        if kind == "decision":
+            evaluated += 1
+            if response["decision"]["granted"]:
+                granted += 1
+            else:
+                denied += 1
+            latencies.append(latency)
+        elif kind == "retry":
+            overloaded += 1
+        else:  # "error" and anything unexpected: a fault, not a shed
+            errored += 1
+            latencies.append(latency)
+    latencies.sort()
+    stats = service.stats()
+    return LoadgenReport(
+        config=asdict(config),
+        wall_s=wall,
+        throughput_rps=(
+            (evaluated + errored) / wall if wall > 0 else 0.0
+        ),
+        target_rps=(
+            config.arrival_rate if config.socket_loop == "open" else 0.0
+        ),
+        achieved_rps=(total / submit_window if submit_window > 0 else 0.0),
+        max_pacing_lag_ms=pacing["max_lag"] * 1000,
+        submitted=total,
+        evaluated=evaluated,
+        granted=granted,
+        denied=denied,
+        overloaded=overloaded,
+        coalesced=stats["service"]["coalesced"],
+        revocations_published=stats["epochs"]["revocations_published"],
+        epochs_published=stats["epochs"]["epochs_published"],
+        p50_ms=percentile(latencies, 0.50) * 1000,
+        p95_ms=percentile(latencies, 0.95) * 1000,
+        p99_ms=percentile(latencies, 0.99) * 1000,
+        max_ms=(latencies[-1] * 1000) if latencies else 0.0,
+        nonce_cache_peak=len(service.nonce_ledger),
+        queue_depth_peak=shared["depth_peak"],
+        errored=errored,
+        worker_crashes=stats["health"]["worker_crashes"],
+        worker_restarts=stats["health"]["worker_restarts"],
+        stranded=stranded,
+        transport="socket",
+        connections=shared["connections"],
+        reconnects=shared["reconnects"],
+        edge_batches=handle.stats()["batches"],
+    )
 
 
 # Imported lazily by the CLI / benchmarks so a plain ``import
@@ -379,7 +680,12 @@ def sequential_baseline(config: LoadgenConfig) -> LoadgenReport:
     """The same stream against a single sequential CoalitionServer.
 
     Gives benchmarks an apples-to-apples denominator for shard scaling:
-    one protocol, one thread, no queueing.
+    one protocol, one thread, no queueing.  The revocation schedule is
+    honored too — ``revoke_every`` publishes the same victim-group
+    revocations at the same arrival indices as :func:`run_loadgen`
+    (previously it was silently ignored, so a config with revocations
+    compared a service run against a baseline that never paid
+    revocation-application cost).
     """
     fixture_cfg = LoadgenConfig(**{**asdict(config), "num_shards": 1})
     domains = [Domain(f"BD{i}", key_bits=config.key_bits) for i in (1, 2, 3)]
@@ -406,6 +712,17 @@ def sequential_baseline(config: LoadgenConfig) -> LoadgenReport:
     write_cert = coalition.authority.issue_threshold_certificate(
         users, 2, "G_write", 0, validity
     )
+    # Victim certificates are issued pre-timer (like build_fixture):
+    # the timed region pays revocation *application*, not issuance.
+    victims: List[object] = []
+    if config.revoke_every:
+        n_events = config.total_requests // config.revoke_every + 1
+        victims = [
+            coalition.authority.issue_threshold_certificate(
+                users, 2, "G_victim", 0, validity
+            )
+            for _ in range(n_events)
+        ]
     shim = ServiceFixture(
         service=None,  # type: ignore[arg-type]
         coalition=coalition,
@@ -417,8 +734,15 @@ def sequential_baseline(config: LoadgenConfig) -> LoadgenReport:
     requests = _build_requests(fixture_cfg, shim)
     start = time.perf_counter()
     granted = denied = 0
+    revocations_published = 0
     latencies = []
     for i, request in enumerate(requests):
+        if config.revoke_every and i and i % config.revoke_every == 0 and victims:
+            revocation = coalition.authority.revoke_certificate(
+                victims.pop(), now=i
+            )
+            server.receive_revocation(revocation, now=i)
+            revocations_published += 1
         t0 = time.perf_counter()
         result = server.handle_request(
             request, now=i + 1, write_content=b"w"
@@ -438,6 +762,7 @@ def sequential_baseline(config: LoadgenConfig) -> LoadgenReport:
         evaluated=len(requests),
         granted=granted,
         denied=denied,
+        revocations_published=revocations_published,
         p50_ms=percentile(latencies, 0.50) * 1000,
         p95_ms=percentile(latencies, 0.95) * 1000,
         p99_ms=percentile(latencies, 0.99) * 1000,

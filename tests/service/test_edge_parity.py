@@ -1,0 +1,288 @@
+"""Edge semantics: byte parity with in-process submission, shed mapping.
+
+The acceptance property of the network front door: a seeded request
+stream evaluated through the socket yields decisions **byte-identical**
+to in-process ``submit`` against a service verifying the same
+certificates — the edge parses, routes and sheds, but never changes a
+decision.  Both services attach to ONE coalition (the
+``service_coalition`` fixture supports several attached servers), so
+certificate serials and key material are literally shared and any
+byte difference would be the edge's fault.
+
+Also pinned here: the typed shed translations (``Overloaded`` →
+503 ``retry`` with the short backoff hint, ``CircuitOpen`` → 503
+``retry`` with the long hint, ``Errored`` → 500 ``error``) and the
+healthz/readyz probe payloads against a tripped-breaker service.
+"""
+
+import random
+
+import pytest
+
+from repro.coalition import build_joint_request
+from repro.service import ChaosConfig, FaultInjector
+from repro.service.edge import (
+    RETRY_AFTER_CIRCUIT_OPEN_S,
+    RETRY_AFTER_OVERLOADED_S,
+    serve_in_thread,
+)
+from repro.service.wire import (
+    EdgeClient,
+    decision_to_dict,
+    decision_wire_bytes,
+)
+
+
+def _seeded_stream(ctx, seed, count, objects=("ObjectO", "ObjectP")):
+    """The same deterministic read/write mix the loadgen uses."""
+    rng = random.Random(seed)
+    users = ctx["users"]
+    stream = []
+    for i in range(count):
+        obj = rng.choice(objects)
+        now = i + 1
+        if rng.random() < 0.5:
+            stream.append(
+                build_joint_request(
+                    users[0], [], "read", obj,
+                    ctx["read_cert"], now=now, nonce=f"par-r-{seed}-{i}",
+                )
+            )
+        else:
+            stream.append(
+                build_joint_request(
+                    users[0], [users[1]], "write", obj,
+                    ctx["write_cert"], now=now, nonce=f"par-w-{seed}-{i}",
+                )
+            )
+    return stream
+
+
+class TestByteParity:
+    @pytest.mark.parametrize("num_shards", [1, 4])
+    def test_socket_decisions_byte_identical_to_inproc(
+        self, service_coalition, num_shards
+    ):
+        ctx, make_service = service_coalition
+        inproc = make_service(
+            mode="threaded", num_shards=num_shards, queue_depth=256
+        )
+        socket_svc = make_service(
+            mode="threaded", num_shards=num_shards, queue_depth=256
+        )
+        stream = _seeded_stream(ctx, seed=7, count=30)
+
+        local = [
+            decision_wire_bytes(
+                decision_to_dict(inproc.submit(req, now=i + 1).result(30))
+            )
+            for i, req in enumerate(stream)
+        ]
+
+        handle = serve_in_thread(socket_svc)
+        try:
+            with EdgeClient("127.0.0.1", handle.port) as client:
+                remote = [
+                    decision_wire_bytes(
+                        client.authorize(req, now=i + 1, req_id=i)["decision"]
+                    )
+                    for i, req in enumerate(stream)
+                ]
+        finally:
+            handle.shutdown()
+
+        assert local == remote  # byte-for-byte, all 30 decisions
+        # Sanity: the stream exercised both outcomes' encodings.
+        assert any(b'"granted":true' in doc for doc in local)
+
+    def test_parity_includes_replay_denials(self, service_coalition):
+        """A replayed nonce denies identically through the socket."""
+        ctx, make_service = service_coalition
+        inproc = make_service(mode="threaded", num_shards=2)
+        socket_svc = make_service(mode="threaded", num_shards=2)
+        request = build_joint_request(
+            ctx["users"][0], [], "read", "ObjectO",
+            ctx["read_cert"], now=2, nonce="par-replay",
+        )
+        local = []
+        for i in range(2):  # second submission replays the nonce
+            local.append(
+                decision_wire_bytes(
+                    decision_to_dict(inproc.submit(request, now=2).result(30))
+                )
+            )
+        handle = serve_in_thread(socket_svc)
+        try:
+            with EdgeClient("127.0.0.1", handle.port) as client:
+                remote = [
+                    decision_wire_bytes(
+                        client.authorize(request, now=2, req_id=i)["decision"]
+                    )
+                    for i in range(2)
+                ]
+        finally:
+            handle.shutdown()
+        assert local == remote
+        assert b'"granted":true' in local[0]
+        assert b'"granted":false' in local[1]
+
+
+class TestShedTranslation:
+    def test_overloaded_maps_to_retry_with_short_hint(self, service_coalition):
+        """Manual mode, queue depth 1: pipelined extras shed as 503s."""
+        ctx, make_service = service_coalition
+        service = make_service(mode="manual", num_shards=1, queue_depth=1)
+        stream = _seeded_stream(ctx, seed=3, count=3, objects=("ObjectO",))
+        handle = serve_in_thread(service)
+        try:
+            with EdgeClient("127.0.0.1", handle.port) as client:
+                for i, req in enumerate(stream):
+                    client.send_authorize(req, now=i + 1, req_id=i)
+                # Nothing pumps yet: exactly queue_depth=1 requests sit
+                # admitted; the other two were shed at admission and
+                # their retry frames arrive without any evaluation.
+                responses = {}
+                for _ in range(2):
+                    response = client.recv_response()
+                    responses[response["id"]] = response
+                for response in responses.values():
+                    assert response["kind"] == "retry"
+                    assert response["status"] == 503
+                    assert response["retry_after"] == RETRY_AFTER_OVERLOADED_S
+                    assert response["decision"]["type"] == "overloaded"
+                    assert response["decision"]["granted"] is False
+                    assert response["decision"]["queue_depth"] == 1
+                # Pumping resolves the admitted one as a real decision.
+                service.pump()
+                final = client.recv_response()
+                assert final["kind"] == "decision"
+                assert final["status"] == 200
+                assert final["id"] not in responses
+        finally:
+            handle.shutdown()
+
+    def test_circuit_open_maps_to_retry_with_long_hint(self, service_coalition):
+        ctx, make_service = service_coalition
+        service = make_service(
+            mode="threaded",
+            num_shards=2,
+            chaos=FaultInjector(
+                ChaosConfig(kill_shard=0, kill_in_flight=True, kill_times=100)
+            ),
+            max_restarts=0,
+            restart_backoff_s=0.001,
+        )
+        handle = serve_in_thread(service)
+        try:
+            with EdgeClient("127.0.0.1", handle.port) as client:
+                # ObjectO routes to shard 0 at 2 shards; the first
+                # request dies with its worker (a typed fault — the
+                # kill took the ticket down mid-evaluation) and burns
+                # the zero-restart budget, tripping the breaker.
+                first = build_joint_request(
+                    ctx["users"][0], [], "read", "ObjectO",
+                    ctx["read_cert"], now=1, nonce="co-0",
+                )
+                tripped = client.authorize(first, now=1, req_id=0)
+                assert tripped["kind"] in ("error", "retry")
+                # Now admission sheds instantly with the long hint.
+                again = build_joint_request(
+                    ctx["users"][0], [], "read", "ObjectO",
+                    ctx["read_cert"], now=2, nonce="co-1",
+                )
+                response = client.authorize(again, now=2, req_id=1)
+                assert response["kind"] == "retry"
+                assert response["status"] == 503
+                assert response["retry_after"] == RETRY_AFTER_CIRCUIT_OPEN_S
+                assert response["decision"]["type"] == "circuit-open"
+                # The healthy shard still grants through the same edge.
+                healthy = build_joint_request(
+                    ctx["users"][0], [], "read", "ObjectP",
+                    ctx["read_cert"], now=3, nonce="co-2",
+                )
+                ok = client.authorize(healthy, now=3, req_id=2)
+                assert ok["kind"] == "decision"
+                assert ok["decision"]["granted"] is True
+        finally:
+            handle.shutdown()
+
+    def test_errored_maps_to_500(self, service_coalition):
+        ctx, make_service = service_coalition
+        service = make_service(
+            mode="threaded",
+            num_shards=1,
+            chaos=FaultInjector(ChaosConfig(raise_every=1)),
+        )
+        request = build_joint_request(
+            ctx["users"][0], [], "read", "ObjectO",
+            ctx["read_cert"], now=1, nonce="err-0",
+        )
+        handle = serve_in_thread(service)
+        try:
+            with EdgeClient("127.0.0.1", handle.port) as client:
+                response = client.authorize(request, now=1, req_id=0)
+                assert response["kind"] == "error"
+                assert response["status"] == 500
+                assert response["error_type"] == "InjectedFault"
+                assert response["decision"]["type"] == "errored"
+                assert response["decision"]["granted"] is False
+        finally:
+            handle.shutdown()
+
+
+class TestHealthProbes:
+    def test_probes_against_tripped_breaker_service(self, service_coalition):
+        ctx, make_service = service_coalition
+        service = make_service(
+            mode="threaded",
+            num_shards=2,
+            chaos=FaultInjector(
+                ChaosConfig(kill_shard=0, kill_in_flight=True, kill_times=100)
+            ),
+            max_restarts=0,
+            restart_backoff_s=0.001,
+        )
+        handle = serve_in_thread(service)
+        try:
+            with EdgeClient("127.0.0.1", handle.port) as client:
+                # Green before the trip.
+                assert client.healthz()["status"] == 200
+                ready = client.readyz()
+                assert ready["status"] == 200
+                assert "shards" not in ready  # detail only when degraded
+                # Trip shard 0's breaker.
+                request = build_joint_request(
+                    ctx["users"][0], [], "read", "ObjectO",
+                    ctx["read_cert"], now=1, nonce="hp-0",
+                )
+                client.authorize(request, now=1, req_id=0)
+                service.drain(timeout=10)
+
+                health = client.healthz()
+                # Open breaker = still live (it answers, with sheds)...
+                assert health["status"] == 200
+                assert health["report"]["workers_alive"] == 1
+                # ...but not ready: degraded, with per-shard detail.
+                ready = client.readyz()
+                assert ready["status"] == 503
+                assert ready["report"]["ready"] is False
+                assert ready["report"]["degraded"] is True
+                assert ready["report"]["ready_shards"] == 1
+                detail = {s["shard"]: s for s in ready["shards"]}
+                assert detail[0]["breaker"] == "open"
+                assert detail[0]["ready"] is False
+                assert detail[1]["breaker"] == "closed"
+                assert detail[1]["ready"] is True
+        finally:
+            handle.shutdown()
+
+    def test_probe_ids_are_echoed(self, service_coalition):
+        ctx, make_service = service_coalition
+        service = make_service(mode="threaded", num_shards=1)
+        handle = serve_in_thread(service)
+        try:
+            with EdgeClient("127.0.0.1", handle.port) as client:
+                assert client.probe("healthz", req_id=41)["id"] == 41
+                assert client.probe("readyz", req_id=42)["id"] == 42
+        finally:
+            handle.shutdown()

@@ -1,0 +1,266 @@
+"""Edge wire-protocol conformance: framing fuzz, typed errors, survival.
+
+Two layers of coverage:
+
+* codec-level — every way a frame can be malformed (truncated at every
+  byte offset, oversized, garbage, wrong magic/version, non-JSON or
+  non-object body) raises a typed :class:`ProtocolError` with a stable
+  code, never a bare parser exception;
+* live-server — the same malformations fed to a running
+  :class:`EdgeServer` over a real socket produce 400-style
+  ``protocol-error`` response frames (fatal framing errors additionally
+  close that connection) and the server keeps serving other
+  connections afterwards — a garbage frame must never crash a handler.
+"""
+
+import json
+import struct
+
+import pytest
+
+from repro.coalition import build_joint_request
+from repro.service.edge import serve_in_thread
+from repro.service.wire import (
+    DEFAULT_MAX_FRAME,
+    HEADER_SIZE,
+    PROTOCOL_VERSION,
+    EdgeClient,
+    ProtocolError,
+    decode_body,
+    decode_frame,
+    decode_header,
+    encode_frame,
+    request_from_dict,
+    request_to_dict,
+)
+
+
+def _read(users, cert, obj, now, nonce):
+    return build_joint_request(
+        users[0], [], "read", obj, cert, now=now, nonce=nonce
+    )
+
+
+class TestFraming:
+    def test_round_trip(self):
+        doc = {"kind": "authorize", "id": 7, "nested": {"a": [1, 2]}}
+        frame = encode_frame(doc)
+        assert decode_frame(frame) == doc
+
+    def test_header_is_versioned(self):
+        frame = bytearray(encode_frame({"k": "v"}))
+        frame[2] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(bytes(frame))
+        assert exc.value.code == "bad-version"
+        assert exc.value.fatal
+
+    def test_bad_magic(self):
+        frame = b"XX" + encode_frame({"k": "v"})[2:]
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(frame)
+        assert exc.value.code == "bad-magic"
+
+    def test_oversized_rejected_from_header_alone(self):
+        header = struct.pack("!2sBxI", b"CE", PROTOCOL_VERSION, DEFAULT_MAX_FRAME + 1)
+        with pytest.raises(ProtocolError) as exc:
+            decode_header(header)
+        assert exc.value.code == "frame-too-large"
+
+    def test_encode_refuses_oversized_body(self):
+        with pytest.raises(ProtocolError) as exc:
+            encode_frame({"pad": "x" * DEFAULT_MAX_FRAME})
+        assert exc.value.code == "frame-too-large"
+
+    def test_truncation_at_every_offset_is_typed(self):
+        """Any strict prefix of a valid frame decodes to a typed error."""
+        frame = encode_frame({"kind": "healthz", "id": 3})
+        for cut in range(len(frame)):
+            with pytest.raises(ProtocolError) as exc:
+                decode_frame(frame[:cut])
+            assert exc.value.code == "truncated", cut
+            assert exc.value.fatal
+
+    def test_garbage_bodies_are_typed(self):
+        assert pytest.raises(ProtocolError, decode_body, b"\xff\xfe").value.code == "bad-json"
+        assert pytest.raises(ProtocolError, decode_body, b"not json").value.code == "bad-json"
+        assert pytest.raises(ProtocolError, decode_body, b"[1, 2]").value.code == "bad-frame"
+        assert pytest.raises(ProtocolError, decode_body, b'"str"').value.code == "bad-frame"
+
+    def test_random_garbage_never_raises_untyped(self):
+        import random
+
+        rng = random.Random(1234)
+        for _ in range(200):
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(64)))
+            try:
+                decode_frame(blob)
+            except ProtocolError:
+                pass  # the only acceptable exception type
+
+    def test_fatal_taxonomy(self):
+        for code in ProtocolError.FRAMING_CODES:
+            assert ProtocolError(code, "x").fatal
+        assert not ProtocolError("bad-request", "x").fatal
+        assert not ProtocolError("unknown-kind", "x").fatal
+
+
+class TestRequestCodec:
+    def test_round_trip_preserves_every_field(self, service_coalition):
+        ctx, _ = service_coalition
+        request = build_joint_request(
+            ctx["users"][0], [ctx["users"][1]], "write", "ObjectO",
+            ctx["write_cert"], now=5, nonce="codec-1",
+        )
+        rebuilt = request_from_dict(request_to_dict(request))
+        assert rebuilt == request
+
+    def test_document_survives_json_round_trip(self, service_coalition):
+        ctx, _ = service_coalition
+        request = _read(ctx["users"], ctx["read_cert"], "ObjectP", 3, "codec-2")
+        doc = json.loads(json.dumps(request_to_dict(request)))
+        assert request_from_dict(doc) == request
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("op"),
+            lambda d: d.pop("parts"),
+            lambda d: d.update(parts=[]),
+            lambda d: d.update(parts=[{"user": 1}]),
+            lambda d: d.update(op=42),
+            lambda d: d.update(degraded="yes"),
+            lambda d: d.update(attribute_certificate={"kind": "bogus"}),
+            lambda d: d.update(
+                attribute_certificate=d["identity_certificates"][0]
+            ),
+            lambda d: d["parts"][0].update(signature="not-hex"),
+            lambda d: d.update(identity_certificates="nope"),
+        ],
+    )
+    def test_malformed_documents_are_bad_request(
+        self, service_coalition, mutate
+    ):
+        ctx, _ = service_coalition
+        request = _read(ctx["users"], ctx["read_cert"], "ObjectO", 2, "codec-3")
+        doc = request_to_dict(request)
+        mutate(doc)
+        with pytest.raises(ProtocolError) as exc:
+            request_from_dict(doc)
+        assert exc.value.code == "bad-request"
+        assert not exc.value.fatal
+
+    def test_non_object_is_bad_request(self):
+        with pytest.raises(ProtocolError) as exc:
+            request_from_dict("nope")
+        assert exc.value.code == "bad-request"
+
+
+@pytest.fixture()
+def live_edge(service_coalition):
+    """A threaded service behind a real listening edge."""
+    ctx, make_service = service_coalition
+    service = make_service(mode="threaded", num_shards=2, queue_depth=64)
+    handle = serve_in_thread(service)
+    yield ctx, service, handle
+    handle.shutdown()
+
+
+class TestLiveServer:
+    def test_garbage_stream_gets_typed_error_and_close(self, live_edge):
+        ctx, service, handle = live_edge
+        with EdgeClient("127.0.0.1", handle.port) as client:
+            client.send_raw(b"\x00" * HEADER_SIZE)
+            response = client.recv_frame()
+            assert response["kind"] == "protocol-error"
+            assert response["status"] == 400
+            assert response["code"] == "bad-magic"
+            assert response["fatal"] is True
+            # Fatal framing error: the server hangs up on this socket.
+            with pytest.raises((ConnectionError, ProtocolError)):
+                client.recv_frame()
+        # ...but keeps serving new connections.
+        with EdgeClient("127.0.0.1", handle.port) as client:
+            assert client.healthz()["status"] == 200
+
+    def test_oversized_announcement_rejected_before_body(self, live_edge):
+        ctx, service, handle = live_edge
+        with EdgeClient("127.0.0.1", handle.port) as client:
+            client.send_raw(
+                struct.pack(
+                    "!2sBxI", b"CE", PROTOCOL_VERSION, DEFAULT_MAX_FRAME + 1
+                )
+            )
+            response = client.recv_frame()
+            assert response["kind"] == "protocol-error"
+            assert response["code"] == "frame-too-large"
+
+    def test_non_json_body_is_fatal_but_survivable(self, live_edge):
+        ctx, service, handle = live_edge
+        with EdgeClient("127.0.0.1", handle.port) as client:
+            body = b"{truncated json"
+            client.send_raw(
+                struct.pack("!2sBxI", b"CE", PROTOCOL_VERSION, len(body)) + body
+            )
+            assert client.recv_frame()["code"] == "bad-json"
+        with EdgeClient("127.0.0.1", handle.port) as client:
+            assert client.readyz()["status"] == 200
+
+    def test_unknown_kind_keeps_connection(self, live_edge):
+        ctx, service, handle = live_edge
+        with EdgeClient("127.0.0.1", handle.port) as client:
+            client.send_frame({"kind": "teleport", "id": 9})
+            response = client.recv_frame()
+            assert response["kind"] == "protocol-error"
+            assert response["code"] == "unknown-kind"
+            assert response["id"] == 9
+            assert response["fatal"] is False
+            # Same connection still serves.
+            assert client.healthz()["status"] == 200
+
+    def test_malformed_request_document_keeps_connection(self, live_edge):
+        ctx, service, handle = live_edge
+        with EdgeClient("127.0.0.1", handle.port) as client:
+            client.send_frame(
+                {"kind": "authorize", "id": 4, "now": 1, "request": {"op": 1}}
+            )
+            response = client.recv_frame()
+            assert response["kind"] == "protocol-error"
+            assert response["code"] == "bad-request"
+            assert response["id"] == 4
+            # A real request on the same connection evaluates normally.
+            request = _read(ctx["users"], ctx["read_cert"], "ObjectO", 7, "lv-1")
+            ok = client.authorize(request, now=7, req_id=5)
+            assert ok["kind"] == "decision" and ok["id"] == 5
+            assert ok["decision"]["granted"] is True
+
+    def test_missing_now_is_bad_request(self, live_edge):
+        ctx, service, handle = live_edge
+        request = _read(ctx["users"], ctx["read_cert"], "ObjectO", 7, "lv-2")
+        with EdgeClient("127.0.0.1", handle.port) as client:
+            client.send_frame(
+                {
+                    "kind": "authorize",
+                    "id": 1,
+                    "request": request_to_dict(request),
+                }
+            )
+            assert client.recv_frame()["code"] == "bad-request"
+
+    def test_fuzz_storm_then_service_still_healthy(self, live_edge):
+        """A barrage of malformed connections leaves the edge serving."""
+        import random
+
+        ctx, service, handle = live_edge
+        rng = random.Random(99)
+        for _ in range(25):
+            with EdgeClient("127.0.0.1", handle.port) as client:
+                blob = bytes(
+                    rng.randrange(256) for _ in range(rng.randrange(1, 40))
+                )
+                client.send_raw(blob)
+                client.close()
+        with EdgeClient("127.0.0.1", handle.port) as client:
+            assert client.healthz()["status"] == 200
+            request = _read(ctx["users"], ctx["read_cert"], "ObjectP", 9, "lv-3")
+            assert client.authorize(request, now=9)["decision"]["granted"]

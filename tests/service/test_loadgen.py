@@ -4,7 +4,17 @@ import random
 import statistics
 from math import ceil, floor
 
-from repro.service.loadgen import LoadgenConfig, percentile, run_loadgen
+import pytest
+
+import repro.service.loadgen as loadgen_module
+from repro.service import ServiceError
+from repro.service.loadgen import (
+    LoadgenConfig,
+    percentile,
+    run_loadgen,
+    run_socket_loadgen,
+    sequential_baseline,
+)
 
 
 class TestNearestRank:
@@ -20,6 +30,30 @@ class TestNearestRank:
         data = [1.0, 2.0, 3.0, 4.0]
         assert percentile(data, 0.0) == 1.0
         assert percentile(data, 1.0) == 4.0
+
+    def test_fraction_above_one_raises(self):
+        """q=95 for p95 is a unit bug, not a request for the max.
+
+        The old rank clamp silently returned the max sample for any
+        q > 1, so a caller passing percents got plausible-looking
+        numbers that were all the same (wrong) order statistic.
+        """
+        data = [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError, match="percent instead of a fraction"):
+            percentile(data, 95)
+        with pytest.raises(ValueError):
+            percentile(data, 1.0000001)
+        # Raises even for data shapes where the clamp was a no-op.
+        with pytest.raises(ValueError):
+            percentile([7.0], 2)
+        with pytest.raises(ValueError):
+            percentile([], 2)
+
+    def test_boundaries_still_inclusive(self):
+        # q=0 and q=1 are valid boundary fractions, n=1 serves both.
+        assert percentile([5.0], 0) == 5.0
+        assert percentile([5.0], 1) == 5.0
+        assert percentile([1.0, 9.0], 1.0) == 9.0
 
     def test_exact_half_rank_takes_lower_sample(self):
         """ceil(0.5*4) = 2: the 2nd sample, deterministically.
@@ -126,3 +160,134 @@ class TestRunReports:
             report.evaluated + report.errored + report.overloaded
             == report.submitted
         )
+
+
+class TestOwnedFixtureAlwaysCloses:
+    def test_drain_timeout_still_closes_owned_service(self, monkeypatch):
+        """A wedged run must not leak live workers (regression).
+
+        An unsupervised killed worker strands its queue: the drain
+        detects the dead worker (typed ``ServiceError``) or times out
+        (``RuntimeError``), and ``run_loadgen`` raises either way.
+        Before the fix the ``raise`` skipped the owned-fixture
+        ``service.close()``, so every wedged run leaked its worker
+        threads into the caller.
+        """
+        captured = {}
+        real_build = loadgen_module.build_fixture
+
+        def capture_fixture(config):
+            captured["fixture"] = real_build(config)
+            return captured["fixture"]
+
+        monkeypatch.setattr(loadgen_module, "build_fixture", capture_fixture)
+        config = _small_config(
+            num_shards=2,
+            supervise=False,  # nobody restarts the killed worker
+            chaos_kill_shard=0,
+            chaos_kill_after=1,
+            drain_timeout_s=0.3,
+        )
+        with pytest.raises(
+            (RuntimeError, ServiceError),
+            match="drain timed out|worker is dead",
+        ):
+            run_loadgen(config)
+        service = captured["fixture"].service
+        assert service._closed, "owned fixture must close on the error path"
+        assert all(
+            w is None or not w.is_alive() for w in service._workers
+        ), "no live worker threads may leak from a wedged run"
+
+    def test_provided_fixture_stays_open_on_success(self):
+        config = _small_config()
+        fixture = loadgen_module.build_fixture(config)
+        try:
+            run_loadgen(config, fixture)
+            assert not fixture.service._closed
+        finally:
+            fixture.service.close()
+
+
+class TestSequentialBaselineRevocations:
+    def test_baseline_publishes_the_same_revocation_schedule(self):
+        """revoke_every is honored, not silently dropped (regression).
+
+        The baseline is the scaling denominator for service runs that
+        pay revocation application mid-stream; a baseline that skips
+        them under-reports sequential cost.  The victim group carries
+        no request traffic, so the grant mix must not change.
+        """
+        config = _small_config(revoke_every=10)
+        report = sequential_baseline(config)
+        # Same schedule as run_loadgen: arrivals 10, 20, 30 of 40.
+        assert report.revocations_published == 3
+        assert report.submitted == 40
+        assert report.granted > 0
+        assert report.denied == 0  # victim revocations don't flip grants
+
+    def test_baseline_without_revocations_publishes_none(self):
+        report = sequential_baseline(_small_config(revoke_every=0))
+        assert report.revocations_published == 0
+
+    def test_grant_mix_identical_with_and_without_revocations(self):
+        plain = sequential_baseline(_small_config(revoke_every=0))
+        revoking = sequential_baseline(_small_config(revoke_every=10))
+        assert (plain.granted, plain.denied) == (
+            revoking.granted,
+            revoking.denied,
+        )
+
+
+class TestSocketLoadgen:
+    def test_closed_loop_accounts_every_request_under_churn(self):
+        report = run_socket_loadgen(
+            _small_config(
+                socket_clients=3,
+                socket_loop="closed",
+                churn_every=5,
+                revoke_every=10,
+            )
+        )
+        assert report.transport == "socket"
+        assert report.submitted == 40
+        assert report.stranded == 0
+        assert (
+            report.evaluated + report.errored + report.overloaded
+            == report.submitted
+        )
+        assert report.granted > 0 and report.errored == 0
+        assert report.reconnects > 0  # churn actually happened
+        assert report.connections > 3  # base connections + reconnects
+        assert report.revocations_published > 0
+        assert report.edge_batches > 0
+        assert report.p99_ms >= report.p50_ms > 0
+
+    def test_open_loop_paced_run(self):
+        report = run_socket_loadgen(
+            _small_config(
+                socket_clients=2,
+                socket_loop="open",
+                arrival_rate=400.0,
+            )
+        )
+        assert report.transport == "socket"
+        assert report.target_rps == 400.0
+        assert report.achieved_rps > 0
+        assert report.stranded == 0
+        assert (
+            report.evaluated + report.errored + report.overloaded
+            == report.submitted
+        )
+
+    def test_open_loop_rejects_churn(self):
+        with pytest.raises(ValueError, match="closed loop"):
+            run_socket_loadgen(
+                _small_config(socket_loop="open", churn_every=4)
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="socket_loop"):
+            run_socket_loadgen(_small_config(socket_loop="half-open"))
+        with pytest.raises(ValueError, match="socket_clients"):
+            run_socket_loadgen(_small_config(socket_clients=0))
