@@ -562,6 +562,76 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    """List or run named coalition-life scenarios (DESIGN.md §15).
+
+    Each scenario replays a seeded program of membership churn,
+    traffic mixes, adversaries and chaos against a live service and
+    asserts its standing invariants at every checkpoint.  Exit 0 iff
+    every requested scenario upholds every invariant — so the
+    subcommand doubles as a CI gate.
+    """
+    import json
+
+    from repro.service.scenarios import SCENARIOS, ScenarioRunner
+
+    if args.list:
+        print(f"{'scenario':>22} {'invariants':>3}  description")
+        for name in sorted(SCENARIOS):
+            spec = SCENARIOS[name]
+            print(f"{name:>22} {len(spec.invariants):>3}  {spec.description}")
+        return 0
+
+    names = args.names or sorted(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        known = ", ".join(sorted(SCENARIOS))
+        print(f"unknown scenario(s): {', '.join(unknown)} (known: {known})")
+        return 2
+
+    try:
+        runner = ScenarioRunner(
+            mode=args.mode,
+            num_shards=args.shards,
+            transport=args.transport,
+            seed=args.seed,
+            key_bits=args.bits,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    reports = []
+    for name in names:
+        spec = SCENARIOS[name]
+        if args.transport == "edge" and not spec.edge_ok:
+            print(f"{name}: skipped (not edge-capable)")
+            continue
+        reports.append(runner.run(spec))
+
+    if args.json:
+        print(json.dumps([r.as_dict() for r in reports], indent=2))
+        return 0 if all(r.ok for r in reports) else 1
+
+    print(
+        f"{'scenario':>22} {'ok':>5} {'reqs':>5} {'grant':>6} {'deny':>5} "
+        f"{'shed':>5} {'err':>4} {'rekeys':>6} {'p50ms':>7} {'p99ms':>7}"
+    )
+    for r in reports:
+        print(
+            f"{r.name:>22} {str(r.ok):>5} {r.requests:>5} {r.granted:>6} "
+            f"{r.denied:>5} {r.overloaded:>5} {r.errored:>4} {r.rekeys:>6} "
+            f"{r.p50_ms:>7.2f} {r.p99_ms:>7.2f}"
+        )
+        for violation in r.violations():
+            print(
+                f"    VIOLATION [{violation['invariant']}] at "
+                f"{violation['at']}: {violation['detail']}"
+            )
+    ok = all(r.ok for r in reports)
+    print(f"{len(reports)} scenario(s), all invariants {'OK' if ok else 'VIOLATED'}")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -771,6 +841,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--json", action="store_true")
     replay.set_defaults(func=_cmd_replay)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run seeded coalition-life scenarios with standing invariants",
+    )
+    scenario.add_argument(
+        "names", nargs="*",
+        help="scenario names to run (default: all registered)",
+    )
+    scenario.add_argument(
+        "--list", action="store_true", help="list registered scenarios"
+    )
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument("--shards", type=int, default=2)
+    scenario.add_argument(
+        "--mode", choices=["threaded", "process", "manual", "inline"],
+        default="manual",
+        help="service mode (manual replays deterministically)",
+    )
+    scenario.add_argument(
+        "--transport", choices=["inproc", "edge"], default="inproc",
+        help="edge = drive request traffic over a real TCP connection",
+    )
+    scenario.add_argument("--bits", type=int, default=256)
+    scenario.add_argument("--json", action="store_true")
+    scenario.set_defaults(func=_cmd_scenario)
 
     return parser
 

@@ -62,6 +62,7 @@ class Coalition:
         name: str,
         key_bits: int = 512,
         dealerless: bool = False,
+        audit_log=None,
     ):
         self.name = name
         self.key_bits = key_bits
@@ -70,6 +71,28 @@ class Coalition:
         self.authority: Optional[CoalitionAttributeAuthority] = None
         self.servers: List[CoalitionServer] = []
         self.history: List[DynamicsReport] = []
+        # Optional AuditLog: membership changes leave signed
+        # ``dynamics-*`` events in the same hash chain as decisions,
+        # so an auditor can see *why* a certificate population turned
+        # over (which domain joined/left, how many certs were revoked
+        # and re-issued), not just the revocations themselves.
+        self.audit_log = audit_log
+
+    def _audit(self, report: DynamicsReport, now: int) -> None:
+        if self.audit_log is None:
+            return
+        self.audit_log.append_event(
+            timestamp=now,
+            operation=report.event,
+            object_name=self.name,
+            kind=f"dynamics-{report.event}",
+            detail=(
+                f"domain={report.domain} "
+                f"revoked={report.certificates_revoked} "
+                f"reissued={report.certificates_reissued} "
+                f"dropped={report.certificates_dropped}"
+            ),
+        )
 
     # ---------------------------------------------------------- lifecycle
 
@@ -91,6 +114,7 @@ class Coalition:
             keygen_rounds=self.authority.keygen_stats.candidate_rounds,
         )
         self.history.append(report)
+        self._audit(report, now=0)
         return report
 
     def attach_server(self, server: CoalitionServer) -> None:
@@ -155,6 +179,7 @@ class Coalition:
             keygen_messages=len(self.domains) * (len(self.domains) - 1),
         )
         self.history.append(report)
+        self._audit(report, now)
         return report
 
     def _rekey(
@@ -219,6 +244,7 @@ class Coalition:
             servers_reconfigured=len(self.servers),
         )
         self.history.append(report)
+        self._audit(report, now)
         return report
 
     def _subjects_still_eligible(

@@ -15,10 +15,14 @@ and provides what a single per-request protocol instance cannot:
 * an open-loop workload driver with latency percentiles (``loadgen``),
 * an asyncio TCP front door speaking a length-prefixed JSON protocol
   (``edge``/``wire``), with closed- and open-loop socket modes in the
-  workload driver.
+  workload driver,
+* a seedable scenario engine replaying coalition life — membership
+  storms, flash crowds, federation, adversaries — under standing
+  invariants (``scenarios``).
 
 See DESIGN.md §9 for the architecture and request lifecycle, §11 for
-the supervision and failure model, §14 for the network edge.
+the supervision and failure model, §14 for the network edge, §15 for
+the scenario engine.
 """
 
 from .admission import (
@@ -34,6 +38,15 @@ from .edge import EdgeHandle, EdgeServer, serve_in_thread
 from .epoch import Epoch, EpochManager, PolicyEntry
 from .health import ShardHealth, health_report, liveness, readiness
 from .loadgen import LoadgenConfig, LoadgenReport, run_loadgen, run_socket_loadgen
+from .scenarios import (
+    SCENARIOS,
+    DynamicsBridge,
+    ScenarioReport,
+    ScenarioRunner,
+    ScenarioSpec,
+    list_scenarios,
+    run_scenario,
+)
 from .service import AuthorizationService, ServiceError
 from .sharding import ShardWorker, shard_for, shard_key
 from .supervisor import CircuitBreaker, RestartEvent, WorkerSupervisor
@@ -63,6 +76,13 @@ __all__ = [
     "LoadgenReport",
     "run_loadgen",
     "run_socket_loadgen",
+    "SCENARIOS",
+    "DynamicsBridge",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "list_scenarios",
+    "run_scenario",
     "EdgeServer",
     "EdgeHandle",
     "serve_in_thread",

@@ -95,6 +95,7 @@ class FaultInjector:
         self.faults_raised = 0
         self.slows_injected = 0
         self.kills_fired = 0
+        self.actions_fired = 0
 
     # ------------------------------------------------------ configuration
 
@@ -124,6 +125,8 @@ class FaultInjector:
             self._evaluations += 1
             n = self._evaluations
             actions = self._actions.pop(n, ())
+            if actions:
+                self.actions_fired += len(actions)
             kill = (
                 config.kill_shard >= 0
                 and config.kill_in_flight
@@ -185,4 +188,5 @@ class FaultInjector:
                 "faults_raised": self.faults_raised,
                 "slows_injected": self.slows_injected,
                 "kills_fired": self.kills_fired,
+                "actions_fired": self.actions_fired,
             }

@@ -64,6 +64,12 @@ class LoadgenConfig:
     read_fraction: float = 0.5
     revoke_every: int = 0  # publish a revocation every k arrivals (0 = off)
     num_objects: int = 8
+    # Object-key distribution: "uniform" (every object equally likely)
+    # or "zipf" (rank-skewed, exponent ``zipf_s``; rank 0 is the hot
+    # key).  Seeded by ``seed`` like the rest of the stream, so
+    # hot-object contention is exactly reproducible.
+    key_dist: str = "uniform"
+    zipf_s: float = 1.1
     key_bits: int = 256
     dedup: bool = True
     mode: str = "threaded"
@@ -119,6 +125,11 @@ class LoadgenReport:
     max_ms: float = 0.0
     nonce_cache_peak: int = 0
     queue_depth_peak: int = 0
+    # Realized skew of the generated stream: the single most-requested
+    # object's share of all arrivals (1/num_objects-ish for uniform,
+    # rising toward 1.0 as zipf_s grows).
+    top_key: str = ""
+    top_key_share: float = 0.0
     errored: int = 0
     worker_crashes: int = 0
     worker_restarts: int = 0
@@ -175,6 +186,38 @@ def percentile(sorted_values: List[float], q: float) -> float:
         return sorted_values[0]
     rank = min(len(sorted_values), ceil(q * len(sorted_values)))
     return sorted_values[rank - 1]
+
+
+def zipf_index(rng: random.Random, n: int, s: float) -> int:
+    """Draw a rank in ``[0, n)`` from a zipf(s) distribution.
+
+    Rank 0 is the hottest key; weights are ``1 / (rank + 1) ** s``.
+    Inverse-CDF sampling over the normalized weights, one ``rng``
+    draw per call, so streams are deterministic under a fixed seed.
+    """
+    if n < 1:
+        raise ValueError("zipf_index needs at least one item")
+    weights = [1.0 / (rank + 1) ** s for rank in range(n)]
+    total = sum(weights)
+    u = rng.random() * total
+    acc = 0.0
+    for rank, weight in enumerate(weights):
+        acc += weight
+        if u < acc:
+            return rank
+    return n - 1
+
+
+def _top_key_share(requests: List[object]) -> tuple:
+    """(object name, share of arrivals) for the most-requested object."""
+    counts: Dict[str, int] = {}
+    for request in requests:
+        name = request.object_name
+        counts[name] = counts.get(name, 0) + 1
+    if not counts:
+        return "", 0.0
+    top = max(counts, key=lambda name: (counts[name], name))
+    return top, counts[top] / len(requests)
 
 
 def build_fixture(config: LoadgenConfig) -> ServiceFixture:
@@ -266,10 +309,19 @@ def build_fixture(config: LoadgenConfig) -> ServiceFixture:
 
 def _build_requests(config: LoadgenConfig, fixture: ServiceFixture) -> List[object]:
     """Pre-sign the whole arrival stream (requestor-side work)."""
+    if config.key_dist not in ("uniform", "zipf"):
+        raise ValueError(
+            f"key_dist must be 'uniform' or 'zipf', got {config.key_dist!r}"
+        )
     rng = random.Random(config.seed)
     requests = []
     for i in range(config.total_requests):
-        obj = rng.choice(fixture.object_names)
+        if config.key_dist == "zipf":
+            obj = fixture.object_names[
+                zipf_index(rng, len(fixture.object_names), config.zipf_s)
+            ]
+        else:
+            obj = rng.choice(fixture.object_names)
         now = i + 1
         if rng.random() < config.read_fraction:
             requests.append(
@@ -366,6 +418,7 @@ def _run_loadgen(config: LoadgenConfig, fixture: ServiceFixture) -> LoadgenRepor
     # sample once more after the drain so the peak reflects the full run.
     nonce_peak = max(nonce_peak, len(service.nonce_ledger))
 
+    top_key, top_share = _top_key_share(requests)
     stranded = sum(1 for t in tickets if not t.done())
     shed = [t for t in tickets if t.done() and isinstance(t.result(0), Overloaded)]
     served = [
@@ -401,6 +454,8 @@ def _run_loadgen(config: LoadgenConfig, fixture: ServiceFixture) -> LoadgenRepor
         max_ms=(latencies[-1] * 1000) if latencies else 0.0,
         nonce_cache_peak=nonce_peak,
         queue_depth_peak=depth_peak,
+        top_key=top_key,
+        top_key_share=top_share,
         errored=len(errored),
         worker_crashes=stats["health"]["worker_crashes"],
         worker_restarts=stats["health"]["worker_restarts"],
@@ -637,6 +692,7 @@ def _run_socket_loadgen(
             errored += 1
             latencies.append(latency)
     latencies.sort()
+    top_key, top_share = _top_key_share(requests)
     stats = service.stats()
     return LoadgenReport(
         config=asdict(config),
@@ -663,6 +719,8 @@ def _run_socket_loadgen(
         max_ms=(latencies[-1] * 1000) if latencies else 0.0,
         nonce_cache_peak=len(service.nonce_ledger),
         queue_depth_peak=shared["depth_peak"],
+        top_key=top_key,
+        top_key_share=top_share,
         errored=errored,
         worker_crashes=stats["health"]["worker_crashes"],
         worker_restarts=stats["health"]["worker_restarts"],
@@ -754,6 +812,7 @@ def sequential_baseline(config: LoadgenConfig) -> LoadgenReport:
             denied += 1
     wall = time.perf_counter() - start
     latencies.sort()
+    top_key, top_share = _top_key_share(requests)
     return LoadgenReport(
         config={**asdict(config), "mode": "sequential-baseline"},
         wall_s=wall,
@@ -767,4 +826,6 @@ def sequential_baseline(config: LoadgenConfig) -> LoadgenReport:
         p95_ms=percentile(latencies, 0.95) * 1000,
         p99_ms=percentile(latencies, 0.99) * 1000,
         max_ms=(latencies[-1] * 1000) if latencies else 0.0,
+        top_key=top_key,
+        top_key_share=top_share,
     )

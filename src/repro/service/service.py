@@ -1189,6 +1189,19 @@ class AuthorizationService:
             "workers_alive": self.workers_alive(),
             "breakers_open": self.breakers_open(),
         }
+        if self.chaos is not None:
+            # A chaos run must be distinguishable from a clean run in
+            # the merged registry, not only via the injector object.
+            chaos_stats = self.chaos.stats()
+            gauges.update(
+                {
+                    "chaos_evaluations": chaos_stats["evaluations"],
+                    "chaos_faults_raised": chaos_stats["faults_raised"],
+                    "chaos_slows_injected": chaos_stats["slows_injected"],
+                    "chaos_kills_fired": chaos_stats["kills_fired"],
+                    "chaos_actions_fired": chaos_stats["actions_fired"],
+                }
+            )
         for name, value in gauges.items():
             self.metrics.gauge(name).set(value)
         snapshots = [self.metrics.snapshot()]

@@ -152,3 +152,38 @@ class TestHistory:
         coalition.join(Domain("D4", key_bits=BITS), now=10)
         events = [r.event for r in coalition.history]
         assert events == ["form", "refresh", "join"]
+
+
+class TestAuditedDynamics:
+    def test_membership_events_land_in_audit_chain(self, three_domains):
+        from repro.coalition.audit import AuditLog
+
+        domains, _users = three_domains
+        log = AuditLog(key_bits=BITS)
+        coalition = Coalition("audited", key_bits=BITS, audit_log=log)
+        coalition.form(domains)
+        d4 = Domain("D4", key_bits=BITS)
+        coalition.join(d4, now=10)
+        coalition.refresh(now=20)
+        coalition.leave(d4, now=30)
+
+        kinds = [e.event_kind for e in log.events()]
+        assert kinds == [
+            "dynamics-form",
+            "dynamics-join",
+            "dynamics-refresh",
+            "dynamics-leave",
+        ]
+        join_event = log.events(kind="dynamics-join")[0]
+        assert join_event.object_name == "audited"
+        assert "domain=D4" in join_event.reason
+        assert "revoked=" in join_event.reason
+        # The events extend the same signed hash chain as decisions.
+        AuditLog.verify_chain(log.entries(), log.public_key)
+
+    def test_no_log_means_no_events(self, three_domains):
+        domains, _users = three_domains
+        coalition = Coalition("silent", key_bits=BITS)
+        coalition.form(domains)
+        coalition.refresh(now=5)
+        assert coalition.audit_log is None

@@ -179,3 +179,37 @@ class TestServiceIntegration:
             == stats["submitted"]
         )
         assert service.stats()["health"]["worker_crashes"] == 0
+
+
+class TestChaosGauges:
+    def test_injector_counters_surface_in_metrics_snapshot(
+        self, service_coalition
+    ):
+        """A chaos run is distinguishable from a clean one in the
+        merged metrics registry, not only via the injector object."""
+        ctx, make_service = service_coalition
+        users, cert = ctx["users"], ctx["read_cert"]
+        injector = FaultInjector(ChaosConfig(raise_every=4))
+        fired = []
+        injector.at(2, lambda ticket: fired.append(True))
+        service = make_service(
+            mode="manual", num_shards=2, queue_depth=32, chaos=injector
+        )
+        for i in range(8):
+            service.submit(
+                _read(users, cert, "ObjectO", 5, f"cg-{i}"), now=5
+            )
+        service.pump()
+
+        gauges = service.metrics_snapshot()["gauges"]
+        assert gauges["service.chaos_evaluations"] == 8
+        assert gauges["service.chaos_faults_raised"] == 2
+        assert gauges["service.chaos_actions_fired"] == 1 == len(fired)
+        assert gauges["service.chaos_kills_fired"] == 0
+        assert gauges["service.chaos_slows_injected"] == 0
+
+    def test_clean_service_has_no_chaos_gauges(self, service_coalition):
+        _ctx, make_service = service_coalition
+        service = make_service(mode="manual")
+        gauges = service.metrics_snapshot()["gauges"]
+        assert not any("chaos_" in k for k in gauges)

@@ -291,3 +291,41 @@ class TestSocketLoadgen:
             run_socket_loadgen(_small_config(socket_loop="half-open"))
         with pytest.raises(ValueError, match="socket_clients"):
             run_socket_loadgen(_small_config(socket_clients=0))
+
+
+class TestZipfKeyDistribution:
+    def test_zipf_index_is_rank_biased(self):
+        rng = random.Random(1)
+        draws = [loadgen_module.zipf_index(rng, 8, 1.5) for _ in range(2000)]
+        counts = [draws.count(i) for i in range(8)]
+        # Rank 0 dominates and the tail is strictly poorer than the head.
+        assert counts[0] == max(counts)
+        assert counts[0] > counts[7] * 3
+
+    def test_zipf_index_rejects_empty_keyspace(self):
+        with pytest.raises(ValueError, match="at least one item"):
+            loadgen_module.zipf_index(random.Random(0), 0, 1.1)
+
+    def test_zipf_run_reports_hot_key_share(self):
+        report = run_loadgen(
+            _small_config(key_dist="zipf", zipf_s=1.5, num_objects=8)
+        )
+        assert report.top_key
+        # With s=1.5 over 8 keys the hottest key draws well above the
+        # 1/8 = 12.5% a uniform workload would give it.
+        assert report.top_key_share > 0.25
+
+    def test_uniform_run_reports_share_too(self):
+        report = run_loadgen(_small_config(num_objects=4))
+        assert report.top_key
+        assert 0.25 <= report.top_key_share <= 1.0
+
+    def test_same_seed_same_hot_key(self):
+        config = _small_config(key_dist="zipf", zipf_s=1.2, num_objects=8)
+        a = run_loadgen(config)
+        b = run_loadgen(_small_config(key_dist="zipf", zipf_s=1.2, num_objects=8))
+        assert (a.top_key, a.top_key_share) == (b.top_key, b.top_key_share)
+
+    def test_unknown_key_dist_rejected(self):
+        with pytest.raises(ValueError, match="key_dist"):
+            run_loadgen(_small_config(key_dist="pareto"))
